@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the simulator's hot paths: cache lookups, predictor
+//! ticks, trace sampling, and end-to-end instruction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edbp_core::{Edbp, EdbpConfig, LeakagePredictor};
+use ehs_cache::{AccessKind, Cache, CacheConfig};
+use ehs_energy::{EnergySource, SourceConfig, TracePreset};
+use ehs_sim::{run_app, Scheme, SystemConfig};
+use ehs_units::{Time, Voltage};
+use ehs_workloads::{AppId, Scale};
+use std::hint::black_box;
+
+fn cache_hot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("hit_loop_1k", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_dcache());
+        for i in 0..256u64 {
+            cache.lookup(i * 16, AccessKind::Read);
+            cache.fill(i * 16, &[0u8; 16], false);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                let addr = (i % 256) * 16;
+                acc += u64::from(cache.lookup(black_box(addr), AccessKind::Read).is_hit());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn edbp_tick(c: &mut Criterion) {
+    c.bench_function("edbp/full_sweep_tick", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = Cache::new(CacheConfig::paper_dcache());
+                for i in 0..256u64 {
+                    cache.lookup(i * 16, AccessKind::Read);
+                    cache.fill(i * 16, &[0u8; 16], false);
+                }
+                let edbp = Edbp::new(EdbpConfig::for_cache(&cache));
+                (cache, edbp)
+            },
+            |(mut cache, mut edbp)| {
+                black_box(edbp.tick(&mut cache, Voltage::from_volts(3.2), 0))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn trace_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("rfhome_power_at_10k", |b| {
+        let trace = SourceConfig::preset(TracePreset::RfHome).with_seed(7).build();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000u64 {
+                acc += trace
+                    .power_at(Time::from_micros(17.0) * i as f64)
+                    .as_watts();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn end_to_end_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    // crc32 Tiny commits ~90k instructions.
+    group.throughput(Throughput::Elements(90_000));
+    for scheme in [Scheme::Baseline, Scheme::DecayEdbp] {
+        group.bench_function(scheme.name(), |b| {
+            let config = SystemConfig::paper_default();
+            b.iter(|| black_box(run_app(&config, scheme, AppId::Crc32, Scale::Tiny)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    simulator,
+    cache_hot_loop,
+    edbp_tick,
+    trace_sampling,
+    end_to_end_throughput
+);
+criterion_main!(simulator);

@@ -1,0 +1,47 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each benchmark in `benches/figures.rs` exercises the exact configuration
+//! of one table/figure of the paper on a reduced workload set, so regressions
+//! in any experiment's hot path are caught without re-running the full
+//! evaluation (the `exp_*` binaries in `ehs-sim` regenerate the complete
+//! tables — see `EXPERIMENTS.md`).
+
+use ehs_sim::{run_app, RunResult, Scheme, SystemConfig};
+use ehs_workloads::{AppId, Scale};
+
+/// The small representative app subset the benches run (one cache-resident
+/// streaming app, one thrashing pointer-chaser, one large-code media app).
+pub const BENCH_APPS: [AppId; 3] = [AppId::Crc32, AppId::Patricia, AppId::JpegEnc];
+
+/// Runs the given scheme over the bench apps at Tiny scale and folds the
+/// results into a checksum (so the optimizer cannot elide the simulation).
+pub fn run_bench_apps(config: &SystemConfig, scheme: Scheme) -> u64 {
+    BENCH_APPS
+        .iter()
+        .map(|&app| checksum(&run_app(config, scheme, app, Scale::Tiny)))
+        .fold(0, u64::wrapping_add)
+}
+
+/// A cheap stable digest of a run result.
+pub fn checksum(r: &RunResult) -> u64 {
+    r.committed
+        .wrapping_mul(31)
+        .wrapping_add(r.outages)
+        .wrapping_add(r.dcache.misses)
+        .wrapping_add(r.prediction.true_positives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehs_sim::SystemConfig;
+
+    #[test]
+    fn bench_helper_is_deterministic() {
+        let config = SystemConfig::paper_default();
+        assert_eq!(
+            run_bench_apps(&config, Scheme::Edbp),
+            run_bench_apps(&config, Scheme::Edbp)
+        );
+    }
+}

@@ -1,0 +1,809 @@
+//! The set-associative cache mechanism.
+
+use crate::policy::{SetPolicyState, SharedPolicyState};
+use crate::{CacheStats, ReplacementPolicy};
+use ehs_nvm::CacheGeometry;
+
+/// Which kind of CPU access hits the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load (or instruction fetch).
+    Read,
+    /// A store; write-back write-allocate, so hits dirty the block.
+    Write,
+}
+
+/// Identifies a physical block frame (a way within a set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    /// Set index.
+    pub set: u32,
+    /// Way index within the set.
+    pub way: u8,
+}
+
+/// A dirty block that must be written back to the backing store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Writeback {
+    /// Block-aligned byte address.
+    pub addr: u64,
+    /// The block's data.
+    pub data: Vec<u8>,
+}
+
+/// Details of a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// Where the block lives.
+    pub block: BlockId,
+    /// Whether the block was dirty *before* this access.
+    pub was_dirty: bool,
+}
+
+/// Details of a miss. The victim way has already been evicted; the caller
+/// must fetch the block from the backing store, perform `writeback` if
+/// present, and then call [`Cache::fill`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissInfo {
+    /// The frame freed for the incoming block.
+    pub victim: BlockId,
+    /// Block-aligned address of the valid block that was evicted, if the
+    /// victim frame held one (clean or dirty).
+    pub evicted: Option<u64>,
+    /// Dirty victim content that must be written back, if any.
+    pub writeback: Option<Writeback>,
+}
+
+/// Result of [`Cache::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The block was present and powered.
+    Hit(HitInfo),
+    /// The block was absent (or its frame was gated).
+    Miss(MissInfo),
+}
+
+impl LookupOutcome {
+    /// True for [`LookupOutcome::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LookupOutcome::Hit(_))
+    }
+}
+
+/// Result of power-gating a block via [`Cache::gate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// The frame was already gated; nothing happened.
+    AlreadyGated,
+    /// The frame held no valid block; it is now gated and leak-free.
+    GatedInvalid,
+    /// A valid block was deactivated. If it was dirty, its content is
+    /// returned and the caller must write it back (paper Section V-A:
+    /// "dirty blocks require their write back before deactivation").
+    GatedValid {
+        /// Block-aligned address of the deactivated block.
+        addr: u64,
+        /// Dirty content to write back, `None` if the block was clean.
+        writeback: Option<Writeback>,
+    },
+}
+
+/// Read-only view of one way, used by predictors to choose gating victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayView {
+    /// The frame's identity.
+    pub block: BlockId,
+    /// Whether the frame holds a valid block.
+    pub valid: bool,
+    /// Whether that block is dirty.
+    pub dirty: bool,
+    /// Whether the frame is power-gated.
+    pub gated: bool,
+    /// Block-aligned address of the resident block (0 when invalid).
+    pub addr: u64,
+    /// Eviction rank: 0 = most protected, `ways-1` = next victim.
+    pub rank: u8,
+}
+
+/// Cache configuration: geometry plus replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Array shape.
+    pub geometry: CacheGeometry,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// The paper's data cache: 4 kB, 4-way, 16 B blocks, LRU.
+    pub fn paper_dcache() -> Self {
+        Self {
+            geometry: CacheGeometry::paper_dcache(),
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// The paper's instruction cache: 4 kB, 4-way, 16 B blocks, LRU.
+    pub fn paper_icache() -> Self {
+        Self {
+            geometry: CacheGeometry::paper_icache(),
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Replaces the replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Way {
+    tag: Option<u64>,
+    dirty: bool,
+    gated: bool,
+    data: Box<[u8]>,
+}
+
+impl Way {
+    fn new(block_bytes: usize) -> Self {
+        Self {
+            tag: None,
+            dirty: false,
+            gated: false,
+            data: vec![0u8; block_bytes].into_boxed_slice(),
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.tag = None;
+        self.dirty = false;
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Set {
+    ways: Vec<Way>,
+    policy: SetPolicyState,
+}
+
+/// A set-associative, write-back, write-allocate cache with per-block
+/// power gating. See the crate-level docs for the access protocol.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    shared: SharedPolicyState,
+    stats: CacheStats,
+    gated_count: u32,
+}
+
+impl Cache {
+    /// Creates a cold cache: every frame invalid but powered (leaking).
+    pub fn new(config: CacheConfig) -> Self {
+        let g = config.geometry;
+        let sets = (0..g.sets())
+            .map(|_| Set {
+                ways: (0..g.associativity)
+                    .map(|_| Way::new(g.block_bytes as usize))
+                    .collect(),
+                policy: SetPolicyState::new(config.policy, g.associativity as u8),
+            })
+            .collect();
+        Self {
+            config,
+            sets,
+            shared: SharedPolicyState::new(config.policy, g.sets()),
+            stats: CacheStats::default(),
+            gated_count: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.config.geometry.sets()
+    }
+
+    /// Number of ways per set.
+    pub fn ways(&self) -> u8 {
+        self.config.geometry.associativity as u8
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u32 {
+        self.config.geometry.block_bytes
+    }
+
+    /// Total number of frames.
+    pub fn blocks(&self) -> u32 {
+        self.config.geometry.blocks()
+    }
+
+    /// Number of powered (leaking) frames.
+    pub fn active_blocks(&self) -> u32 {
+        self.blocks() - self.gated_count
+    }
+
+    /// Number of power-gated frames.
+    pub fn gated_blocks(&self) -> u32 {
+        self.gated_count
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup) without touching cache state.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn split(&self, addr: u64) -> (u32, u64) {
+        let block_addr = addr / u64::from(self.config.geometry.block_bytes);
+        let set = (block_addr % u64::from(self.sets())) as u32;
+        let tag = block_addr / u64::from(self.sets());
+        (set, tag)
+    }
+
+    /// Block-aligned address for (set, tag).
+    fn block_addr(&self, set: u32, tag: u64) -> u64 {
+        (tag * u64::from(self.sets()) + u64::from(set)) * u64::from(self.block_bytes())
+    }
+
+    /// True if the set `addr` maps to has a frame that can accept a fill
+    /// without displacing a live block (an invalid or gated frame).
+    pub fn has_free_frame(&self, addr: u64) -> bool {
+        let (set, _) = self.split(addr);
+        self.sets[set as usize]
+            .ways
+            .iter()
+            .any(|w| w.gated || w.tag.is_none())
+    }
+
+    /// Probes for `addr` without touching replacement state or statistics.
+    pub fn contains(&self, addr: u64) -> Option<BlockId> {
+        let (set, tag) = self.split(addr);
+        self.sets[set as usize]
+            .ways
+            .iter()
+            .position(|w| !w.gated && w.tag == Some(tag))
+            .map(|way| BlockId {
+                set,
+                way: way as u8,
+            })
+    }
+
+    /// Performs an access. On a miss, the victim frame is evicted
+    /// immediately (its dirty content returned for write-back) and the
+    /// caller is expected to [`Cache::fill`] the requested block next.
+    pub fn lookup(&mut self, addr: u64, kind: AccessKind) -> LookupOutcome {
+        let (set_idx, tag) = self.split(addr);
+        let set = &mut self.sets[set_idx as usize];
+
+        if let Some(way_idx) = set
+            .ways
+            .iter()
+            .position(|w| !w.gated && w.tag == Some(tag))
+        {
+            let was_dirty = set.ways[way_idx].dirty;
+            if kind == AccessKind::Write {
+                set.ways[way_idx].dirty = true;
+            }
+            set.policy.on_hit(way_idx as u8);
+            self.stats.hits += 1;
+            return LookupOutcome::Hit(HitInfo {
+                block: BlockId {
+                    set: set_idx,
+                    way: way_idx as u8,
+                },
+                was_dirty,
+            });
+        }
+
+        // Miss path: update dueling stats, pick a victim, evict it.
+        self.stats.misses += 1;
+        set.policy.on_miss(set_idx, &mut self.shared);
+
+        // Prefer an invalid powered frame, then a gated frame, then the
+        // policy victim.
+        let victim_way = if let Some(w) = set
+            .ways
+            .iter()
+            .position(|w| !w.gated && w.tag.is_none())
+        {
+            w as u8
+        } else if let Some(w) = set.ways.iter().position(|w| w.gated) {
+            w as u8
+        } else {
+            set.policy.victim(&mut self.shared, self.config.geometry.associativity as u8)
+        };
+
+        let ways = &mut set.ways;
+        let victim = &mut ways[victim_way as usize];
+        let evicted = if victim.gated {
+            None
+        } else {
+            victim.tag.map(|tag| {
+                (tag * u64::from(self.config.geometry.sets()) + u64::from(set_idx))
+                    * u64::from(self.config.geometry.block_bytes)
+            })
+        };
+        let writeback = match evicted {
+            Some(addr) if victim.dirty => {
+                self.stats.writebacks += 1;
+                Some(Writeback {
+                    addr,
+                    data: victim.data.to_vec(),
+                })
+            }
+            _ => None,
+        };
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        victim.invalidate();
+
+        LookupOutcome::Miss(MissInfo {
+            victim: BlockId {
+                set: set_idx,
+                way: victim_way,
+            },
+            evicted,
+            writeback,
+        })
+    }
+
+    /// Installs a block (after the backing store supplied `data`), re-powering
+    /// the chosen frame if it was gated. `dirty` is true for write-allocate
+    /// fills. Returns where the block landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the block size.
+    pub fn fill(&mut self, addr: u64, data: &[u8], dirty: bool) -> BlockId {
+        assert_eq!(
+            data.len(),
+            self.block_bytes() as usize,
+            "fill data must be exactly one block"
+        );
+        let (set_idx, tag) = self.split(addr);
+        let ways = self.config.geometry.associativity as u8;
+        let set = &mut self.sets[set_idx as usize];
+
+        // Choose the frame: an invalid powered frame (the one lookup just
+        // evicted, typically), else a gated frame, else the policy victim.
+        let way_idx = if let Some(w) = set.ways.iter().position(|w| !w.gated && w.tag.is_none()) {
+            w as u8
+        } else if let Some(w) = set.ways.iter().position(|w| w.gated) {
+            w as u8
+        } else {
+            set.policy.victim(&mut self.shared, ways)
+        };
+
+        let way = &mut set.ways[way_idx as usize];
+        debug_assert!(
+            way.tag.is_none() || way.gated,
+            "fill must not silently clobber a live block; lookup evicts first"
+        );
+        if way.gated {
+            way.gated = false;
+            self.gated_count -= 1;
+            self.stats.ungates += 1;
+        }
+        way.tag = Some(tag);
+        way.dirty = dirty;
+        way.data.copy_from_slice(data);
+        set.policy.on_fill(way_idx, set_idx, &mut self.shared);
+        self.stats.fills += 1;
+
+        BlockId {
+            set: set_idx,
+            way: way_idx,
+        }
+    }
+
+    /// Reads the data of a resident block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is gated or invalid.
+    pub fn data(&self, block: BlockId) -> &[u8] {
+        let way = &self.sets[block.set as usize].ways[block.way as usize];
+        assert!(!way.gated && way.tag.is_some(), "data of a dead frame");
+        &way.data
+    }
+
+    /// Writes bytes into a resident block at `offset`, marking it dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is gated/invalid or the range is out of bounds.
+    pub fn write_data(&mut self, block: BlockId, offset: usize, bytes: &[u8]) {
+        let way = &mut self.sets[block.set as usize].ways[block.way as usize];
+        assert!(!way.gated && way.tag.is_some(), "write to a dead frame");
+        way.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        way.dirty = true;
+    }
+
+    /// Power-gates a frame (gate-Vdd). Content is lost; dirty content is
+    /// returned so the caller can write it back *first*.
+    pub fn gate(&mut self, block: BlockId) -> GateOutcome {
+        let set_idx = block.set;
+        let way = &mut self.sets[set_idx as usize].ways[block.way as usize];
+        if way.gated {
+            return GateOutcome::AlreadyGated;
+        }
+        way.gated = true;
+        self.gated_count += 1;
+        self.stats.gates += 1;
+        match way.tag.take() {
+            None => GateOutcome::GatedInvalid,
+            Some(tag) => {
+                let addr = (tag * u64::from(self.config.geometry.sets()) + u64::from(set_idx))
+                    * u64::from(self.config.geometry.block_bytes);
+                let writeback = if way.dirty {
+                    self.stats.writebacks += 1;
+                    Some(Writeback {
+                        addr,
+                        data: way.data.to_vec(),
+                    })
+                } else {
+                    None
+                };
+                way.dirty = false;
+                GateOutcome::GatedValid { addr, writeback }
+            }
+        }
+    }
+
+    /// Re-powers every gated frame without filling it (e.g. when a predictor
+    /// is reset). Frames come back invalid and leaking.
+    pub fn ungate_all(&mut self) {
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                if way.gated {
+                    way.gated = false;
+                    self.stats.ungates += 1;
+                }
+            }
+        }
+        self.gated_count = 0;
+    }
+
+    /// Models a power outage: every frame loses its content and comes back
+    /// powered (cold and leaking) at reboot. Returns the number of *valid*
+    /// blocks that were lost — the zombie-analysis input.
+    pub fn power_fail(&mut self) -> u32 {
+        let mut lost = 0;
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                if way.tag.is_some() {
+                    lost += 1;
+                }
+                way.invalidate();
+                way.gated = false;
+            }
+        }
+        self.gated_count = 0;
+        self.stats.power_failures += 1;
+        lost
+    }
+
+    /// Snapshot of every *valid, powered* dirty block, for JIT checkpointing.
+    pub fn dirty_blocks(&self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for way in &set.ways {
+                if !way.gated && way.dirty {
+                    if let Some(tag) = way.tag {
+                        out.push(Writeback {
+                            addr: self.block_addr(set_idx as u32, tag),
+                            data: way.data.to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshot of every *valid, powered* block (clean and dirty), for
+    /// whole-cache checkpointing schemes such as SDBP.
+    pub fn valid_blocks(&self) -> Vec<(u64, Vec<u8>, bool)> {
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for way in &set.ways {
+                if way.gated {
+                    continue;
+                }
+                if let Some(tag) = way.tag {
+                    out.push((
+                        self.block_addr(set_idx as u32, tag),
+                        way.data.to_vec(),
+                        way.dirty,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Views of every way in a set, annotated with eviction ranks — the
+    /// interface predictors use to pick gating victims.
+    pub fn set_view(&self, set: u32) -> Vec<WayView> {
+        let s = &self.sets[set as usize];
+        let ranks = s.policy.ranks(self.ways());
+        s.ways
+            .iter()
+            .enumerate()
+            .map(|(w, way)| WayView {
+                block: BlockId {
+                    set,
+                    way: w as u8,
+                },
+                valid: way.tag.is_some() && !way.gated,
+                dirty: way.dirty,
+                gated: way.gated,
+                addr: way
+                    .tag
+                    .map(|t| self.block_addr(set, t))
+                    .unwrap_or(0),
+                rank: ranks[w],
+            })
+            .collect()
+    }
+
+    /// Iterates over the addresses of all valid powered blocks.
+    pub fn resident_addrs(&self) -> Vec<u64> {
+        self.valid_blocks().into_iter().map(|(a, _, _)| a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 16 B = 128 B.
+        let g = CacheGeometry::new(128, 2, 16).expect("valid");
+        Cache::new(CacheConfig {
+            geometry: g,
+            policy: ReplacementPolicy::Lru,
+        })
+    }
+
+    const BLK: [u8; 16] = [0xAB; 16];
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.lookup(0x40, AccessKind::Read).is_hit());
+        c.fill(0x40, &BLK, false);
+        assert!(c.lookup(0x40, AccessKind::Read).is_hit());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn set_mapping_separates_conflicting_blocks() {
+        let c = small();
+        // 4 sets, 16 B blocks: 0x00 and 0x40 map to sets 0 and 0 (0x40/16=4, 4%4=0).
+        let (s0, t0) = c.split(0x00);
+        let (s1, t1) = c.split(0x40);
+        assert_eq!(s0, s1);
+        assert_ne!(t0, t1);
+        let (s2, _) = c.split(0x10);
+        assert_eq!(s2, 1);
+    }
+
+    #[test]
+    fn write_hit_dirties_block() {
+        let mut c = small();
+        c.lookup(0x40, AccessKind::Write);
+        c.fill(0x40, &BLK, true);
+        match c.lookup(0x40, AccessKind::Write) {
+            LookupOutcome::Hit(h) => assert!(h.was_dirty),
+            _ => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = small();
+        // Fill both ways of set 0, first one dirty.
+        c.lookup(0x00, AccessKind::Write);
+        c.fill(0x00, &BLK, true);
+        c.lookup(0x40, AccessKind::Read);
+        c.fill(0x40, &BLK, false);
+        // Third conflicting block evicts LRU (0x00, dirty).
+        match c.lookup(0x80, AccessKind::Read) {
+            LookupOutcome::Miss(m) => {
+                let wb = m.writeback.expect("dirty victim");
+                assert_eq!(wb.addr, 0x00);
+                assert_eq!(wb.data, BLK.to_vec());
+            }
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Read);
+        c.fill(0x00, &BLK, false);
+        c.lookup(0x40, AccessKind::Read);
+        c.fill(0x40, &BLK, false);
+        match c.lookup(0x80, AccessKind::Read) {
+            LookupOutcome::Miss(m) => assert!(m.writeback.is_none()),
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Read);
+        c.fill(0x00, &BLK, false);
+        c.lookup(0x40, AccessKind::Read);
+        c.fill(0x40, &BLK, false);
+        // Touch 0x00 so 0x40 becomes LRU.
+        c.lookup(0x00, AccessKind::Read);
+        c.lookup(0x80, AccessKind::Read);
+        c.fill(0x80, &BLK, false);
+        assert!(c.contains(0x00).is_some(), "MRU block survives");
+        assert!(c.contains(0x40).is_none(), "LRU block evicted");
+    }
+
+    #[test]
+    fn gate_clean_block_loses_content_silently() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Read);
+        c.fill(0x00, &BLK, false);
+        let id = c.contains(0x00).expect("resident");
+        match c.gate(id) {
+            GateOutcome::GatedValid { addr, writeback } => {
+                assert_eq!(addr, 0x00);
+                assert!(writeback.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.contains(0x00).is_none(), "gated block is gone");
+        assert_eq!(c.gated_blocks(), 1);
+        assert_eq!(c.active_blocks(), c.blocks() - 1);
+    }
+
+    #[test]
+    fn gate_dirty_block_returns_writeback() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Write);
+        c.fill(0x00, &BLK, true);
+        let id = c.contains(0x00).expect("resident");
+        match c.gate(id) {
+            GateOutcome::GatedValid { writeback, .. } => {
+                let wb = writeback.expect("dirty content must be written back");
+                assert_eq!(wb.addr, 0x00);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_is_idempotent() {
+        let mut c = small();
+        let id = BlockId { set: 0, way: 0 };
+        assert_eq!(c.gate(id), GateOutcome::GatedInvalid);
+        assert_eq!(c.gate(id), GateOutcome::AlreadyGated);
+        assert_eq!(c.gated_blocks(), 1);
+    }
+
+    #[test]
+    fn fill_repowers_gated_frame() {
+        let mut c = small();
+        c.gate(BlockId { set: 0, way: 0 });
+        c.gate(BlockId { set: 0, way: 1 });
+        assert_eq!(c.active_blocks(), c.blocks() - 2);
+        c.lookup(0x00, AccessKind::Read);
+        c.fill(0x00, &BLK, false);
+        assert_eq!(c.gated_blocks(), 1, "one frame re-powered by the fill");
+        assert!(c.contains(0x00).is_some());
+    }
+
+    #[test]
+    fn power_fail_clears_everything() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Write);
+        c.fill(0x00, &BLK, true);
+        c.gate(BlockId { set: 1, way: 0 });
+        let lost = c.power_fail();
+        assert_eq!(lost, 1);
+        assert_eq!(c.gated_blocks(), 0, "reboot re-powers all frames");
+        assert!(c.contains(0x00).is_none());
+        assert_eq!(c.stats().power_failures, 1);
+    }
+
+    #[test]
+    fn dirty_blocks_snapshot() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Write);
+        c.fill(0x00, &BLK, true);
+        c.lookup(0x10, AccessKind::Read);
+        c.fill(0x10, &BLK, false);
+        let dirty = c.dirty_blocks();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].addr, 0x00);
+        assert_eq!(c.valid_blocks().len(), 2);
+    }
+
+    #[test]
+    fn set_view_exposes_ranks_and_state() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Read);
+        c.fill(0x00, &BLK, false);
+        c.lookup(0x40, AccessKind::Write);
+        c.fill(0x40, &BLK, true);
+        let view = c.set_view(0);
+        assert_eq!(view.len(), 2);
+        let v0 = view.iter().find(|v| v.addr == 0x00).expect("present");
+        let v1 = view.iter().find(|v| v.addr == 0x40).expect("present");
+        assert!(v0.valid && !v0.dirty);
+        assert!(v1.valid && v1.dirty);
+        assert_eq!(v1.rank, 0, "most recent fill is MRU");
+        assert_eq!(v0.rank, 1);
+    }
+
+    #[test]
+    fn data_round_trip_and_write_data() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Read);
+        let id = c.fill(0x00, &BLK, false);
+        c.write_data(id, 4, &[1, 2, 3, 4]);
+        assert_eq!(&c.data(id)[4..8], &[1, 2, 3, 4]);
+        let dirty = c.dirty_blocks();
+        assert_eq!(dirty.len(), 1, "write_data dirties the block");
+    }
+
+    #[test]
+    fn gated_frame_tag_match_is_a_miss() {
+        let mut c = small();
+        c.lookup(0x00, AccessKind::Read);
+        c.fill(0x00, &BLK, false);
+        let id = c.contains(0x00).expect("resident");
+        c.gate(id);
+        assert!(!c.lookup(0x00, AccessKind::Read).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one block")]
+    fn fill_rejects_wrong_size() {
+        let mut c = small();
+        c.fill(0x00, &[0u8; 8], false);
+    }
+
+    #[test]
+    fn drrip_cache_works_end_to_end() {
+        let g = CacheGeometry::new(4096, 4, 16).expect("valid");
+        let mut c = Cache::new(CacheConfig {
+            geometry: g,
+            policy: ReplacementPolicy::Drrip,
+        });
+        let blk = [0u8; 16];
+        // Streaming pattern: DRRIP should not thrash everything.
+        for i in 0..4096u64 {
+            let addr = i * 16;
+            if !c.lookup(addr, AccessKind::Read).is_hit() {
+                c.fill(addr, &blk, false);
+            }
+        }
+        assert_eq!(c.stats().fills, 4096);
+    }
+}

@@ -1,0 +1,501 @@
+//! Replacement policies and their per-set state.
+//!
+//! Policies do double duty in this workspace: besides choosing victims they
+//! expose a per-way *eviction rank* ([`PolicyState::ranks`]) — 0 for the most
+//! protected (MRU-like) block up to `ways - 1` for the next victim — which is
+//! exactly the recency information EDBP piggybacks on (paper Section V-A).
+
+/// The cache replacement policies available to the simulator.
+///
+/// The paper evaluates LRU (default) and DRRIP (Fig. 10); FIFO and Random
+/// are provided for completeness and for stress-testing predictors against
+/// weaker recency signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used stack (the paper's default).
+    #[default]
+    Lru,
+    /// Tree-based pseudo-LRU — the "(pseudo) LRU" variant Section V-A names
+    /// as equally suitable for EDBP's recency source.
+    TreePlru,
+    /// Dynamic re-reference interval prediction (SRRIP/BRRIP set dueling).
+    Drrip,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random (deterministic LFSR).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::TreePlru => "tree-plru",
+            ReplacementPolicy::Drrip => "drrip",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::Random => "random",
+        }
+    }
+}
+
+/// Maximum re-reference prediction value (2-bit RRPV).
+const RRPV_MAX: u8 = 3;
+/// RRPV given to fresh SRRIP fills ("long re-reference interval").
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+/// BRRIP inserts at distant RRPV except once every `BRRIP_EPSILON` fills.
+const BRRIP_EPSILON: u32 = 32;
+/// 10-bit saturating policy-selection counter midpoint.
+const PSEL_MAX: u16 = 1023;
+
+/// Per-set replacement state, dispatched on the policy.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SetPolicyState {
+    /// Way indices ordered MRU → LRU.
+    Lru { order: Vec<u8> },
+    /// Tree-PLRU decision bits: node `i` has children `2i+1`/`2i+2`; a set
+    /// bit means "the cold (LRU-ish) side is the right child".
+    TreePlru { bits: Vec<bool>, ways: u8 },
+    /// Per-way RRPV values.
+    Drrip { rrpv: Vec<u8> },
+    /// Way indices ordered newest → oldest.
+    Fifo { order: Vec<u8> },
+    /// No per-way state; victims from the shared LFSR.
+    Random,
+}
+
+/// Cache-level shared policy state (set dueling, LFSR).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SharedPolicyState {
+    policy: ReplacementPolicy,
+    /// DRRIP policy-selection counter: < midpoint favours SRRIP.
+    psel: u16,
+    /// Fill counter used for BRRIP's epsilon insertions.
+    brrip_fills: u32,
+    /// Deterministic LFSR for the Random policy.
+    lfsr: u32,
+    /// Number of sets (for leader-set selection).
+    sets: u32,
+}
+
+impl SharedPolicyState {
+    pub(crate) fn new(policy: ReplacementPolicy, sets: u32) -> Self {
+        Self {
+            policy,
+            psel: PSEL_MAX / 2,
+            brrip_fills: 0,
+            lfsr: 0xACE1_u32,
+            sets,
+        }
+    }
+
+    fn next_random(&mut self) -> u32 {
+        // 32-bit xorshift; deterministic and cheap.
+        let mut x = self.lfsr;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.lfsr = x;
+        x
+    }
+
+    /// Leader-set role for DRRIP set dueling: every 32nd set leads SRRIP,
+    /// offset by 16 for BRRIP.
+    fn duel_role(&self, set: u32) -> DuelRole {
+        if self.sets < 64 {
+            // Small caches: sets 0/1 lead so dueling still functions.
+            if set == 0 {
+                return DuelRole::SrripLeader;
+            }
+            if set == 1 && self.sets > 1 {
+                return DuelRole::BrripLeader;
+            }
+            return DuelRole::Follower;
+        }
+        match set % 32 {
+            0 => DuelRole::SrripLeader,
+            16 => DuelRole::BrripLeader,
+            _ => DuelRole::Follower,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DuelRole {
+    SrripLeader,
+    BrripLeader,
+    Follower,
+}
+
+impl SetPolicyState {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: u8) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => SetPolicyState::Lru {
+                order: (0..ways).collect(),
+            },
+            ReplacementPolicy::TreePlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree-PLRU needs a power-of-two way count"
+                );
+                SetPolicyState::TreePlru {
+                    bits: vec![false; usize::from(ways).saturating_sub(1)],
+                    ways,
+                }
+            }
+            ReplacementPolicy::Drrip => SetPolicyState::Drrip {
+                rrpv: vec![RRPV_MAX; ways as usize],
+            },
+            ReplacementPolicy::Fifo => SetPolicyState::Fifo {
+                order: (0..ways).collect(),
+            },
+            ReplacementPolicy::Random => SetPolicyState::Random,
+        }
+    }
+
+    /// Records a hit on `way`.
+    pub(crate) fn on_hit(&mut self, way: u8) {
+        match self {
+            SetPolicyState::Lru { order } => promote(order, way),
+            SetPolicyState::TreePlru { bits, ways } => plru_touch(bits, *ways, way),
+            SetPolicyState::Drrip { rrpv } => rrpv[way as usize] = 0,
+            SetPolicyState::Fifo { .. } | SetPolicyState::Random => {}
+        }
+    }
+
+    /// Records a fill into `way` (after victim selection).
+    pub(crate) fn on_fill(&mut self, way: u8, set: u32, shared: &mut SharedPolicyState) {
+        match self {
+            SetPolicyState::Lru { order } => promote(order, way),
+            SetPolicyState::TreePlru { bits, ways } => plru_touch(bits, *ways, way),
+            SetPolicyState::Drrip { rrpv } => {
+                let use_brrip = match shared.duel_role(set) {
+                    DuelRole::SrripLeader => false,
+                    DuelRole::BrripLeader => true,
+                    DuelRole::Follower => shared.psel > PSEL_MAX / 2,
+                };
+                rrpv[way as usize] = if use_brrip {
+                    shared.brrip_fills = shared.brrip_fills.wrapping_add(1);
+                    if shared.brrip_fills.is_multiple_of(BRRIP_EPSILON) {
+                        RRPV_LONG
+                    } else {
+                        RRPV_MAX
+                    }
+                } else {
+                    RRPV_LONG
+                };
+            }
+            SetPolicyState::Fifo { order } => promote(order, way),
+            SetPolicyState::Random => {}
+        }
+    }
+
+    /// Records a miss in this set for DRRIP set dueling.
+    pub(crate) fn on_miss(&mut self, set: u32, shared: &mut SharedPolicyState) {
+        if matches!(self, SetPolicyState::Drrip { .. }) {
+            match shared.duel_role(set) {
+                // A miss in an SRRIP leader argues for BRRIP, and vice versa.
+                DuelRole::SrripLeader => shared.psel = (shared.psel + 1).min(PSEL_MAX),
+                DuelRole::BrripLeader => shared.psel = shared.psel.saturating_sub(1),
+                DuelRole::Follower => {}
+            }
+        }
+    }
+
+    /// Chooses a victim way among the occupied ways, assuming no invalid way
+    /// was available (the cache prefers invalid/gated ways first).
+    pub(crate) fn victim(&mut self, shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        match self {
+            SetPolicyState::Lru { order } | SetPolicyState::Fifo { order } => {
+                *order.last().expect("non-empty set")
+            }
+            SetPolicyState::TreePlru { bits, ways } => plru_victim(bits, *ways),
+            SetPolicyState::Drrip { rrpv } => loop {
+                if let Some(w) = rrpv.iter().position(|&r| r >= RRPV_MAX) {
+                    break w as u8;
+                }
+                for r in rrpv.iter_mut() {
+                    *r += 1;
+                }
+            },
+            SetPolicyState::Random => (shared.next_random() % u32::from(ways)) as u8,
+        }
+    }
+
+    /// Eviction rank per way: 0 = most protected (MRU-like), `ways-1` = next
+    /// victim. This is the recency signal EDBP reads (Section V-A).
+    pub(crate) fn ranks(&self, ways: u8) -> Vec<u8> {
+        match self {
+            SetPolicyState::Lru { order } | SetPolicyState::Fifo { order } => {
+                let mut ranks = vec![0u8; ways as usize];
+                for (pos, &way) in order.iter().enumerate() {
+                    ranks[way as usize] = pos as u8;
+                }
+                ranks
+            }
+            SetPolicyState::TreePlru { bits, ways } => {
+                // Rank by "how many decision bits point away from the way":
+                // follow the path to each leaf counting agreements; the
+                // victim (all bits pointing at it) ranks last. Ties broken
+                // by way index for determinism.
+                let n = *ways;
+                let mut idx: Vec<u8> = (0..n).collect();
+                idx.sort_by_key(|&w| (plru_coldness(bits, n, w), w));
+                let mut ranks = vec![0u8; n as usize];
+                for (pos, &way) in idx.iter().enumerate() {
+                    ranks[way as usize] = pos as u8;
+                }
+                ranks
+            }
+            SetPolicyState::Drrip { rrpv } => {
+                // Sort ways by RRPV ascending (low RRPV = soon re-referenced =
+                // protected), tie-broken by way index for determinism.
+                let mut idx: Vec<u8> = (0..ways).collect();
+                idx.sort_by_key(|&w| (rrpv[w as usize], w));
+                let mut ranks = vec![0u8; ways as usize];
+                for (pos, &way) in idx.iter().enumerate() {
+                    ranks[way as usize] = pos as u8;
+                }
+                ranks
+            }
+            SetPolicyState::Random => (0..ways).collect(),
+        }
+    }
+}
+
+/// Tree-PLRU: point every decision bit on the path to `way` *away* from it.
+fn plru_touch(bits: &mut [bool], ways: u8, way: u8) {
+    let mut node = 0usize;
+    let mut lo = 0u8;
+    let mut hi = ways;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let go_right = way >= mid;
+        // Bit true = cold side is right; touching the right child points
+        // the bit left (false), and vice versa.
+        bits[node] = !go_right;
+        node = 2 * node + if go_right { 2 } else { 1 };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+}
+
+/// Tree-PLRU: follow the cold side of every decision bit to the victim.
+fn plru_victim(bits: &[bool], ways: u8) -> u8 {
+    let mut node = 0usize;
+    let mut lo = 0u8;
+    let mut hi = ways;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let go_right = bits[node];
+        node = 2 * node + if go_right { 2 } else { 1 };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// How many decision bits on the path to `way` point *towards* it (higher =
+/// colder = closer to eviction).
+fn plru_coldness(bits: &[bool], ways: u8, way: u8) -> u8 {
+    let mut node = 0usize;
+    let mut lo = 0u8;
+    let mut hi = ways;
+    let mut coldness = 0u8;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let go_right = way >= mid;
+        if bits[node] == go_right {
+            coldness += 1;
+        }
+        node = 2 * node + if go_right { 2 } else { 1 };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    coldness
+}
+
+/// Moves `way` to the front (MRU/newest position) of an order vector.
+fn promote(order: &mut [u8], way: u8) {
+    if let Some(pos) = order.iter().position(|&w| w == way) {
+        order[..=pos].rotate_right(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_moves_to_front() {
+        let mut order = vec![0u8, 1, 2, 3];
+        promote(&mut order, 2);
+        assert_eq!(order, vec![2, 0, 1, 3]);
+        promote(&mut order, 2);
+        assert_eq!(order, vec![2, 0, 1, 3]);
+        promote(&mut order, 3);
+        assert_eq!(order, vec![3, 2, 0, 1]);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Lru, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Lru, 4);
+        for w in [0u8, 1, 2, 3] {
+            set.on_fill(w, 0, &mut shared);
+        }
+        set.on_hit(0);
+        // Order now 0,3,2,1 → victim 1.
+        assert_eq!(set.victim(&mut shared, 4), 1);
+    }
+
+    #[test]
+    fn lru_ranks_match_stack_positions() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Lru, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Lru, 4);
+        for w in [0u8, 1, 2, 3] {
+            set.on_fill(w, 0, &mut shared);
+        }
+        // MRU→LRU: 3,2,1,0.
+        assert_eq!(set.ranks(4), vec![3, 2, 1, 0]);
+        set.on_hit(0);
+        assert_eq!(set.ranks(4), vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn drrip_hit_promotes_to_rrpv_zero() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Drrip, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Drrip, 4);
+        set.on_fill(1, 5, &mut shared);
+        set.on_hit(1);
+        let ranks = set.ranks(4);
+        assert_eq!(ranks[1], 0, "hit block should be most protected");
+    }
+
+    #[test]
+    fn drrip_victim_prefers_max_rrpv() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Drrip, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Drrip, 4);
+        // All start at RRPV_MAX; fill way 0 (gets RRPV_LONG in SRRIP leader).
+        set.on_fill(0, 0, &mut shared);
+        let v = set.victim(&mut shared, 4);
+        assert_ne!(v, 0, "freshly filled way should not be the victim");
+    }
+
+    #[test]
+    fn drrip_aging_terminates() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Drrip, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Drrip, 4);
+        for w in 0..4 {
+            set.on_fill(w, 0, &mut shared);
+            set.on_hit(w); // all at RRPV 0
+        }
+        let _ = set.victim(&mut shared, 4); // must age until a victim appears
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Fifo, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Fifo, 4);
+        for w in [0u8, 1, 2, 3] {
+            set.on_fill(w, 0, &mut shared);
+        }
+        set.on_hit(0); // should NOT rescue way 0
+        assert_eq!(set.victim(&mut shared, 4), 0);
+    }
+
+    #[test]
+    fn random_victim_in_range_and_deterministic() {
+        let mut a = SharedPolicyState::new(ReplacementPolicy::Random, 64);
+        let mut b = SharedPolicyState::new(ReplacementPolicy::Random, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Random, 4);
+        for _ in 0..100 {
+            let va = set.victim(&mut a, 4);
+            let vb = set.victim(&mut b, 4);
+            assert!(va < 4);
+            assert_eq!(va, vb, "same seed must give same victims");
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Drrip,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let mut shared = SharedPolicyState::new(policy, 64);
+            let mut set = SetPolicyState::new(policy, 4);
+            for w in [0u8, 2, 1, 3, 2, 0] {
+                set.on_fill(w, 0, &mut shared);
+            }
+            let mut ranks = set.ranks(4);
+            ranks.sort_unstable();
+            assert_eq!(ranks, vec![0, 1, 2, 3], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ReplacementPolicy::Lru.name(), "lru");
+        assert_eq!(ReplacementPolicy::Drrip.name(), "drrip");
+        assert_eq!(ReplacementPolicy::TreePlru.name(), "tree-plru");
+    }
+
+    #[test]
+    fn plru_victim_is_never_the_last_touched_way() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::TreePlru, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::TreePlru, 4);
+        for w in [0u8, 1, 2, 3, 1, 0, 2] {
+            set.on_hit(w);
+            assert_ne!(set.victim(&mut shared, 4), w, "victim after touching {w}");
+        }
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways_under_round_robin_fills() {
+        // Repeatedly filling the victim must visit every way (no starvation).
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::TreePlru, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::TreePlru, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let v = set.victim(&mut shared, 4);
+            seen.insert(v);
+            set.on_fill(v, 0, &mut shared);
+        }
+        assert_eq!(seen.len(), 4, "PLRU must not starve any way: {seen:?}");
+    }
+
+    #[test]
+    fn plru_ranks_put_victim_last() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::TreePlru, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::TreePlru, 4);
+        for w in [0u8, 1, 2, 3, 0, 1] {
+            set.on_hit(w);
+        }
+        let ranks = set.ranks(4);
+        let victim = set.victim(&mut shared, 4);
+        assert_eq!(
+            ranks[victim as usize],
+            3,
+            "the PLRU victim must hold the worst rank (ranks {ranks:?}, victim {victim})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_power_of_two_ways() {
+        let _ = SetPolicyState::new(ReplacementPolicy::TreePlru, 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cache access statistics.
+
+/// Counters accumulated by a [`crate::Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that found a powered, valid block.
+    pub hits: u64,
+    /// Accesses that did not.
+    pub misses: u64,
+    /// Blocks installed by [`crate::Cache::fill`].
+    pub fills: u64,
+    /// Valid blocks displaced (by misses).
+    pub evictions: u64,
+    /// Dirty blocks pushed to the backing store (evictions + gatings).
+    pub writebacks: u64,
+    /// Frames power-gated.
+    pub gates: u64,
+    /// Frames re-powered (fills into gated frames or explicit ungating).
+    pub ungates: u64,
+    /// Power outages endured.
+    pub power_failures: u64,
+}
+
+impl CacheStats {
+    /// Total accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_computes_ratio() {
+        let s = CacheStats {
+            hits: 75,
+            misses: 25,
+            ..CacheStats::default()
+        };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.accesses(), 100);
+    }
+}

@@ -1,0 +1,182 @@
+//! Model-based property tests: the cache against a trivially-correct
+//! reference model, under random mixes of accesses, gating, and power
+//! failures.
+
+use ehs_cache::{AccessKind, Cache, CacheConfig, CacheGeometry, LookupOutcome, ReplacementPolicy};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations thrown at the cache.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    Gate { set: u32, way: u8 },
+    PowerFail,
+}
+
+fn op_strategy(sets: u32, ways: u8) -> impl Strategy<Value = Op> {
+    // A handful of conflicting block addresses per set keeps pressure high.
+    let addr = (0u64..64).prop_map(|i| i * 16);
+    prop_oneof![
+        4 => addr.clone().prop_map(Op::Read),
+        3 => addr.prop_map(Op::Write),
+        2 => (0..sets, 0..ways).prop_map(|(set, way)| Op::Gate { set, way }),
+        1 => Just(Op::PowerFail),
+    ]
+}
+
+/// Reference model: a map from block address to dirty flag, with LRU
+/// modelled implicitly (we only check membership-consistency properties
+/// that hold for any replacement policy, plus the counters).
+#[derive(Default)]
+struct Reference {
+    dirty: HashMap<u64, bool>,
+}
+
+fn small_cache(policy: ReplacementPolicy) -> Cache {
+    let geometry = CacheGeometry::new(256, 2, 16).expect("valid");
+    Cache::new(CacheConfig { geometry, policy })
+}
+
+fn check_invariants(cache: &Cache, reference: &Reference) {
+    // 1. Gated + active partition the frames.
+    assert_eq!(cache.active_blocks() + cache.gated_blocks(), cache.blocks());
+    // 2. Every resident dirty block agrees with the reference dirty flag.
+    for wb in cache.dirty_blocks() {
+        assert_eq!(
+            reference.dirty.get(&wb.addr),
+            Some(&true),
+            "cache says {:#x} is dirty, reference disagrees",
+            wb.addr
+        );
+    }
+    // 3. valid_blocks and contains agree.
+    for (addr, _, _) in cache.valid_blocks() {
+        assert!(cache.contains(addr).is_some());
+    }
+    // 4. Ranks in every set are a permutation of 0..ways.
+    for set in 0..cache.sets() {
+        let mut ranks: Vec<u8> = cache.set_view(set).iter().map(|v| v.rank).collect();
+        ranks.sort_unstable();
+        let expect: Vec<u8> = (0..cache.ways()).collect();
+        assert_eq!(ranks, expect);
+    }
+}
+
+fn run_ops(policy: ReplacementPolicy, ops: &[Op]) {
+    let mut cache = small_cache(policy);
+    let mut reference = Reference::default();
+    let block = [0u8; 16];
+    for op in ops {
+        match op {
+            Op::Read(addr) => {
+                if let LookupOutcome::Miss(miss) = cache.lookup(*addr, AccessKind::Read) {
+                    if let Some(ev) = miss.evicted {
+                        // Evicted blocks are clean in memory afterwards.
+                        reference.dirty.insert(ev, false);
+                    }
+                    cache.fill(*addr, &block, false);
+                    reference.dirty.insert(*addr, false);
+                }
+            }
+            Op::Write(addr) => {
+                if let LookupOutcome::Miss(miss) = cache.lookup(*addr, AccessKind::Write) {
+                    if let Some(ev) = miss.evicted {
+                        reference.dirty.insert(ev, false);
+                    }
+                    cache.fill(*addr, &block, true);
+                }
+                reference.dirty.insert(*addr, true);
+            }
+            Op::Gate { set, way } => {
+                use ehs_cache::GateOutcome;
+                let id = ehs_cache::BlockId {
+                    set: *set,
+                    way: *way,
+                };
+                if let GateOutcome::GatedValid { addr, .. } = cache.gate(id) {
+                    // Gated content is written back conceptually: clean now.
+                    reference.dirty.insert(addr, false);
+                    assert!(cache.contains(addr).is_none(), "gated block still visible");
+                }
+            }
+            Op::PowerFail => {
+                cache.power_fail();
+                for flag in reference.dirty.values_mut() {
+                    *flag = false; // baseline semantics: contents gone
+                }
+                assert_eq!(cache.gated_blocks(), 0, "reboot re-powers frames");
+                assert!(cache.valid_blocks().is_empty(), "reboot leaves no data");
+            }
+        }
+        check_invariants(&cache, &reference);
+    }
+    // Accounting sanity at the end.
+    let stats = cache.stats();
+    assert_eq!(stats.accesses(), stats.hits + stats.misses);
+    assert!(stats.fills <= stats.misses, "write-allocate fills only on miss");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_cache_maintains_invariants(ops in proptest::collection::vec(op_strategy(8, 2), 1..300)) {
+        run_ops(ReplacementPolicy::Lru, &ops);
+    }
+
+    #[test]
+    fn drrip_cache_maintains_invariants(ops in proptest::collection::vec(op_strategy(8, 2), 1..300)) {
+        run_ops(ReplacementPolicy::Drrip, &ops);
+    }
+
+    #[test]
+    fn fifo_cache_maintains_invariants(ops in proptest::collection::vec(op_strategy(8, 2), 1..300)) {
+        run_ops(ReplacementPolicy::Fifo, &ops);
+    }
+
+    #[test]
+    fn data_round_trips_for_resident_blocks(
+        writes in proptest::collection::vec((0u64..32, any::<u32>()), 1..64)
+    ) {
+        // Last-writer-wins for whatever is still resident.
+        let mut cache = small_cache(ReplacementPolicy::Lru);
+        let mut expected: HashMap<u64, u32> = HashMap::new();
+        for (slot, value) in writes {
+            let addr = slot * 16;
+            if let LookupOutcome::Miss(_) = cache.lookup(addr, AccessKind::Write) {
+                cache.fill(addr, &[0u8; 16], true);
+            }
+            let frame = cache.contains(addr).expect("just filled");
+            cache.write_data(frame, 0, &value.to_le_bytes());
+            expected.insert(addr, value);
+        }
+        for (addr, value) in expected {
+            if let Some(frame) = cache.contains(addr) {
+                let data = cache.data(frame);
+                let got = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+                prop_assert_eq!(got, value, "resident block lost its data");
+            }
+        }
+    }
+
+    #[test]
+    fn lru_never_evicts_the_most_recent_block(
+        addrs in proptest::collection::vec(0u64..16, 2..100)
+    ) {
+        // Single-set cache: after any access sequence, the most recently
+        // accessed address must still be resident.
+        let geometry = CacheGeometry::new(64, 4, 16).expect("valid"); // 1 set
+        let mut cache = Cache::new(CacheConfig { geometry, policy: ReplacementPolicy::Lru });
+        let mut last = None;
+        for slot in addrs {
+            let addr = slot * 16;
+            if !cache.lookup(addr, AccessKind::Read).is_hit() {
+                cache.fill(addr, &[0u8; 16], false);
+            }
+            last = Some(addr);
+        }
+        prop_assert!(cache.contains(last.expect("non-empty")).is_some());
+    }
+}

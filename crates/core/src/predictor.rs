@@ -1,0 +1,263 @@
+//! The predictor trait and composition utilities.
+
+use ehs_cache::{BlockId, Cache, Writeback};
+use ehs_units::Voltage;
+use std::fmt;
+
+/// A block a predictor just power-gated, as reported to the simulator (for
+/// energy charging) and the [`crate::PredictionLedger`] (for accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatedBlock {
+    /// Block-aligned address of the deactivated block.
+    pub addr: u64,
+    /// Whether it was dirty (and therefore written back first).
+    pub dirty: bool,
+}
+
+/// Everything a predictor did during one [`LeakagePredictor::tick`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Valid blocks that were deactivated.
+    pub gated: Vec<GatedBlock>,
+    /// Dirty content to be written back to main memory (the conventional
+    /// predictors' discipline; the simulator charges an NVM write for each).
+    pub writebacks: Vec<Writeback>,
+    /// Dirty content *parked* in its nonvolatile NVSRAM twin instead of
+    /// written to memory (EDBP's discipline on an NVSRAM platform): the
+    /// simulator charges an in-place save, recalls the block cheaply if it
+    /// is re-referenced, and restores it at reboot like any checkpointed
+    /// block. See `DESIGN.md` §5.
+    pub parked: Vec<Writeback>,
+}
+
+impl TickOutcome {
+    /// Merges another outcome into this one.
+    pub fn absorb(&mut self, other: TickOutcome) {
+        self.gated.extend(other.gated);
+        self.writebacks.extend(other.writebacks);
+        self.parked.extend(other.parked);
+    }
+}
+
+/// A cache-leakage predictor: observes the access stream and periodically
+/// power-gates frames it believes are dead (conventional predictors) or
+/// zombie (EDBP).
+///
+/// The full-system simulator calls the `on_*` hooks as events happen and
+/// [`LeakagePredictor::tick`] once per simulation step. Implementations must
+/// be deterministic.
+pub trait LeakagePredictor: fmt::Debug + Send {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// A lookup hit `addr` at `block`.
+    fn on_hit(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        let _ = (cache, block, addr);
+    }
+
+    /// A lookup missed on `addr` (before the fill happens).
+    fn on_miss(&mut self, addr: u64) {
+        let _ = addr;
+    }
+
+    /// A block for `addr` was installed at `block`.
+    fn on_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        let _ = (cache, block, addr);
+    }
+
+    /// A block for `addr` was restored from the checkpoint at reboot.
+    /// Defaults to [`LeakagePredictor::on_fill`]; only predictors that key
+    /// on fill origin (the oracle) need to distinguish.
+    fn on_restore_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        self.on_fill(cache, block, addr);
+    }
+
+    /// A valid block for `addr` was evicted by a miss.
+    fn on_evict(&mut self, addr: u64) {
+        let _ = addr;
+    }
+
+    /// Periodic decision point: observe the voltage and cycle count, gate
+    /// whatever should die. Called once per simulated step.
+    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64) -> TickOutcome;
+
+    /// The JIT checkpoint is about to be taken (power failure imminent).
+    fn on_checkpoint(&mut self, cache: &Cache) {
+        let _ = cache;
+    }
+
+    /// The system rebooted after an outage (volatile state was lost).
+    fn on_reboot(&mut self, cache: &Cache) {
+        let _ = cache;
+    }
+}
+
+/// The no-op predictor: the paper's baseline keeps every block powered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPredictor;
+
+impl NullPredictor {
+    /// Creates the no-op predictor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl LeakagePredictor for NullPredictor {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn tick(&mut self, _cache: &mut Cache, _voltage: Voltage, _cycle: u64) -> TickOutcome {
+        TickOutcome::default()
+    }
+}
+
+/// Runs several predictors side by side — the paper's headline configuration
+/// is `CombinedPredictor` of Cache Decay and EDBP (Section VI).
+///
+/// Events fan out to every member; ticks run in registration order, so a
+/// block gated by an earlier member is simply absent when later members look.
+#[derive(Debug)]
+pub struct CombinedPredictor {
+    members: Vec<Box<dyn LeakagePredictor>>,
+}
+
+impl CombinedPredictor {
+    /// Creates a combination of predictors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn LeakagePredictor>>) -> Self {
+        assert!(!members.is_empty(), "combination needs at least one member");
+        Self { members }
+    }
+
+    /// Number of member predictors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false; construction rejects empty combinations.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl LeakagePredictor for CombinedPredictor {
+    fn name(&self) -> &'static str {
+        "combined"
+    }
+
+    fn on_hit(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        for m in &mut self.members {
+            m.on_hit(cache, block, addr);
+        }
+    }
+
+    fn on_miss(&mut self, addr: u64) {
+        for m in &mut self.members {
+            m.on_miss(addr);
+        }
+    }
+
+    fn on_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        for m in &mut self.members {
+            m.on_fill(cache, block, addr);
+        }
+    }
+
+    fn on_restore_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        for m in &mut self.members {
+            m.on_restore_fill(cache, block, addr);
+        }
+    }
+
+    fn on_evict(&mut self, addr: u64) {
+        for m in &mut self.members {
+            m.on_evict(addr);
+        }
+    }
+
+    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        for m in &mut self.members {
+            out.absorb(m.tick(cache, voltage, cycle));
+        }
+        out
+    }
+
+    fn on_checkpoint(&mut self, cache: &Cache) {
+        for m in &mut self.members {
+            m.on_checkpoint(cache);
+        }
+    }
+
+    fn on_reboot(&mut self, cache: &Cache) {
+        for m in &mut self.members {
+            m.on_reboot(cache);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehs_cache::CacheConfig;
+
+    #[test]
+    fn null_predictor_never_gates() {
+        let mut cache = Cache::new(CacheConfig::paper_dcache());
+        let mut p = NullPredictor::new();
+        let out = p.tick(&mut cache, Voltage::from_volts(2.9), 123);
+        assert!(out.gated.is_empty());
+        assert!(out.writebacks.is_empty());
+        assert_eq!(cache.gated_blocks(), 0);
+    }
+
+    #[test]
+    fn combined_fans_out_ticks() {
+        let mut cache = Cache::new(CacheConfig::paper_dcache());
+        let mut c = CombinedPredictor::new(vec![
+            Box::new(NullPredictor::new()),
+            Box::new(NullPredictor::new()),
+        ]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        let out = c.tick(&mut cache, Voltage::from_volts(3.5), 0);
+        assert_eq!(out, TickOutcome::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn combined_rejects_empty() {
+        let _ = CombinedPredictor::new(vec![]);
+    }
+
+    #[test]
+    fn tick_outcome_absorb_concatenates() {
+        let mut a = TickOutcome {
+            gated: vec![GatedBlock {
+                addr: 0x10,
+                dirty: false,
+            }],
+            writebacks: vec![],
+            parked: vec![],
+        };
+        let b = TickOutcome {
+            gated: vec![GatedBlock {
+                addr: 0x20,
+                dirty: true,
+            }],
+            parked: vec![],
+            writebacks: vec![Writeback {
+                addr: 0x20,
+                data: vec![0; 16],
+            }],
+        };
+        a.absorb(b);
+        assert_eq!(a.gated.len(), 2);
+        assert_eq!(a.writebacks.len(), 1);
+    }
+}

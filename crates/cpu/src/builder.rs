@@ -1,0 +1,256 @@
+//! An assembler-style builder for mini-RISC programs with label fix-ups.
+
+use crate::isa::{Instruction, Program, Reg};
+
+/// A branch target. Backward labels come from [`ProgramBuilder::label_here`];
+/// forward labels from [`ProgramBuilder::forward_label`] +
+/// [`ProgramBuilder::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builds [`Program`]s instruction by instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_cpu::{ProgramBuilder, Reg};
+///
+/// // Count r1 down from 3 to 0.
+/// let mut b = ProgramBuilder::new("countdown");
+/// b.li(Reg::R1, 3);
+/// b.li(Reg::R2, 0);
+/// let top = b.label_here();
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.bne(Reg::R1, Reg::R2, top);
+/// b.halt();
+/// let program = b.build();
+/// assert_eq!(program.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    instructions: Vec<Instruction>,
+    /// Forward-label targets: `labels[i]` is `Some(pc)` once placed.
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting fix-up.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            instructions: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Current instruction count (the pc the next instruction will get).
+    pub fn here(&self) -> u32 {
+        self.instructions.len() as u32
+    }
+
+    /// A label bound to the current position (for backward branches).
+    pub fn label_here(&mut self) -> Label {
+        let id = self.labels.len();
+        self.labels.push(Some(self.here()));
+        Label(id)
+    }
+
+    /// Declares a label to be placed later (for forward branches).
+    pub fn forward_label(&mut self) -> Label {
+        let id = self.labels.len();
+        self.labels.push(None);
+        Label(id)
+    }
+
+    /// Binds a forward label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label placed twice"
+        );
+        self.labels[label.0] = Some(self.here());
+    }
+
+    fn push(&mut self, i: Instruction) {
+        self.instructions.push(i);
+    }
+
+    fn push_branch(&mut self, label: Label, make: impl FnOnce(u32) -> Instruction) {
+        match self.labels[label.0] {
+            Some(target) => self.push(make(target)),
+            None => {
+                self.fixups.push((self.instructions.len(), label.0));
+                // Placeholder target 0, patched in build().
+                self.push(make(0));
+            }
+        }
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: u32) {
+        self.push(Instruction::Li(rd, imm));
+    }
+
+    /// `rd = rs + imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.push(Instruction::Addi(rd, rs, imm));
+    }
+
+    /// `rd = a + b`
+    pub fn add(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Instruction::Add(rd, a, b));
+    }
+
+    /// `rd = a - b`
+    pub fn sub(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Instruction::Sub(rd, a, b));
+    }
+
+    /// `rd = a * b`
+    pub fn mul(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Instruction::Mul(rd, a, b));
+    }
+
+    /// `rd = a ^ b`
+    pub fn xor(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Instruction::Xor(rd, a, b));
+    }
+
+    /// `rd = a & b`
+    pub fn and(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Instruction::And(rd, a, b));
+    }
+
+    /// `rd = a | b`
+    pub fn or(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Instruction::Or(rd, a, b));
+    }
+
+    /// `rd = rs << amt`
+    pub fn shl(&mut self, rd: Reg, rs: Reg, amt: u8) {
+        self.push(Instruction::Shl(rd, rs, amt));
+    }
+
+    /// `rd = rs >> amt`
+    pub fn shr(&mut self, rd: Reg, rs: Reg, amt: u8) {
+        self.push(Instruction::Shr(rd, rs, amt));
+    }
+
+    /// `rd = [base + offset]`
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Instruction::Load(rd, base, offset));
+    }
+
+    /// `[base + offset] = src`
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.push(Instruction::Store(src, base, offset));
+    }
+
+    /// `if a != b goto label`
+    pub fn bne(&mut self, a: Reg, b: Reg, label: Label) {
+        self.push_branch(label, |t| Instruction::Bne(a, b, t));
+    }
+
+    /// `if a == b goto label`
+    pub fn beq(&mut self, a: Reg, b: Reg, label: Label) {
+        self.push_branch(label, |t| Instruction::Beq(a, b, t));
+    }
+
+    /// `if a < b goto label` (unsigned)
+    pub fn blt(&mut self, a: Reg, b: Reg, label: Label) {
+        self.push_branch(label, |t| Instruction::Blt(a, b, t));
+    }
+
+    /// `goto label`
+    pub fn jmp(&mut self, label: Label) {
+        self.push_branch(label, Instruction::Jmp);
+    }
+
+    /// Stop.
+    pub fn halt(&mut self) {
+        self.push(Instruction::Halt);
+    }
+
+    /// Finishes the program with code base 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any forward label was never placed.
+    pub fn build(self) -> Program {
+        self.build_at(0)
+    }
+
+    /// Finishes the program at a given code base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any forward label was never placed.
+    pub fn build_at(mut self, code_base: u32) -> Program {
+        for (idx, label) in self.fixups.drain(..) {
+            let target = self.labels[label].unwrap_or_else(|| panic!("label {label} never placed"));
+            let patched = match self.instructions[idx] {
+                Instruction::Bne(a, b, _) => Instruction::Bne(a, b, target),
+                Instruction::Beq(a, b, _) => Instruction::Beq(a, b, target),
+                Instruction::Blt(a, b, _) => Instruction::Blt(a, b, target),
+                Instruction::Jmp(_) => Instruction::Jmp(target),
+                other => unreachable!("fixup on non-branch {other:?}"),
+            };
+            self.instructions[idx] = patched;
+        }
+        Program::new(self.name, self.instructions, code_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut b = ProgramBuilder::new("f");
+        let skip = b.forward_label();
+        b.jmp(skip);
+        b.li(Reg::R1, 1); // skipped
+        b.place(skip);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(0), Instruction::Jmp(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_label_panics_at_build() {
+        let mut b = ProgramBuilder::new("f");
+        let l = b.forward_label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_place_panics() {
+        let mut b = ProgramBuilder::new("f");
+        let l = b.forward_label();
+        b.place(l);
+        b.place(l);
+    }
+
+    #[test]
+    fn backward_label_points_where_it_was_taken() {
+        let mut b = ProgramBuilder::new("b");
+        b.li(Reg::R1, 0);
+        let top = b.label_here();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.jmp(top);
+        let p = b.build();
+        assert_eq!(p.fetch(2), Instruction::Jmp(1));
+    }
+}

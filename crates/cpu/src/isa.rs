@@ -1,0 +1,237 @@
+//! The mini-RISC instruction set.
+
+use std::fmt;
+
+/// One of the sixteen general-purpose 32-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The register's index, 0..16.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// A mini-RISC instruction. All ALU operations take one cycle; loads and
+/// stores additionally pay the memory hierarchy's price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `rd = imm`
+    Li(Reg, u32),
+    /// `rd = rs + imm` (wrapping)
+    Addi(Reg, Reg, i32),
+    /// `rd = rs1 + rs2` (wrapping)
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2` (wrapping)
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs << amount` (amount masked to 0..32)
+    Shl(Reg, Reg, u8),
+    /// `rd = rs >> amount` (logical, amount masked to 0..32)
+    Shr(Reg, Reg, u8),
+    /// `rd = word at [rs + offset]`
+    Load(Reg, Reg, i32),
+    /// `word at [rbase + offset] = rsrc`
+    Store(Reg, Reg, i32),
+    /// `if rs1 != rs2 { pc = target }`
+    Bne(Reg, Reg, u32),
+    /// `if rs1 == rs2 { pc = target }`
+    Beq(Reg, Reg, u32),
+    /// `if rs1 < rs2 (unsigned) { pc = target }`
+    Blt(Reg, Reg, u32),
+    /// `pc = target`
+    Jmp(u32),
+    /// Stop execution.
+    Halt,
+}
+
+impl Instruction {
+    /// True for loads and stores.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instruction::Load(..) | Instruction::Store(..))
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instruction::Load(..))
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instruction::Store(..))
+    }
+}
+
+/// An executable program: a name, the instruction sequence, and the byte
+/// address its code is fetched from (for the instruction cache).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    instructions: Vec<Instruction>,
+    code_base: u32,
+}
+
+/// Bytes per encoded instruction (fixed 32-bit encoding, as on ARM).
+pub(crate) const INSTRUCTION_BYTES: u32 = 4;
+
+impl Program {
+    /// Creates a program from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is empty or a branch target is out of range.
+    pub fn new(name: impl Into<String>, instructions: Vec<Instruction>, code_base: u32) -> Self {
+        assert!(!instructions.is_empty(), "program cannot be empty");
+        let len = instructions.len() as u32;
+        for (pc, instr) in instructions.iter().enumerate() {
+            let target = match instr {
+                Instruction::Bne(_, _, t)
+                | Instruction::Beq(_, _, t)
+                | Instruction::Blt(_, _, t)
+                | Instruction::Jmp(t) => Some(*t),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(t < len, "instruction {pc}: branch target {t} out of range");
+            }
+        }
+        Self {
+            name: name.into(),
+            instructions,
+            code_base,
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Always false; construction rejects empty programs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Instruction {
+        self.instructions[pc as usize]
+    }
+
+    /// Byte address of the instruction at `pc`, for the instruction cache.
+    #[inline]
+    pub fn fetch_addr(&self, pc: u32) -> u32 {
+        self.code_base + pc * INSTRUCTION_BYTES
+    }
+
+    /// The full instruction listing.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_indices_are_stable() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(format!("{}", Reg::R7), "r7");
+    }
+
+    #[test]
+    fn instruction_classification() {
+        assert!(Instruction::Load(Reg::R1, Reg::R2, 0).is_memory());
+        assert!(Instruction::Load(Reg::R1, Reg::R2, 0).is_load());
+        assert!(Instruction::Store(Reg::R1, Reg::R2, 0).is_store());
+        assert!(!Instruction::Add(Reg::R1, Reg::R2, Reg::R3).is_memory());
+    }
+
+    #[test]
+    fn fetch_addr_spaces_by_four() {
+        let p = Program::new(
+            "t",
+            vec![Instruction::Halt, Instruction::Halt],
+            0x1000,
+        );
+        assert_eq!(p.fetch_addr(0), 0x1000);
+        assert_eq!(p.fetch_addr(1), 0x1004);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch target")]
+    fn rejects_out_of_range_branch() {
+        let _ = Program::new("t", vec![Instruction::Jmp(5)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn rejects_empty_program() {
+        let _ = Program::new("t", vec![], 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Configuration-validation errors.
+
+use ehs_units::{Energy, Voltage};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an energy-harvesting configuration is physically
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnergyConfigError {
+    /// The voltage thresholds are not ordered `V_min < V_ckpt < V_rst ≤ V_max`.
+    ThresholdOrdering {
+        /// Minimum operating voltage.
+        v_min: Voltage,
+        /// Falling-edge checkpoint threshold.
+        v_ckpt: Voltage,
+        /// Rising-edge restore threshold.
+        v_rst: Voltage,
+        /// Fully-charged voltage.
+        v_max: Voltage,
+    },
+    /// The capacitance is zero or negative.
+    NonPositiveCapacitance,
+    /// The reserve between `V_ckpt` and `V_min` cannot fund the declared
+    /// worst-case checkpoint energy (the JIT guarantee of Section II).
+    InsufficientCheckpointReserve {
+        /// Energy held between `V_ckpt` and `V_min`.
+        reserve: Energy,
+        /// Worst-case checkpoint energy the architecture declared.
+        required: Energy,
+    },
+}
+
+impl fmt::Display for EnergyConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ThresholdOrdering {
+                v_min,
+                v_ckpt,
+                v_rst,
+                v_max,
+            } => write!(
+                f,
+                "voltage thresholds must satisfy V_min < V_ckpt < V_rst <= V_max \
+                 (got V_min={v_min}, V_ckpt={v_ckpt}, V_rst={v_rst}, V_max={v_max})"
+            ),
+            Self::NonPositiveCapacitance => write!(f, "capacitance must be positive"),
+            Self::InsufficientCheckpointReserve { reserve, required } => write!(
+                f,
+                "checkpoint reserve {reserve} below worst-case checkpoint cost {required}"
+            ),
+        }
+    }
+}
+
+impl Error for EnergyConfigError {}

@@ -1,0 +1,58 @@
+//! Energy-harvesting frontend for the EDBP intermittent-computing simulator.
+//!
+//! This crate models everything between the ambient energy source and the
+//! digital logic of an energy-harvesting system (paper Section II):
+//!
+//! * [`Capacitor`] — the harvested-energy buffer, `E = ½ C V²`.
+//! * [`EnergySource`] — harvested power as a function of time, with the four
+//!   source presets the paper evaluates ([`TracePreset::RfHome`],
+//!   [`TracePreset::RfOffice`], [`TracePreset::Solar`],
+//!   [`TracePreset::Thermal`]) plus sampled and constant sources.
+//! * [`VoltageMonitor`] — the hysteretic comparator that triggers just-in-time
+//!   (JIT) checkpointing when the supply dips below `V_ckpt` and restoration
+//!   when it recovers above `V_rst`.
+//! * [`EnergySystem`] — ties the three together and exposes the step/outage/
+//!   recharge loop the full-system simulator drives, along with
+//!   [`PowerCycleStats`] bookkeeping.
+//!
+//! # Example: watching a power cycle unfold
+//!
+//! ```
+//! use ehs_energy::{EnergySystem, EnergySystemConfig, SourceConfig, StepEvent, TracePreset};
+//! use ehs_units::{Power, Time};
+//!
+//! let config = EnergySystemConfig::paper_default();
+//! let source = SourceConfig::preset(TracePreset::RfHome).with_seed(7).build();
+//! let mut system = EnergySystem::new(config, source).expect("valid config");
+//!
+//! // Draw a constant 3 mW load until the voltage monitor fires.
+//! let dt = Time::from_micros(10.0);
+//! let load = Power::from_milli_watts(3.0) * dt;
+//! let mut cycles = 0u32;
+//! while cycles == 0 {
+//!     if let StepEvent::CheckpointRequested = system.step(dt, load) {
+//!         // ... the architecture checkpoints here ...
+//!         let outage = system.power_off_and_recharge();
+//!         assert!(outage.off_duration > ehs_units::Time::ZERO);
+//!         cycles += 1;
+//!     }
+//! }
+//! assert_eq!(system.stats().outages, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacitor;
+mod error;
+mod monitor;
+mod system;
+mod trace;
+
+pub use capacitor::{Capacitor, CapacitorConfig};
+pub use error::EnergyConfigError;
+pub use monitor::{MonitorState, VoltageMonitor, VoltageThresholds};
+pub use system::{EnergySystem, EnergySystemConfig, OutageOutcome, PowerCycleStats, StepEvent};
+pub use trace::{
+    ConstantSource, EnergySource, SampledTrace, SourceConfig, SyntheticTrace, TracePreset,
+};

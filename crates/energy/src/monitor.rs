@@ -1,0 +1,193 @@
+//! The hysteretic voltage monitor that drives JIT checkpointing.
+
+use crate::EnergyConfigError;
+use ehs_units::Voltage;
+
+/// The two JIT thresholds watched by the monitor (paper Section II).
+///
+/// * `v_ckpt` — falling through this voltage means power failure is imminent;
+///   the monitor signals the checkpointing logic.
+/// * `v_rst` — rising back through this voltage (while off) means enough
+///   energy has been re-buffered; the monitor signals restoration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageThresholds {
+    /// Falling-edge checkpoint trigger.
+    pub v_ckpt: Voltage,
+    /// Rising-edge restore trigger (must exceed `v_ckpt` for hysteresis).
+    pub v_rst: Voltage,
+}
+
+impl VoltageThresholds {
+    /// The paper's Table II default: checkpoint at 3.2 V, restore at 3.4 V.
+    pub fn paper_default() -> Self {
+        Self {
+            v_ckpt: Voltage::from_volts(3.2),
+            v_rst: Voltage::from_volts(3.4),
+        }
+    }
+
+    /// Validates `v_min < v_ckpt < v_rst <= v_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyConfigError::ThresholdOrdering`] when violated.
+    pub fn validate(&self, v_min: Voltage, v_max: Voltage) -> Result<(), EnergyConfigError> {
+        let ordered =
+            v_min < self.v_ckpt && self.v_ckpt < self.v_rst && self.v_rst <= v_max;
+        if ordered {
+            Ok(())
+        } else {
+            Err(EnergyConfigError::ThresholdOrdering {
+                v_min,
+                v_ckpt: self.v_ckpt,
+                v_rst: self.v_rst,
+                v_max,
+            })
+        }
+    }
+}
+
+/// Which side of the hysteresis loop the monitor is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorState {
+    /// Supply is healthy; executing and watching for the falling edge.
+    Operating,
+    /// Below `v_ckpt`: the checkpoint signal has fired and the system is
+    /// (about to be) powered off, watching for the rising edge.
+    Hibernating,
+}
+
+/// Hysteretic comparator over the capacitor voltage.
+///
+/// Existing energy-harvesting systems already ship this block; EDBP reuses it
+/// to observe the supply voltage "for free" (paper Section VI-B).
+///
+/// # Examples
+///
+/// ```
+/// use ehs_energy::{MonitorState, VoltageMonitor, VoltageThresholds};
+/// use ehs_units::Voltage;
+///
+/// let mut monitor = VoltageMonitor::new(VoltageThresholds::paper_default());
+/// assert!(!monitor.observe(Voltage::from_volts(3.3))); // still healthy
+/// assert!(monitor.observe(Voltage::from_volts(3.19))); // falling edge fires
+/// assert_eq!(monitor.state(), MonitorState::Hibernating);
+/// assert!(!monitor.observe(Voltage::from_volts(3.3))); // below v_rst: stay off
+/// assert!(monitor.observe(Voltage::from_volts(3.41))); // rising edge fires
+/// assert_eq!(monitor.state(), MonitorState::Operating);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageMonitor {
+    thresholds: VoltageThresholds,
+    state: MonitorState,
+    last_seen: Voltage,
+}
+
+impl VoltageMonitor {
+    /// Creates a monitor in the [`MonitorState::Operating`] state.
+    pub fn new(thresholds: VoltageThresholds) -> Self {
+        Self {
+            thresholds,
+            state: MonitorState::Operating,
+            last_seen: thresholds.v_rst,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn thresholds(&self) -> VoltageThresholds {
+        self.thresholds
+    }
+
+    /// Current hysteresis state.
+    pub fn state(&self) -> MonitorState {
+        self.state
+    }
+
+    /// Most recent voltage fed to [`VoltageMonitor::observe`].
+    pub fn last_seen(&self) -> Voltage {
+        self.last_seen
+    }
+
+    /// Feeds a new voltage sample; returns `true` when an edge fires
+    /// (checkpoint request while operating, restore request while
+    /// hibernating).
+    pub fn observe(&mut self, v: Voltage) -> bool {
+        self.last_seen = v;
+        match self.state {
+            MonitorState::Operating if v <= self.thresholds.v_ckpt => {
+                self.state = MonitorState::Hibernating;
+                true
+            }
+            MonitorState::Hibernating if v >= self.thresholds.v_rst => {
+                self.state = MonitorState::Operating;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volts(v: f64) -> Voltage {
+        Voltage::from_volts(v)
+    }
+
+    #[test]
+    fn default_thresholds_validate_against_paper_rails() {
+        VoltageThresholds::paper_default()
+            .validate(volts(2.8), volts(3.5))
+            .expect("paper defaults are consistent");
+    }
+
+    #[test]
+    fn rejects_inverted_thresholds() {
+        let t = VoltageThresholds {
+            v_ckpt: volts(3.4),
+            v_rst: volts(3.2),
+        };
+        assert!(t.validate(volts(2.8), volts(3.5)).is_err());
+    }
+
+    #[test]
+    fn rejects_restore_above_v_max() {
+        let t = VoltageThresholds {
+            v_ckpt: volts(3.2),
+            v_rst: volts(3.6),
+        };
+        assert!(t.validate(volts(2.8), volts(3.5)).is_err());
+    }
+
+    #[test]
+    fn no_retrigger_while_hibernating() {
+        let mut m = VoltageMonitor::new(VoltageThresholds::paper_default());
+        assert!(m.observe(volts(3.1)));
+        // Repeated low samples must not fire again.
+        assert!(!m.observe(volts(3.0)));
+        assert!(!m.observe(volts(2.9)));
+        assert_eq!(m.state(), MonitorState::Hibernating);
+    }
+
+    #[test]
+    fn hysteresis_prevents_chatter_between_thresholds() {
+        let mut m = VoltageMonitor::new(VoltageThresholds::paper_default());
+        assert!(m.observe(volts(3.15)));
+        // Voltage recovers into the dead band: neither edge fires.
+        assert!(!m.observe(volts(3.3)));
+        assert_eq!(m.state(), MonitorState::Hibernating);
+        assert!(m.observe(volts(3.45)));
+        assert_eq!(m.state(), MonitorState::Operating);
+        // Back into the dead band from above: still no edge.
+        assert!(!m.observe(volts(3.25)));
+        assert_eq!(m.state(), MonitorState::Operating);
+    }
+
+    #[test]
+    fn exact_threshold_values_fire() {
+        let mut m = VoltageMonitor::new(VoltageThresholds::paper_default());
+        assert!(m.observe(volts(3.2)));
+        assert!(m.observe(volts(3.4)));
+    }
+}

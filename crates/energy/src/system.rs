@@ -1,0 +1,428 @@
+//! The combined capacitor + source + monitor state machine.
+
+use crate::{
+    Capacitor, CapacitorConfig, EnergyConfigError, EnergySource, MonitorState, VoltageMonitor,
+    VoltageThresholds,
+};
+use ehs_units::{Energy, Power, Time, Voltage};
+
+/// Static configuration of the harvesting subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySystemConfig {
+    /// The energy buffer.
+    pub capacitor: CapacitorConfig,
+    /// JIT checkpoint / restore thresholds.
+    pub thresholds: VoltageThresholds,
+    /// Worst-case checkpoint energy the architecture declares; used to verify
+    /// the `V_ckpt → V_min` reserve can always fund a checkpoint.
+    pub checkpoint_budget: Energy,
+    /// Fast-forward granularity while hibernating.
+    pub recharge_step: Time,
+    /// Safety bound on a single recharge wait. If the source cannot refill
+    /// the buffer within this horizon the outage is reported unrecovered.
+    pub max_off_time: Time,
+}
+
+impl EnergySystemConfig {
+    /// The paper's Table II defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            capacitor: CapacitorConfig::paper_default(),
+            thresholds: VoltageThresholds::paper_default(),
+            checkpoint_budget: Energy::from_nano_joules(400.0),
+            recharge_step: Time::from_micros(50.0),
+            max_off_time: Time::from_seconds(100.0),
+        }
+    }
+
+    /// Replaces the capacitor configuration (Fig. 16 sweep).
+    #[must_use]
+    pub fn with_capacitor(mut self, capacitor: CapacitorConfig) -> Self {
+        self.capacitor = capacitor;
+        self
+    }
+
+    /// Replaces the monitor thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, thresholds: VoltageThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Declares the worst-case checkpoint energy for reserve validation.
+    #[must_use]
+    pub fn with_checkpoint_budget(mut self, budget: Energy) -> Self {
+        self.checkpoint_budget = budget;
+        self
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacitor and threshold validation errors, and returns
+    /// [`EnergyConfigError::InsufficientCheckpointReserve`] if the
+    /// `V_ckpt → V_min` band cannot fund `checkpoint_budget`.
+    pub fn validate(&self) -> Result<(), EnergyConfigError> {
+        self.capacitor.validate()?;
+        self.thresholds
+            .validate(self.capacitor.v_min, self.capacitor.v_max)?;
+        let c = self.capacitor.capacitance;
+        let reserve = Energy::in_capacitor(c, self.thresholds.v_ckpt)
+            - Energy::in_capacitor(c, self.capacitor.v_min);
+        if reserve < self.checkpoint_budget {
+            return Err(EnergyConfigError::InsufficientCheckpointReserve {
+                reserve,
+                required: self.checkpoint_budget,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the voltage monitor reported after a simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Supply healthy; keep executing.
+    Running,
+    /// Voltage fell through `V_ckpt`: checkpoint *now*, then call
+    /// [`EnergySystem::power_off_and_recharge`].
+    CheckpointRequested,
+    /// Voltage fell through `V_min` while operating — the JIT margin was
+    /// violated (mis-configured reserve). Volatile state is lost.
+    BrownOut,
+}
+
+/// Result of riding out one power outage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageOutcome {
+    /// Wall-clock time spent powered off recharging.
+    pub off_duration: Time,
+    /// Energy harvested into the buffer during the outage.
+    pub harvested: Energy,
+    /// Whether the buffer recovered to `V_rst` within the safety horizon.
+    pub recovered: bool,
+}
+
+/// Aggregate bookkeeping across power cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerCycleStats {
+    /// Number of completed power outages.
+    pub outages: u64,
+    /// Total time spent executing.
+    pub on_time: Time,
+    /// Total time spent powered off, recharging.
+    pub off_time: Time,
+    /// Total energy harvested into the buffer (on and off).
+    pub harvested: Energy,
+    /// Total energy drawn by the load (execution + checkpoints + leakage).
+    pub consumed: Energy,
+    /// Harvested energy shed because the buffer was already full.
+    pub shed: Energy,
+}
+
+impl PowerCycleStats {
+    /// Total wall-clock time (on + off).
+    pub fn total_time(&self) -> Time {
+        self.on_time + self.off_time
+    }
+}
+
+/// The live harvesting subsystem driven by the full-system simulator.
+///
+/// The simulator alternates between:
+/// 1. [`EnergySystem::step`] — execute for `dt` drawing `load` energy;
+/// 2. on [`StepEvent::CheckpointRequested`], draw the checkpoint cost via
+///    [`EnergySystem::consume`] and ride out the outage with
+///    [`EnergySystem::power_off_and_recharge`].
+///
+/// See the crate-level example for the full loop.
+#[derive(Debug)]
+pub struct EnergySystem {
+    config: EnergySystemConfig,
+    capacitor: Capacitor,
+    monitor: VoltageMonitor,
+    source: Box<dyn EnergySource>,
+    now: Time,
+    stats: PowerCycleStats,
+}
+
+impl EnergySystem {
+    /// Creates a fully-charged system at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`EnergyConfigError`] if the configuration is inconsistent.
+    pub fn new(
+        config: EnergySystemConfig,
+        source: impl EnergySource + 'static,
+    ) -> Result<Self, EnergyConfigError> {
+        config.validate()?;
+        Ok(Self {
+            capacitor: Capacitor::fully_charged(config.capacitor),
+            monitor: VoltageMonitor::new(config.thresholds),
+            source: Box::new(source),
+            config,
+            now: Time::ZERO,
+            stats: PowerCycleStats::default(),
+        })
+    }
+
+    /// Absolute simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current capacitor voltage — the signal EDBP taps.
+    pub fn voltage(&self) -> Voltage {
+        self.capacitor.voltage()
+    }
+
+    /// Current stored energy.
+    pub fn stored(&self) -> Energy {
+        self.capacitor.stored()
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &EnergySystemConfig {
+        &self.config
+    }
+
+    /// The harvested-power source.
+    pub fn source(&self) -> &dyn EnergySource {
+        self.source.as_ref()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PowerCycleStats {
+        &self.stats
+    }
+
+    /// Instantaneous harvested power right now.
+    pub fn harvest_power(&self) -> Power {
+        self.source.power_at(self.now)
+    }
+
+    /// Advances execution by `dt`, drawing `load` from the buffer while
+    /// harvesting, then samples the voltage monitor.
+    ///
+    /// `load` must already include every on-chip draw over `dt` (MCU dynamic
+    /// power, cache access energy, cache leakage); this method adds the
+    /// capacitor's own self-discharge.
+    pub fn step(&mut self, dt: Time, load: Energy) -> StepEvent {
+        debug_assert!(dt.as_seconds() > 0.0, "step needs positive dt");
+        let harvested = self.source.power_at(self.now) * dt;
+        let absorbed = self.capacitor.charge(harvested);
+        self.stats.shed += harvested - absorbed;
+        self.stats.harvested += absorbed;
+
+        let draw = load + self.capacitor.leakage() * dt;
+        let delivered = self.capacitor.discharge(draw);
+        self.stats.consumed += delivered;
+
+        self.now += dt;
+        self.stats.on_time += dt;
+
+        let v = self.capacitor.voltage();
+        if v <= self.config.capacitor.v_min {
+            // JIT margin violated; force the monitor into hibernation so the
+            // subsequent recharge behaves.
+            self.monitor.observe(v);
+            return StepEvent::BrownOut;
+        }
+        if self.monitor.observe(v) && self.monitor.state() == MonitorState::Hibernating {
+            StepEvent::CheckpointRequested
+        } else {
+            StepEvent::Running
+        }
+    }
+
+    /// Draws a one-off energy cost at the current instant (checkpoint or
+    /// restore operations). Returns the energy actually delivered.
+    pub fn consume(&mut self, e: Energy) -> Energy {
+        let delivered = self.capacitor.discharge(e);
+        self.stats.consumed += delivered;
+        delivered
+    }
+
+    /// Advances time *for* a one-off operation whose energy was drawn via
+    /// [`EnergySystem::consume`] (e.g. checkpoint latency). No load is drawn
+    /// and the monitor is not consulted — the JIT reserve funds this window.
+    pub fn elapse_operation(&mut self, dt: Time) {
+        let harvested = self.source.power_at(self.now) * dt;
+        let absorbed = self.capacitor.charge(harvested);
+        self.stats.shed += harvested - absorbed;
+        self.stats.harvested += absorbed;
+        self.now += dt;
+        self.stats.on_time += dt;
+    }
+
+    /// Rides out a power outage: the MCU is off, only harvesting (and
+    /// capacitor self-discharge) happens, until the voltage recovers to
+    /// `V_rst` or the safety horizon expires.
+    ///
+    /// Increments the outage count and returns what happened.
+    pub fn power_off_and_recharge(&mut self) -> OutageOutcome {
+        let dt = self.config.recharge_step;
+        let mut off = Time::ZERO;
+        let mut harvested_total = Energy::ZERO;
+        let mut recovered = false;
+        while off < self.config.max_off_time {
+            let harvested = self.source.power_at(self.now) * dt;
+            let absorbed = self.capacitor.charge(harvested);
+            self.stats.shed += harvested - absorbed;
+            self.stats.harvested += absorbed;
+            harvested_total += absorbed;
+
+            let leak = self.capacitor.leakage() * dt;
+            self.stats.consumed += self.capacitor.discharge(leak);
+
+            self.now += dt;
+            off += dt;
+
+            let v = self.capacitor.voltage();
+            if self.monitor.observe(v) && self.monitor.state() == MonitorState::Operating {
+                recovered = true;
+                break;
+            }
+        }
+        self.stats.off_time += off;
+        self.stats.outages += 1;
+        OutageOutcome {
+            off_duration: off,
+            harvested: harvested_total,
+            recovered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantSource, SourceConfig, TracePreset};
+
+    fn mk(source_mw: f64) -> EnergySystem {
+        EnergySystem::new(
+            EnergySystemConfig::paper_default(),
+            ConstantSource::new(Power::from_milli_watts(source_mw)),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn validation_catches_undersized_reserve() {
+        let cfg = EnergySystemConfig::paper_default()
+            .with_checkpoint_budget(Energy::from_micro_joules(100.0));
+        assert!(matches!(
+            cfg.validate(),
+            Err(EnergyConfigError::InsufficientCheckpointReserve { .. })
+        ));
+    }
+
+    #[test]
+    fn heavy_load_triggers_checkpoint_request() {
+        let mut sys = mk(0.0);
+        let dt = Time::from_micros(10.0);
+        let load = Power::from_milli_watts(5.0) * dt;
+        let mut fired = false;
+        for _ in 0..100_000 {
+            match sys.step(dt, load) {
+                StepEvent::CheckpointRequested => {
+                    fired = true;
+                    break;
+                }
+                StepEvent::BrownOut => panic!("monitor should fire before brown-out"),
+                StepEvent::Running => {}
+            }
+        }
+        assert!(fired);
+        // Voltage at the trigger is at or just below V_ckpt but above V_min.
+        let v = sys.voltage().as_volts();
+        assert!(v <= 3.2 && v > 2.8, "v = {v}");
+    }
+
+    #[test]
+    fn recharge_recovers_to_v_rst() {
+        let mut sys = mk(0.0);
+        let dt = Time::from_micros(10.0);
+        let load = Power::from_milli_watts(5.0) * dt;
+        while sys.step(dt, load) != StepEvent::CheckpointRequested {}
+        // Re-enable a strong source for the recharge by swapping stats: use a
+        // separate system instead (sources are immutable). Here harvesting is
+        // zero, so recovery must fail within the horizon.
+        let out = sys.power_off_and_recharge();
+        assert!(!out.recovered);
+        assert_eq!(sys.stats().outages, 1);
+    }
+
+    #[test]
+    fn full_cycle_with_real_source() {
+        let cfg = EnergySystemConfig::paper_default();
+        let src = SourceConfig::preset(TracePreset::RfHome).with_seed(11).build();
+        let mut sys = EnergySystem::new(cfg, src).expect("valid");
+        let dt = Time::from_micros(5.0);
+        let load = Power::from_milli_watts(4.0) * dt;
+        let mut outages = 0;
+        for _ in 0..2_000_000 {
+            if sys.step(dt, load) == StepEvent::CheckpointRequested {
+                sys.consume(Energy::from_nano_joules(200.0));
+                let out = sys.power_off_and_recharge();
+                assert!(out.recovered, "RFHome should recover eventually");
+                outages += 1;
+                if outages >= 5 {
+                    break;
+                }
+            }
+        }
+        assert!(outages >= 5, "expected frequent outages on RFHome");
+        assert!(sys.stats().off_time > Time::ZERO);
+        assert!(sys.stats().harvested > Energy::ZERO);
+    }
+
+    #[test]
+    fn infinite_energy_never_fails() {
+        let mut sys = mk(100.0); // 100 mW >> any load
+        let dt = Time::from_micros(10.0);
+        let load = Power::from_milli_watts(4.0) * dt;
+        for _ in 0..100_000 {
+            assert_eq!(sys.step(dt, load), StepEvent::Running);
+        }
+        assert_eq!(sys.stats().outages, 0);
+        // Buffer stays pinned at V_max and sheds the excess.
+        assert!((sys.voltage().as_volts() - 3.5).abs() < 0.05);
+        assert!(sys.stats().shed > Energy::ZERO);
+    }
+
+    #[test]
+    fn consume_draws_from_buffer() {
+        let mut sys = mk(0.0);
+        let before = sys.stored();
+        let taken = sys.consume(Energy::from_nano_joules(100.0));
+        assert_eq!(taken, Energy::from_nano_joules(100.0));
+        assert!(sys.stored() < before);
+    }
+
+    #[test]
+    fn elapse_operation_advances_clock_without_monitor() {
+        let mut sys = mk(0.0);
+        let t0 = sys.now();
+        sys.elapse_operation(Time::from_micros(100.0));
+        assert!(sys.now() > t0);
+        assert_eq!(sys.stats().outages, 0);
+    }
+
+    #[test]
+    fn stats_time_accounting_is_consistent() {
+        let mut sys = mk(0.0);
+        let dt = Time::from_micros(10.0);
+        let load = Power::from_milli_watts(5.0) * dt;
+        while sys.step(dt, load) != StepEvent::CheckpointRequested {}
+        let _ = sys.power_off_and_recharge();
+        let s = sys.stats();
+        assert!((s.total_time().as_seconds()
+            - (s.on_time + s.off_time).as_seconds())
+        .abs()
+            < 1e-12);
+        assert!((sys.now().as_seconds() - s.total_time().as_seconds()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,490 @@
+//! Harvested-power sources.
+//!
+//! The paper evaluates against four real harvested-energy traces — RFHome,
+//! RFOffice, solar and thermal (\[23\], \[55\]) — which are not publicly
+//! redistributable. We substitute parametric synthesizers that preserve the
+//! property the evaluation depends on: the *outage-frequency ordering*
+//! `thermal < solar < RFOffice < RFHome` (Section VI-H6). RF sources are
+//! weak and bursty; solar and thermal are stronger and steadier. Users with
+//! real measurements can replay them through [`SampledTrace`].
+
+use ehs_units::{Power, Time};
+use std::fmt;
+
+/// A source of harvested ambient power.
+///
+/// Implementations must be *random access* — `power_at` is a pure function of
+/// time — so the simulator can fast-forward through recharge periods without
+/// integrating every instant, and so runs are reproducible.
+pub trait EnergySource: fmt::Debug + Send {
+    /// Instantaneous harvested power at absolute time `t`.
+    fn power_at(&self, t: Time) -> Power;
+
+    /// Human-readable source name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Mean harvested power over a long horizon, if known analytically.
+    ///
+    /// The default integrates `power_at` numerically over one second.
+    fn mean_power(&self) -> Power {
+        let samples = 10_000;
+        let dt = Time::from_seconds(1.0) / samples as f64;
+        let total: f64 = (0..samples)
+            .map(|i| self.power_at(dt * i as f64).as_watts())
+            .sum();
+        Power::from_watts(total / samples as f64)
+    }
+}
+
+/// The four ambient-energy environments of the paper's evaluation
+/// (Section VI-A2, Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePreset {
+    /// RF harvesting in a home: weakest and burstiest; most outages.
+    RfHome,
+    /// RF harvesting in an office: weak and bursty.
+    RfOffice,
+    /// Photovoltaic harvesting: stronger, mildly varying.
+    Solar,
+    /// Thermoelectric harvesting: strongest and steadiest; fewest outages.
+    Thermal,
+}
+
+impl TracePreset {
+    /// All four presets, ordered from most to fewest expected outages.
+    pub const ALL: [TracePreset; 4] = [
+        TracePreset::RfHome,
+        TracePreset::RfOffice,
+        TracePreset::Solar,
+        TracePreset::Thermal,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePreset::RfHome => "rfhome",
+            TracePreset::RfOffice => "rfoffice",
+            TracePreset::Solar => "solar",
+            TracePreset::Thermal => "thermal",
+        }
+    }
+
+    fn params(self) -> SourceParams {
+        match self {
+            // Calibrated against the simulated platform's ~15-23 mW active
+            // draw. RF sources deliver multi-millisecond *bursts* whose level
+            // straddles consumption (so the capacitor voltage random-walks
+            // across the 3.2-3.5 V band, the regime of the paper's Fig. 4),
+            // separated by near-dead gaps that force outages and recharging.
+            // Solar and thermal are continuous with mild dips, so outages are
+            // progressively rarer — preserving the paper's outage-frequency
+            // ordering thermal < solar < RFOffice < RFHome (Section VI-H6).
+            TracePreset::RfHome => SourceParams {
+                gap_fraction: 0.12,
+                burst_power: Power::from_milli_watts(21.0),
+                duty: 0.34,
+                level_spread: 0.45,
+                jitter: 0.35,
+                segment: Time::from_micros(150.0),
+                burst_segments: 16,
+            },
+            TracePreset::RfOffice => SourceParams {
+                gap_fraction: 0.15,
+                burst_power: Power::from_milli_watts(22.0),
+                duty: 0.45,
+                level_spread: 0.40,
+                jitter: 0.30,
+                segment: Time::from_micros(150.0),
+                burst_segments: 16,
+            },
+            TracePreset::Solar => SourceParams {
+                gap_fraction: 0.5,
+                burst_power: Power::from_milli_watts(24.0),
+                duty: 1.0,
+                level_spread: 0.20,
+                jitter: 0.25,
+                segment: Time::from_micros(400.0),
+                burst_segments: 12,
+            },
+            TracePreset::Thermal => SourceParams {
+                gap_fraction: 0.8,
+                burst_power: Power::from_milli_watts(27.0),
+                duty: 1.0,
+                level_spread: 0.08,
+                jitter: 0.10,
+                segment: Time::from_millis(1.0),
+                burst_segments: 8,
+            },
+        }
+    }
+}
+
+impl fmt::Display for TracePreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SourceParams {
+    /// Nominal power level inside a burst window.
+    burst_power: Power,
+    /// Fraction of weather windows that deliver power at all.
+    duty: f64,
+    /// Relative spread of the slow per-window level modulation.
+    level_spread: f64,
+    /// Relative spread of the fast per-segment jitter.
+    jitter: f64,
+    /// Length of one piecewise-constant segment.
+    segment: Time,
+    /// Number of segments per weather window (bursts/gaps are whole windows).
+    burst_segments: u32,
+    /// Power delivered during gap windows, as a fraction of `burst_power`
+    /// (weak ambient background; keeps recharge times bounded).
+    gap_fraction: f64,
+}
+
+/// Builder for the synthetic sources.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_energy::{EnergySource, SourceConfig, TracePreset};
+///
+/// let solar = SourceConfig::preset(TracePreset::Solar).with_seed(42).build();
+/// let rf = SourceConfig::preset(TracePreset::RfHome)
+///     .with_seed(42)
+///     .with_power_scale(0.5) // stress test: halve the ambient energy
+///     .build();
+/// assert!(solar.mean_power() > rf.mean_power());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceConfig {
+    preset: TracePreset,
+    seed: u64,
+    power_scale: f64,
+}
+
+impl SourceConfig {
+    /// Starts a builder from one of the paper's four environments.
+    pub fn preset(preset: TracePreset) -> Self {
+        Self {
+            preset,
+            seed: 0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// Sets the RNG seed (default 0). Equal seeds give bit-identical traces.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales all harvested power by a factor (default 1.0), e.g. to emulate
+    /// a weaker antenna or brighter sun without changing the trace's shape.
+    #[must_use]
+    pub fn with_power_scale(mut self, scale: f64) -> Self {
+        self.power_scale = scale;
+        self
+    }
+
+    /// Builds the synthesizer.
+    pub fn build(self) -> SyntheticTrace {
+        SyntheticTrace::new(self)
+    }
+}
+
+/// Deterministic, random-access synthetic harvested-power trace.
+///
+/// Power is piecewise-constant over fixed segments. Each segment's level is a
+/// pure hash of `(seed, segment index)`, giving reproducibility and O(1)
+/// access at any time. A slower "weather" process modulates groups of
+/// segments so outages cluster in bursts, as they do in the real RF traces
+/// the paper uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTrace {
+    config: SourceConfig,
+    params: SourceParams,
+    name: String,
+}
+
+impl SyntheticTrace {
+    fn new(config: SourceConfig) -> Self {
+        let params = config.preset.params();
+        Self {
+            name: config.preset.name().to_owned(),
+            config,
+            params,
+        }
+    }
+
+    /// The preset this trace was built from.
+    pub fn preset(&self) -> TracePreset {
+        self.config.preset
+    }
+
+    fn unit_hash(&self, stream: u64, index: u64) -> f64 {
+        // splitmix64 over (seed, stream, index); uniform in [0, 1).
+        let mut z = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(index.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl EnergySource for SyntheticTrace {
+    fn power_at(&self, t: Time) -> Power {
+        let p = &self.params;
+        let seg = (t.as_seconds() / p.segment.as_seconds()).floor().max(0.0) as u64;
+        let window = seg / u64::from(p.burst_segments);
+        // Whole weather windows are on or off, so bursts and gaps last
+        // milliseconds — long enough for the cache to warm up and for the
+        // voltage to wander, as in the real traces.
+        if p.duty < 1.0 && self.unit_hash(1, window) >= p.duty {
+            // Gap window: only the weak ambient background trickles in.
+            return Power::from_watts(
+                p.burst_power.as_watts() * p.gap_fraction * self.config.power_scale,
+            );
+        }
+        // Slow per-window level modulation and fast per-segment jitter.
+        let level = 1.0 + p.level_spread * (2.0 * self.unit_hash(4, window) - 1.0);
+        let jitter = 1.0 + p.jitter * (2.0 * self.unit_hash(3, seg) - 1.0);
+        Power::from_watts(
+            (p.burst_power.as_watts() * level * jitter * self.config.power_scale).max(0.0),
+        )
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A harvested-power trace replayed from uniform samples, wrapping around at
+/// the end (so short measurements can drive long simulations).
+///
+/// # Examples
+///
+/// ```
+/// use ehs_energy::{EnergySource, SampledTrace};
+/// use ehs_units::{Power, Time};
+///
+/// let trace = SampledTrace::new(
+///     "bench-rig",
+///     Time::from_millis(1.0),
+///     vec![Power::from_milli_watts(1.0), Power::from_milli_watts(3.0)],
+/// );
+/// assert_eq!(trace.power_at(Time::from_millis(0.5)).as_milli_watts(), 1.0);
+/// assert_eq!(trace.power_at(Time::from_millis(1.5)).as_milli_watts(), 3.0);
+/// assert_eq!(trace.power_at(Time::from_millis(2.5)).as_milli_watts(), 1.0); // wrapped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledTrace {
+    name: String,
+    sample_period: Time,
+    samples: Vec<Power>,
+}
+
+impl SampledTrace {
+    /// Creates a trace from uniformly-spaced samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `sample_period` is not positive.
+    pub fn new(name: impl Into<String>, sample_period: Time, samples: Vec<Power>) -> Self {
+        assert!(!samples.is_empty(), "sampled trace needs at least one sample");
+        assert!(
+            sample_period.as_seconds() > 0.0,
+            "sample period must be positive"
+        );
+        Self {
+            name: name.into(),
+            sample_period,
+            samples,
+        }
+    }
+
+    /// Number of samples in one period of the trace.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Always false; construction rejects empty traces.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl EnergySource for SampledTrace {
+    fn power_at(&self, t: Time) -> Power {
+        let idx = (t.as_seconds() / self.sample_period.as_seconds()).floor().max(0.0) as u64;
+        self.samples[(idx % self.samples.len() as u64) as usize]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mean_power(&self) -> Power {
+        self.samples.iter().copied().sum::<Power>() / self.samples.len() as f64
+    }
+}
+
+/// A source delivering constant power — the paper's "infinite energy" limit
+/// (Section VIII) when set high, or a worst case when set to zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantSource {
+    power: Power,
+}
+
+impl ConstantSource {
+    /// Creates a constant source.
+    pub fn new(power: Power) -> Self {
+        Self { power }
+    }
+}
+
+impl EnergySource for ConstantSource {
+    fn power_at(&self, _t: Time) -> Power {
+        self.power
+    }
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+
+    fn mean_power(&self) -> Power {
+        self.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_preserve_outage_frequency_ordering() {
+        // Mean harvested power must be ordered RFHome < RFOffice < Solar <
+        // Thermal, which yields the paper's outage ordering.
+        let means: Vec<f64> = TracePreset::ALL
+            .iter()
+            .map(|&p| {
+                SourceConfig::preset(p)
+                    .with_seed(1)
+                    .build()
+                    .mean_power()
+                    .as_milli_watts()
+            })
+            .collect();
+        assert!(
+            means.windows(2).all(|w| w[0] < w[1]),
+            "means not increasing: {means:?}"
+        );
+        // RF means sit below the ~15-23 mW platform draw; thermal above it.
+        assert!(means[0] < 12.0);
+        assert!(means[3] > 24.0);
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic() {
+        let a = SourceConfig::preset(TracePreset::RfHome).with_seed(9).build();
+        let b = SourceConfig::preset(TracePreset::RfHome).with_seed(9).build();
+        for i in 0..1000 {
+            let t = Time::from_micros(37.0) * i as f64;
+            assert_eq!(a.power_at(t), b.power_at(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SourceConfig::preset(TracePreset::RfHome).with_seed(1).build();
+        let b = SourceConfig::preset(TracePreset::RfHome).with_seed(2).build();
+        let differs = (0..1000).any(|i| {
+            let t = Time::from_micros(100.0) * i as f64;
+            a.power_at(t) != b.power_at(t)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn rf_sources_have_dead_air() {
+        let trace = SourceConfig::preset(TracePreset::RfHome).with_seed(3).build();
+        // Gap windows deliver only the weak background trickle (<= 20% of
+        // the burst level).
+        let trickle_ceiling = Power::from_milli_watts(21.0 * 0.125);
+        let gaps = (0..10_000)
+            .filter(|&i| trace.power_at(Time::from_micros(150.0) * i as f64) < trickle_ceiling)
+            .count();
+        assert!(gaps > 4000, "expected gap windows, got {gaps} gap segments");
+        // Gaps are contiguous whole windows, not isolated segments: the
+        // number of burst/gap transitions must be far below the gap count.
+        let mut transitions = 0;
+        let mut prev_gap = false;
+        for i in 0..10_000 {
+            let g = trace.power_at(Time::from_micros(150.0) * i as f64) < trickle_ceiling;
+            if g != prev_gap {
+                transitions += 1;
+            }
+            prev_gap = g;
+        }
+        assert!(transitions < gaps / 4, "gaps not clustered: {transitions} transitions");
+    }
+
+    #[test]
+    fn thermal_is_nearly_always_on() {
+        let trace = SourceConfig::preset(TracePreset::Thermal).with_seed(3).build();
+        let zeros = (0..10_000)
+            .filter(|&i| trace.power_at(Time::from_millis(1.0) * i as f64).is_zero())
+            .count();
+        assert_eq!(zeros, 0, "thermal never cuts out, got {zeros}");
+    }
+
+    #[test]
+    fn power_scale_scales_mean() {
+        let base = SourceConfig::preset(TracePreset::Solar).with_seed(5).build();
+        let half = SourceConfig::preset(TracePreset::Solar)
+            .with_seed(5)
+            .with_power_scale(0.5)
+            .build();
+        let ratio = half.mean_power() / base.mean_power();
+        assert!((ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_trace_wraps() {
+        let t = SampledTrace::new(
+            "t",
+            Time::from_millis(1.0),
+            vec![Power::from_milli_watts(1.0), Power::from_milli_watts(2.0)],
+        );
+        assert_eq!(t.power_at(Time::from_millis(3.2)).as_milli_watts(), 2.0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn sampled_trace_rejects_empty() {
+        let _ = SampledTrace::new("t", Time::from_millis(1.0), vec![]);
+    }
+
+    #[test]
+    fn constant_source_is_constant() {
+        let s = ConstantSource::new(Power::from_milli_watts(10.0));
+        assert_eq!(s.power_at(Time::ZERO), s.power_at(Time::from_seconds(100.0)));
+        assert_eq!(s.mean_power().as_milli_watts(), 10.0);
+    }
+
+    #[test]
+    fn negative_time_does_not_panic() {
+        let s = SourceConfig::preset(TracePreset::RfHome).with_seed(0).build();
+        let _ = s.power_at(Time::from_seconds(-1.0));
+    }
+}

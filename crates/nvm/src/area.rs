@@ -1,0 +1,117 @@
+//! CACTI-style silicon-area estimates for the hardware-cost analysis
+//! (paper Section VI-B).
+
+/// Square millimetres (180 nm process).
+pub type SquareMm = f64;
+
+/// The paper's published area budget for the modelled core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreAreaBudget {
+    /// Whole core including caches.
+    pub core: SquareMm,
+    /// 4 kB SRAM data cache.
+    pub dcache: SquareMm,
+    /// 4 kB ReRAM instruction cache.
+    pub icache: SquareMm,
+}
+
+impl CoreAreaBudget {
+    /// Section VI-B: 3.37 mm² core, 0.80 mm² D$, 0.48 mm² I$.
+    pub fn paper_default() -> Self {
+        Self {
+            core: 3.37,
+            dcache: 0.80,
+            icache: 0.48,
+        }
+    }
+}
+
+/// Estimates the area overhead of EDBP's added circuitry.
+///
+/// EDBP adds one comparator per cache block (to check whether the block's
+/// recency position falls under the currently-armed threshold), three
+/// registers, and a small SRAM deactivation buffer; everything else
+/// piggybacks on existing structures (sleep transistors, LRU bits, voltage
+/// monitor).
+///
+/// # Examples
+///
+/// ```
+/// use ehs_nvm::{AreaModel, CoreAreaBudget};
+///
+/// let model = AreaModel::new(CoreAreaBudget::paper_default());
+/// // Paper default: 256 comparators cost ~0.0098% of the core.
+/// let pct = model.edbp_overhead_percent(256, 3, 8);
+/// assert!((pct - 0.0098).abs() / 0.0098 < 0.35);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    budget: CoreAreaBudget,
+    /// Area of one small comparator at 180 nm.
+    comparator_mm2: SquareMm,
+    /// Area of one 32-bit register at 180 nm.
+    register_mm2: SquareMm,
+    /// Area of one SRAM buffer entry (address-sized) at 180 nm.
+    buffer_entry_mm2: SquareMm,
+}
+
+impl AreaModel {
+    /// Builds the model with 180 nm standard-cell estimates calibrated so the
+    /// paper's default configuration (256 comparators, 3 registers, 8-entry
+    /// buffer) lands at ≈0.0098% of the 3.37 mm² core.
+    pub fn new(budget: CoreAreaBudget) -> Self {
+        Self {
+            budget,
+            comparator_mm2: 1.05e-6,
+            register_mm2: 12.0e-6,
+            buffer_entry_mm2: 3.0e-6,
+        }
+    }
+
+    /// The area budget the overhead is measured against.
+    pub fn budget(&self) -> CoreAreaBudget {
+        self.budget
+    }
+
+    /// Absolute EDBP hardware area in mm².
+    pub fn edbp_area(&self, comparators: u32, registers: u32, buffer_entries: u32) -> SquareMm {
+        f64::from(comparators) * self.comparator_mm2
+            + f64::from(registers) * self.register_mm2
+            + f64::from(buffer_entries) * self.buffer_entry_mm2
+    }
+
+    /// EDBP hardware area as a percentage of the core area.
+    pub fn edbp_overhead_percent(
+        &self,
+        comparators: u32,
+        registers: u32,
+        buffer_entries: u32,
+    ) -> f64 {
+        self.edbp_area(comparators, registers, buffer_entries) / self.budget.core * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_overhead_is_tiny() {
+        let m = AreaModel::new(CoreAreaBudget::paper_default());
+        let pct = m.edbp_overhead_percent(256, 3, 8);
+        assert!(pct < 0.02, "overhead {pct}% should be ~0.0098%");
+        assert!(pct > 0.005);
+    }
+
+    #[test]
+    fn overhead_scales_with_comparators() {
+        let m = AreaModel::new(CoreAreaBudget::paper_default());
+        assert!(m.edbp_area(512, 3, 8) > m.edbp_area(256, 3, 8));
+    }
+
+    #[test]
+    fn budget_caches_fit_in_core() {
+        let b = CoreAreaBudget::paper_default();
+        assert!(b.dcache + b.icache < b.core);
+    }
+}

@@ -1,0 +1,42 @@
+//! NVSim/CACTI-style analytic circuit models for the EDBP reproduction.
+//!
+//! The paper models its memories with NVSim \[18\] calibrated for 180 nm
+//! technology and CACTI for area. Neither tool is redistributable, so this
+//! crate provides analytic models **anchored at the paper's published
+//! operating points** (Tables I and II) and interpolated between anchors with
+//! standard capacity/associativity scaling laws:
+//!
+//! * the 4 kB 4-way 16 B-block SRAM data cache: 5.30 ns / 1.05 nJ per access,
+//!   1.22 mW leakage;
+//! * the 4 kB 4-way 16 B-block ReRAM instruction cache: 19.44 ns / 3.65 nJ
+//!   hit, 9.99 ns / 0.9 nJ miss probe, 202.35 ns / 3.55 nJ write, 0.22 mW
+//!   leakage;
+//! * SRAM leakage vs capacity from Table I (0.09 mW at 256 B to 3.54 mW at
+//!   16 kB);
+//! * a 16 MB ReRAM main memory, with FeRAM and STTRAM variants ordered per
+//!   Section VI-H4 (ReRAM cheapest, STTRAM most expensive).
+//!
+//! # Example
+//!
+//! ```
+//! use ehs_nvm::{CacheArrayModel, CacheGeometry, MemoryTechnology};
+//!
+//! // The paper's data cache:
+//! let dcache = CacheArrayModel::new(MemoryTechnology::Sram, CacheGeometry::paper_dcache());
+//! let c = dcache.characteristics();
+//! assert!((c.read_latency.as_nanos() - 5.30).abs() < 1e-9);
+//! assert!((c.leakage.as_milli_watts() - 1.22).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod cache_model;
+mod memory;
+mod technology;
+
+pub use area::{AreaModel, CoreAreaBudget};
+pub use cache_model::{ArrayCharacteristics, CacheArrayModel, CacheGeometry, GeometryError};
+pub use memory::{MainMemoryModel, MemoryCharacteristics};
+pub use technology::MemoryTechnology;

@@ -1,0 +1,151 @@
+//! The nonvolatile main memory model.
+
+use crate::MemoryTechnology;
+use ehs_units::{Energy, Power, Time};
+
+/// Modelled costs of one block-sized (16 B) main-memory transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryCharacteristics {
+    /// Latency of reading one cache block.
+    pub read_latency: Time,
+    /// Energy of reading one cache block.
+    pub read_energy: Energy,
+    /// Latency of writing one cache block.
+    pub write_latency: Time,
+    /// Energy of writing one cache block.
+    pub write_energy: Energy,
+    /// Standby power of the periphery (NVM cells themselves do not leak).
+    pub standby: Power,
+}
+
+/// Per-technology base costs at the 16 MB reference capacity, per 16-byte
+/// block transfer. ReRAM < FeRAM < STTRAM per Section VI-H4; absolute values
+/// chosen so an NVM access is by far the most energy-consuming operation in
+/// the processor (Section I), dominating a cache hit by ~an order of
+/// magnitude.
+fn memory_base(tech: MemoryTechnology) -> (f64, f64, f64, f64, f64) {
+    // (read_ns, read_nj, write_ns, write_nj, standby_uw)
+    match tech {
+        MemoryTechnology::ReRam => (110.0, 9.0, 320.0, 14.0, 40.0),
+        MemoryTechnology::FeRam => (150.0, 11.5, 380.0, 17.0, 45.0),
+        MemoryTechnology::SttRam => (210.0, 16.0, 520.0, 24.0, 50.0),
+        // SRAM main memory is not a meaningful configuration for an
+        // energy-harvesting system (volatile, leaky) but is modelled for
+        // completeness: fast and cheap dynamically, enormous standby.
+        MemoryTechnology::Sram => (40.0, 3.0, 40.0, 3.0, 5000.0),
+    }
+}
+
+/// Reference capacity the base costs are anchored at.
+const REF_CAPACITY_BYTES: f64 = 16.0 * 1024.0 * 1024.0;
+
+/// Analytic model of the nonvolatile main memory.
+///
+/// Latency and energy grow slowly with capacity (`∝ capacity^0.15`,
+/// longer global word/bit lines and deeper decoders), which produces the
+/// Fig. 14 sensitivity: bigger memories amplify every cache-miss penalty.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_nvm::{MainMemoryModel, MemoryTechnology};
+///
+/// let mem = MainMemoryModel::new(MemoryTechnology::ReRam, 16 * 1024 * 1024);
+/// let small = MainMemoryModel::new(MemoryTechnology::ReRam, 2 * 1024 * 1024);
+/// assert!(small.characteristics().read_latency < mem.characteristics().read_latency);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MainMemoryModel {
+    tech: MemoryTechnology,
+    capacity_bytes: u64,
+}
+
+impl MainMemoryModel {
+    /// Builds a model for a technology and capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(tech: MemoryTechnology, capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "memory capacity must be positive");
+        Self {
+            tech,
+            capacity_bytes,
+        }
+    }
+
+    /// The paper's default: 16 MB ReRAM.
+    pub fn paper_default() -> Self {
+        Self::new(MemoryTechnology::ReRam, 16 * 1024 * 1024)
+    }
+
+    /// The modelled technology.
+    pub fn technology(&self) -> MemoryTechnology {
+        self.tech
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Computes per-block transfer costs.
+    pub fn characteristics(&self) -> MemoryCharacteristics {
+        let (r_ns, r_nj, w_ns, w_nj, standby_uw) = memory_base(self.tech);
+        let scale = (self.capacity_bytes as f64 / REF_CAPACITY_BYTES).powf(0.15);
+        MemoryCharacteristics {
+            read_latency: Time::from_nanos(r_ns * scale),
+            read_energy: Energy::from_nano_joules(r_nj * scale),
+            write_latency: Time::from_nanos(w_ns * scale),
+            write_energy: Energy::from_nano_joules(w_nj * scale),
+            standby: Power::from_micro_watts(standby_uw * scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_capacity_matches_base() {
+        let m = MainMemoryModel::paper_default().characteristics();
+        assert!((m.read_latency.as_nanos() - 110.0).abs() < 1e-9);
+        assert!((m.write_energy.as_nano_joules() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_grows_with_capacity() {
+        let sizes = [2u64, 4, 8, 16, 32].map(|mb| mb * 1024 * 1024);
+        let mut prev = 0.0;
+        for s in sizes {
+            let c = MainMemoryModel::new(MemoryTechnology::ReRam, s).characteristics();
+            assert!(c.read_latency.as_nanos() > prev);
+            prev = c.read_latency.as_nanos();
+        }
+    }
+
+    #[test]
+    fn technology_ordering_holds_for_memory() {
+        let cost = |t| {
+            MainMemoryModel::new(t, 16 * 1024 * 1024)
+                .characteristics()
+                .read_energy
+        };
+        assert!(cost(MemoryTechnology::ReRam) < cost(MemoryTechnology::FeRam));
+        assert!(cost(MemoryTechnology::FeRam) < cost(MemoryTechnology::SttRam));
+    }
+
+    #[test]
+    fn nvm_access_dominates_cache_hit_energy() {
+        // Section I: NVM access is the most energy-consuming operation.
+        let mem = MainMemoryModel::paper_default().characteristics();
+        assert!(mem.read_energy.as_nano_joules() > 5.0 * 1.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = MainMemoryModel::new(MemoryTechnology::ReRam, 0);
+    }
+}

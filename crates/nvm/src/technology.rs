@@ -1,0 +1,76 @@
+//! Memory technologies and their 180 nm base parameters.
+
+use std::fmt;
+
+/// A memory technology the paper evaluates (Table II, Section VI-H4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryTechnology {
+    /// Volatile SRAM: fastest access, but leaks; contents lost on power
+    /// failure.
+    Sram,
+    /// Resistive RAM: the paper's default NVM; lowest NVM access cost.
+    ReRam,
+    /// Ferroelectric RAM: mid-range NVM cost.
+    FeRam,
+    /// Spin-transfer-torque RAM: highest access latency/energy in the
+    /// paper's 180 nm calibration (Section VI-H4).
+    SttRam,
+}
+
+impl MemoryTechnology {
+    /// All technologies usable as nonvolatile main memory / I-cache.
+    pub const NONVOLATILE: [MemoryTechnology; 3] = [
+        MemoryTechnology::ReRam,
+        MemoryTechnology::FeRam,
+        MemoryTechnology::SttRam,
+    ];
+
+    /// Whether contents survive a power outage.
+    pub fn is_nonvolatile(self) -> bool {
+        !matches!(self, MemoryTechnology::Sram)
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryTechnology::Sram => "sram",
+            MemoryTechnology::ReRam => "reram",
+            MemoryTechnology::FeRam => "feram",
+            MemoryTechnology::SttRam => "sttram",
+        }
+    }
+}
+
+impl fmt::Display for MemoryTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatility_flags() {
+        assert!(!MemoryTechnology::Sram.is_nonvolatile());
+        for t in MemoryTechnology::NONVOLATILE {
+            assert!(t.is_nonvolatile());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            MemoryTechnology::Sram.name(),
+            MemoryTechnology::ReRam.name(),
+            MemoryTechnology::FeRam.name(),
+            MemoryTechnology::SttRam.name(),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Calibration scratchpad: prints the headline quantities for a handful of
+//! apps so model constants can be tuned against the paper's Table I / II
+//! operating points. Not part of the documented experiment set.
+
+use ehs_sim::{run_app, Scheme, SystemConfig};
+use ehs_workloads::{AppId, Scale};
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let apps = [
+        AppId::Crc32,
+        AppId::Sha,
+        AppId::Bitcount,
+        AppId::JpegEnc,
+        AppId::Dijkstra,
+        AppId::Fft,
+    ];
+    let scale = std::env::args()
+        .nth(1)
+        .map(|s| match s.as_str() {
+            "small" => Scale::Small,
+            "full" => Scale::Full,
+            _ => Scale::Tiny,
+        })
+        .unwrap_or(Scale::Tiny);
+
+    for app in apps {
+        let base = run_app(&config, Scheme::Baseline, app, scale);
+        println!(
+            "\n=== {app} (baseline): completed={} committed={} outages={} brownouts={} ldst={:.1}%",
+            base.completed,
+            base.committed,
+            base.outages,
+            base.brownouts,
+            base.load_store_ratio() * 100.0
+        );
+        println!(
+            "  time: on={:.3}ms off={:.3}ms  d$miss={:.2}% i$miss={:.2}% avgP={:.3}mW",
+            base.on_time.as_millis(),
+            base.off_time.as_millis(),
+            base.dcache_miss_rate() * 100.0,
+            base.icache.miss_rate() * 100.0,
+            base.average_power().as_milli_watts(),
+        );
+        let e = &base.energy;
+        let t = e.total();
+        println!(
+            "  energy: total={:.3}uJ d$dyn={:.1}% d$st={:.1}% i$dyn={:.1}% i$st={:.1}% mem={:.1}% ckpt+rst={:.1}% other={:.1}% (d$static-ratio={:.1}%)",
+            t.as_micro_joules(),
+            e.dcache_dynamic / t * 100.0,
+            e.dcache_static / t * 100.0,
+            e.icache_dynamic / t * 100.0,
+            e.icache_static / t * 100.0,
+            e.memory / t * 100.0,
+            e.checkpoint_restore() / t * 100.0,
+            e.others() / t * 100.0,
+            e.dcache_static_ratio() * 100.0,
+        );
+        for scheme in [
+            Scheme::Sdbp,
+            Scheme::Decay,
+            Scheme::Edbp,
+            Scheme::DecayEdbp,
+            Scheme::Ideal,
+            Scheme::LeakageOff80,
+        ] {
+            let r = run_app(&config, scheme, app, scale);
+            let speedup = base.total_time() / r.total_time();
+            let esave = 1.0 - r.energy.total() / base.energy.total();
+            println!(
+                "  {:>16}: speedup={:.4} esave={:+.2}% d$miss={:.2}% outages={} pred: TP={} FP={} TN={} FNd={} MZ={}",
+                scheme.name(),
+                speedup,
+                esave * 100.0,
+                r.dcache_miss_rate() * 100.0,
+                r.outages,
+                r.prediction.true_positives,
+                r.prediction.false_positives,
+                r.prediction.true_negatives,
+                r.prediction.false_negatives_dead,
+                r.prediction.missed_zombies,
+            );
+        }
+    }
+}

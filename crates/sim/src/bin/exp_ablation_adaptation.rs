@@ -1,0 +1,27 @@
+//! Regenerates Section V-B1 ablation (threshold adaptation) of the paper. See `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results.
+//!
+//! Usage: `cargo run --release -p ehs-sim --bin exp_ablation_adaptation [tiny|small|full] [--csv]`
+
+use ehs_sim::experiments::{ablation_adaptation, ExperimentOptions};
+
+fn main() {
+    let mut opts = ExperimentOptions::default();
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "tiny" => opts.scale = ehs_workloads::Scale::Tiny,
+            "small" => opts.scale = ehs_workloads::Scale::Small,
+            "full" => opts.scale = ehs_workloads::Scale::Full,
+            "--csv" => csv = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let table = ablation_adaptation(opts);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("=== Section V-B1 ablation (threshold adaptation) ===");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 18 (EDBP for the instruction cache) of the paper. See `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results.
+//!
+//! Usage: `cargo run --release -p ehs-sim --bin exp_fig18_icache [tiny|small|full] [--csv]`
+
+use ehs_sim::experiments::{fig18_icache, ExperimentOptions};
+
+fn main() {
+    let mut opts = ExperimentOptions::default();
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "tiny" => opts.scale = ehs_workloads::Scale::Tiny,
+            "small" => opts.scale = ehs_workloads::Scale::Small,
+            "full" => opts.scale = ehs_workloads::Scale::Full,
+            "--csv" => csv = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let table = fig18_icache(opts);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("=== Fig. 18 (EDBP for the instruction cache) ===");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Section VI-B (hardware cost analysis) of the paper. See `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results.
+//!
+//! Usage: `cargo run --release -p ehs-sim --bin exp_hw_cost [tiny|small|full] [--csv]`
+
+use ehs_sim::experiments::{hw_cost, ExperimentOptions};
+
+fn main() {
+    let mut opts = ExperimentOptions::default();
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "tiny" => opts.scale = ehs_workloads::Scale::Tiny,
+            "small" => opts.scale = ehs_workloads::Scale::Small,
+            "full" => opts.scale = ehs_workloads::Scale::Full,
+            "--csv" => csv = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let table = hw_cost(opts);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("=== Section VI-B (hardware cost analysis) ===");
+        println!("{}", table.render());
+    }
+}

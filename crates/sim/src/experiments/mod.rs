@@ -1,0 +1,54 @@
+//! One entry point per table/figure of the paper.
+//!
+//! Each function runs the experiment and returns a rendered
+//! [`crate::report::Table`] (the experiment binaries print it). See
+//! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured results.
+//!
+//! Every experiment takes the workload `Scale` and a
+//! worker-thread count; [`ExperimentOptions::default`] uses `Scale::Small`
+//! and all-but-one hardware threads, which regenerates each figure in
+//! seconds-to-minutes.
+
+mod headline;
+mod motivation;
+mod sensitivity;
+
+pub use headline::{fig6_true_false_rates, fig7_energy_breakdown, fig8_performance, fig9_absolute};
+pub use motivation::{fig1_cache_size_motivation, fig4_zombie_ratio, table1_sram_leakage};
+pub use sensitivity::{
+    ablation_adaptation, ablation_policy, fig10_replacement_policy, fig11_cache_size,
+    fig12_associativity, fig13_nvm_technology, fig14_memory_size, fig15_energy_conditions,
+    fig16_capacitor_size, fig17_sensitivity_summary, fig18_icache, hw_cost, other_predictors,
+};
+
+use crate::runner::default_threads;
+use ehs_workloads::Scale;
+
+/// Common knobs shared by every experiment runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Workload scale (Small reproduces the shapes in minutes).
+    pub scale: Scale,
+    /// Worker threads for the run fan-out.
+    pub threads: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            threads: default_threads(),
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Quick options for tests: tiny workloads, two threads.
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::Tiny,
+            threads: 2,
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Motivation experiments: Table I, Fig. 1 and Fig. 4.
+
+use super::ExperimentOptions;
+use crate::report::{pct, Table};
+use crate::runner::{geomean, run_matrix};
+use crate::{zombie_ratio_by_voltage, Scheme, Simulation, SystemConfig, ZombieSample};
+use ehs_cache::CacheGeometry;
+use ehs_nvm::{CacheArrayModel, MemoryTechnology};
+use ehs_workloads::{build, AppId};
+
+/// Cache sizes swept by Table I, Fig. 1 and Fig. 11.
+pub(crate) const CACHE_SIZES: [u32; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+
+fn config_with_dcache_size(base: &SystemConfig, bytes: u32) -> SystemConfig {
+    let mut config = base.clone();
+    let assoc = config.dcache.geometry.associativity.min(bytes / 16);
+    config.dcache.geometry =
+        CacheGeometry::new(bytes, assoc, 16).expect("swept geometry is valid");
+    config
+}
+
+/// **Table I** — SRAM cache leakage power (mW) and the ratio of static
+/// energy to total SRAM data-cache energy, for 4-way caches of 256 B–16 kB.
+///
+/// Leakage comes from the NVSim-style model (anchored to the paper's
+/// published points); the static-energy ratio is measured on baseline runs
+/// averaged across all 20 applications.
+pub fn table1_sram_leakage(opts: ExperimentOptions) -> Table {
+    let base = SystemConfig::paper_default();
+    let mut table = Table::new(["cache size", "leakage (mW)", "static ratio"]);
+    for bytes in CACHE_SIZES {
+        let config = config_with_dcache_size(&base, bytes);
+        let model = CacheArrayModel::new(MemoryTechnology::Sram, config.dcache.geometry);
+        let leak = model.characteristics().leakage.as_milli_watts();
+        let results = run_matrix(
+            &config,
+            &[Scheme::Baseline],
+            &AppId::ALL,
+            opts.scale,
+            opts.threads,
+        );
+        let ratio = results[0]
+            .iter()
+            .map(|r| r.energy.dcache_static_ratio())
+            .sum::<f64>()
+            / results[0].len() as f64;
+        table.row([format!("{bytes} B"), format!("{leak:.2}"), pct(ratio)]);
+    }
+    table
+}
+
+/// **Fig. 1** — speedup across data-cache sizes, with real leakage vs the
+/// "80% Leakage Off" stress test. All speedups are normalized to the 4 kB
+/// 4-way baseline with real leakage (geomean over the 20 applications).
+pub fn fig1_cache_size_motivation(opts: ExperimentOptions) -> Table {
+    let base = SystemConfig::paper_default();
+    let reference = run_matrix(
+        &config_with_dcache_size(&base, 4096),
+        &[Scheme::Baseline],
+        &AppId::ALL,
+        opts.scale,
+        opts.threads,
+    );
+    let mut table = Table::new(["cache size", "real leakage", "80% leakage off"]);
+    for bytes in CACHE_SIZES {
+        let config = config_with_dcache_size(&base, bytes);
+        let results = run_matrix(
+            &config,
+            &[Scheme::Baseline, Scheme::LeakageOff80],
+            &AppId::ALL,
+            opts.scale,
+            opts.threads,
+        );
+        let speedup = |scheme_idx: usize| {
+            geomean(
+                reference[0]
+                    .iter()
+                    .zip(&results[scheme_idx])
+                    .map(|(r, s)| r.total_time() / s.total_time()),
+            )
+        };
+        table.row([
+            format!("{bytes} B"),
+            format!("{:.3}", speedup(0)),
+            format!("{:.3}", speedup(1)),
+        ]);
+    }
+    table
+}
+
+/// Collects Fig. 4 zombie samples for one app.
+fn zombie_samples_for(
+    config: &SystemConfig,
+    app: AppId,
+    opts: ExperimentOptions,
+) -> Vec<ZombieSample> {
+    let workload = build(app, opts.scale);
+    let sim = Simulation::new(config, Scheme::Baseline, workload, None);
+    let (_, samples) = sim.run_with_zombie_analysis();
+    samples
+}
+
+/// **Fig. 4** — the fraction of resident data-cache blocks that are zombies
+/// (no further access before the upcoming outage / their eviction), bucketed
+/// by the capacitor voltage at the sampling instant. Baseline scheme,
+/// RFHome, samples pooled across all 20 applications.
+pub fn fig4_zombie_ratio(opts: ExperimentOptions) -> Table {
+    let mut config = SystemConfig::paper_default();
+    config.zombie_sample_interval = Some(500);
+
+    let samples: Vec<ZombieSample> = {
+        use parking_lot::Mutex;
+        let pool = Mutex::new(Vec::new());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..opts.threads.max(1) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= AppId::ALL.len() {
+                        break;
+                    }
+                    let s = zombie_samples_for(&config, AppId::ALL[i], opts);
+                    pool.lock().extend(s);
+                });
+            }
+        })
+        .expect("zombie analysis threads must not panic");
+        pool.into_inner()
+    };
+
+    let rows = zombie_ratio_by_voltage(&samples, 3.2, 3.5, 6);
+    let mut table = Table::new(["voltage (V)", "zombie ratio", "samples"]);
+    for (centre, ratio, count) in rows {
+        table.row([format!("{centre:.3}"), pct(ratio), count.to_string()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcache_size_sweep_preserves_block_and_clamps_assoc() {
+        let base = SystemConfig::paper_default();
+        let small = config_with_dcache_size(&base, 256);
+        assert_eq!(small.dcache.geometry.block_bytes, 16);
+        assert_eq!(small.dcache.geometry.associativity, 4);
+        let tiny = config_with_dcache_size(&base, 32);
+        assert_eq!(tiny.dcache.geometry.associativity, 2, "assoc clamps");
+    }
+
+    #[test]
+    fn table1_leakage_is_monotonic() {
+        // Check the model side only (no simulation) for speed.
+        let base = SystemConfig::paper_default();
+        let mut prev = 0.0;
+        for bytes in CACHE_SIZES {
+            let config = config_with_dcache_size(&base, bytes);
+            let leak = CacheArrayModel::new(MemoryTechnology::Sram, config.dcache.geometry)
+                .characteristics()
+                .leakage
+                .as_milli_watts();
+            assert!(leak > prev);
+            prev = leak;
+        }
+    }
+}

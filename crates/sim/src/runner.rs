@@ -1,0 +1,184 @@
+//! Deterministic parallel fan-out of simulation runs.
+
+use crate::{run_app, RunResult, Scheme, SystemConfig};
+use ehs_workloads::{AppId, Scale};
+use parking_lot::Mutex;
+
+/// One run request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Platform configuration.
+    pub config: SystemConfig,
+    /// Scheme to simulate.
+    pub scheme: Scheme,
+    /// Application.
+    pub app: AppId,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+/// Runs all jobs, fanning out across `threads` OS threads (scoped via
+/// crossbeam), and returns results in the same order as the input —
+/// parallelism never changes the output.
+pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<RunResult> {
+    assert!(threads >= 1, "need at least one thread");
+    let results: Vec<Mutex<Option<RunResult>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let result = run_app(&job.config, job.scheme, job.app, job.scale);
+                *results[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("simulation threads must not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every job ran"))
+        .collect()
+}
+
+/// Convenience: runs every app of the paper's suite under each scheme and
+/// returns results indexed `[scheme][app]` in input order.
+pub fn run_matrix(
+    config: &SystemConfig,
+    schemes: &[Scheme],
+    apps: &[AppId],
+    scale: Scale,
+    threads: usize,
+) -> Vec<Vec<RunResult>> {
+    let jobs: Vec<Job> = schemes
+        .iter()
+        .flat_map(|&scheme| {
+            apps.iter().map(move |&app| Job {
+                config: config.clone(),
+                scheme,
+                app,
+                scale,
+            })
+        })
+        .collect();
+    let flat = run_jobs(&jobs, threads);
+    flat.chunks(apps.len()).map(<[RunResult]>::to_vec).collect()
+}
+
+/// Geometric mean of an iterator of positive factors (the paper reports
+/// mean speedups across the 20 applications).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        assert!(x > 0.0, "geomean needs positive values");
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Runs `scheme` vs. [`Scheme::Baseline`] over `apps` for several trace
+/// seeds and returns the seed-averaged geomean speedup — the noise-reduced
+/// headline number (single-seed outage schedules carry real variance; the
+/// paper's hours-long runs average it out intrinsically).
+pub fn mean_speedup_over_seeds(
+    config: &SystemConfig,
+    scheme: Scheme,
+    apps: &[AppId],
+    scale: Scale,
+    seeds: &[u64],
+    threads: usize,
+) -> f64 {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let per_seed: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut config = config.clone();
+            if let crate::SourceKind::Preset { preset, scale, .. } = config.source {
+                config.source = crate::SourceKind::Preset {
+                    preset,
+                    seed,
+                    scale,
+                };
+            }
+            let results = run_matrix(&config, &[Scheme::Baseline, scheme], apps, scale, threads);
+            geomean(
+                results[0]
+                    .iter()
+                    .zip(&results[1])
+                    .map(|(b, r)| b.total_time() / r.total_time()),
+            )
+        })
+        .collect();
+    geomean(per_seed)
+}
+
+/// Default worker-thread count: all but one hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(std::iter::empty()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn run_jobs_preserves_input_order() {
+        let config = SystemConfig::paper_default();
+        let jobs: Vec<Job> = [AppId::Crc32, AppId::Bitcount]
+            .iter()
+            .map(|&app| Job {
+                config: config.clone(),
+                scheme: Scheme::Baseline,
+                app,
+                scale: Scale::Tiny,
+            })
+            .collect();
+        let results = run_jobs(&jobs, 2);
+        assert_eq!(results[0].app, AppId::Crc32);
+        assert_eq!(results[1].app, AppId::Bitcount);
+    }
+
+    #[test]
+    fn seed_averaging_returns_a_sane_factor() {
+        let config = SystemConfig::paper_default();
+        let speedup = mean_speedup_over_seeds(
+            &config,
+            Scheme::Edbp,
+            &[AppId::Crc32],
+            Scale::Tiny,
+            &[1, 2],
+            2,
+        );
+        assert!((0.5..2.0).contains(&speedup), "speedup {speedup}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-run results: timing, energy breakdown, cache and prediction stats.
+
+use crate::Scheme;
+use edbp_core::PredictionSummary;
+use ehs_cache::CacheStats;
+use ehs_units::{Energy, Power, Time};
+use ehs_workloads::AppId;
+
+/// Where the harvested energy went — the categories of the paper's Fig. 7
+/// (cache / memory / checkpoint+restore / others), kept at finer grain so
+/// the figure can also split static vs dynamic cache energy (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Data-cache dynamic (access) energy.
+    pub dcache_dynamic: Energy,
+    /// Data-cache static (leakage) energy.
+    pub dcache_static: Energy,
+    /// Instruction-cache dynamic energy.
+    pub icache_dynamic: Energy,
+    /// Instruction-cache static energy.
+    pub icache_static: Energy,
+    /// Main-memory access energy (reads, writes, standby).
+    pub memory: Energy,
+    /// JIT checkpoint (save) energy.
+    pub checkpoint: Energy,
+    /// Restoration energy.
+    pub restore: Energy,
+    /// MCU dynamic energy ("computing", part of Fig. 7's "others").
+    pub mcu: Energy,
+    /// Capacitor self-discharge (part of Fig. 7's "others").
+    pub capacitor: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total cache energy (both caches, static + dynamic).
+    pub fn cache(&self) -> Energy {
+        self.dcache_dynamic + self.dcache_static + self.icache_dynamic + self.icache_static
+    }
+
+    /// The paper's "checkpoint/restoration" category.
+    pub fn checkpoint_restore(&self) -> Energy {
+        self.checkpoint + self.restore
+    }
+
+    /// The paper's "others" category (computing + capacitor leakage).
+    pub fn others(&self) -> Energy {
+        self.mcu + self.capacitor
+    }
+
+    /// Everything.
+    pub fn total(&self) -> Energy {
+        self.cache() + self.memory + self.checkpoint_restore() + self.others()
+    }
+
+    /// Static fraction of the data-cache energy (Table I bottom row).
+    pub fn dcache_static_ratio(&self) -> f64 {
+        let total = self.dcache_dynamic + self.dcache_static;
+        if total.is_zero() {
+            0.0
+        } else {
+            self.dcache_static / total
+        }
+    }
+}
+
+/// Everything measured by one application run under one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The application.
+    pub app: AppId,
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Whether the program ran to completion within the instruction budget
+    /// and the source kept recovering.
+    pub completed: bool,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Wall-clock time executing.
+    pub on_time: Time,
+    /// Wall-clock time powered off recharging.
+    pub off_time: Time,
+    /// Number of power outages endured.
+    pub outages: u64,
+    /// Brown-outs (JIT margin violations; should be zero).
+    pub brownouts: u64,
+    /// Where the energy went.
+    pub energy: EnergyBreakdown,
+    /// Data-cache counters.
+    pub dcache: CacheStats,
+    /// Instruction-cache counters.
+    pub icache: CacheStats,
+    /// Zombie-aware prediction accounting (data cache).
+    pub prediction: PredictionSummary,
+}
+
+impl RunResult {
+    /// Total wall-clock time — the performance metric everything is
+    /// normalized against (speedup = baseline time / scheme time).
+    pub fn total_time(&self) -> Time {
+        self.on_time + self.off_time
+    }
+
+    /// Average power over the whole run (Fig. 9's red line).
+    pub fn average_power(&self) -> Power {
+        let t = self.total_time();
+        if t.is_zero() {
+            Power::ZERO
+        } else {
+            self.energy.total() / t
+        }
+    }
+
+    /// Load+store fraction of committed instructions (Fig. 7 bottom).
+    pub fn load_store_ratio(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.committed as f64
+        }
+    }
+
+    /// Data-cache miss rate (Fig. 8 bottom).
+    pub fn dcache_miss_rate(&self) -> f64 {
+        self.dcache.miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_add_up() {
+        let b = EnergyBreakdown {
+            dcache_dynamic: Energy::from_joules(1.0),
+            dcache_static: Energy::from_joules(2.0),
+            icache_dynamic: Energy::from_joules(3.0),
+            icache_static: Energy::from_joules(4.0),
+            memory: Energy::from_joules(5.0),
+            checkpoint: Energy::from_joules(6.0),
+            restore: Energy::from_joules(7.0),
+            mcu: Energy::from_joules(8.0),
+            capacitor: Energy::from_joules(9.0),
+        };
+        assert!((b.total().as_joules() - 45.0).abs() < 1e-9);
+        assert!((b.cache().as_joules() - 10.0).abs() < 1e-9);
+        assert!((b.checkpoint_restore().as_joules() - 13.0).abs() < 1e-9);
+        assert!((b.others().as_joules() - 17.0).abs() < 1e-9);
+        assert!((b.dcache_static_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_ratio_is_zero() {
+        assert_eq!(EnergyBreakdown::default().dcache_static_ratio(), 0.0);
+    }
+}

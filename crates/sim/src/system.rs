@@ -1,0 +1,582 @@
+//! The full-system simulation loop.
+
+use crate::{EnergyBreakdown, MemorySystem, RunResult, Scheme, SystemConfig};
+use edbp_core::{
+    AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig,
+    GenerationTrace, LeakagePredictor, NullPredictor, OraclePredictor, OracleRecorder,
+    PredictionLedger, ReusePredictor, ReusePredictorConfig,
+};
+use ehs_cache::{AccessKind, Cache, Writeback};
+use ehs_cpu::{Core, CoreState, Effect};
+use ehs_energy::{EnergySystem, StepEvent};
+use ehs_units::Time;
+use ehs_workloads::{build, AppId, Scale, Workload};
+use std::collections::HashMap;
+
+/// A checkpointed block: address, data, dirty flag.
+type ShadowBlock = (u64, Vec<u8>, bool);
+
+/// One in-flight simulation. Most users want [`run_app`]; construct a
+/// `Simulation` directly to customize the workload or inject an oracle
+/// trace.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SystemConfig,
+    scheme: Scheme,
+    workload: Workload,
+    mem: MemorySystem,
+    core: Core,
+    energy: EnergySystem,
+    d_pred: Box<dyn LeakagePredictor>,
+    i_pred: Option<Box<dyn LeakagePredictor>>,
+    ledger: PredictionLedger,
+    /// SDBP's reuse predictor (checkpoint filter).
+    reuse: Option<ReusePredictor>,
+    /// Per-resident-block "reused since fill" flags (trains `reuse`).
+    reuse_flags: HashMap<u64, bool>,
+    /// Oracle recording (pass 1 of the Ideal scheme).
+    recorder: Option<OracleRecorder>,
+    /// Zombie-ratio instrumentation (Fig. 4).
+    zombie: Option<crate::ZombieAnalysis>,
+    breakdown: EnergyBreakdown,
+    brownouts: u64,
+    last_ckpt: Option<(CoreState, Vec<ShadowBlock>)>,
+    completed: bool,
+}
+
+/// Builds the data-cache predictor for a scheme.
+fn build_dcache_predictor(
+    scheme: Scheme,
+    config: &SystemConfig,
+    cache: &Cache,
+    oracle_trace: Option<GenerationTrace>,
+) -> Box<dyn LeakagePredictor> {
+    let edbp_config = || {
+        config
+            .edbp
+            .clone()
+            .unwrap_or_else(|| EdbpConfig::for_cache(cache))
+    };
+    match scheme {
+        Scheme::Baseline | Scheme::Sdbp | Scheme::LeakageOff80 => Box::new(NullPredictor::new()),
+        Scheme::Decay => Box::new(CacheDecay::new(config.decay, cache)),
+        Scheme::Edbp => Box::new(Edbp::new(edbp_config())),
+        Scheme::DecayEdbp => Box::new(CombinedPredictor::new(vec![
+            Box::new(CacheDecay::new(config.decay, cache)),
+            Box::new(Edbp::new(edbp_config())),
+        ])),
+        Scheme::Amc => Box::new(AdaptiveModeControl::new(AmcConfig::default(), cache)),
+        Scheme::AmcEdbp => Box::new(CombinedPredictor::new(vec![
+            Box::new(AdaptiveModeControl::new(AmcConfig::default(), cache)),
+            Box::new(Edbp::new(edbp_config())),
+        ])),
+        Scheme::Ideal => Box::new(OraclePredictor::new(
+            oracle_trace.expect("the Ideal scheme requires a recorded generation trace"),
+        )),
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation of `workload` under `scheme`.
+    ///
+    /// `oracle_trace` must be provided when `scheme` is [`Scheme::Ideal`]
+    /// (see [`record_generation_trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the energy configuration is invalid or the Ideal scheme is
+    /// requested without a trace.
+    pub fn new(
+        config: &SystemConfig,
+        scheme: Scheme,
+        workload: Workload,
+        oracle_trace: Option<GenerationTrace>,
+    ) -> Self {
+        let mut config = config.clone();
+        if scheme == Scheme::LeakageOff80 {
+            config.dcache_leakage_scale = 0.2;
+        }
+        let mem = MemorySystem::new(&config);
+        let d_pred = build_dcache_predictor(scheme, &config, &mem.dcache, oracle_trace);
+        let i_pred: Option<Box<dyn LeakagePredictor>> =
+            if config.predict_icache && !config.icache_tech.is_nonvolatile() {
+                // The Ideal scheme is only defined for the data cache.
+                match scheme {
+                    Scheme::Ideal => None,
+                    _ => Some(build_dcache_predictor(scheme, &config, &mem.icache, None)),
+                }
+            } else {
+                None
+            };
+        let core = Core::new(&workload.program);
+        let energy = EnergySystem::new(config.energy.clone(), SourceBox(config.source.build()))
+            .expect("energy configuration must be valid");
+        let reuse = (scheme == Scheme::Sdbp)
+            .then(|| ReusePredictor::new(ReusePredictorConfig::default()));
+        let zombie = config.zombie_sample_interval.map(crate::ZombieAnalysis::new);
+        Self {
+            scheme,
+            mem,
+            core,
+            energy,
+            d_pred,
+            i_pred,
+            ledger: PredictionLedger::new(),
+            reuse,
+            reuse_flags: HashMap::new(),
+            recorder: None,
+            zombie,
+            breakdown: EnergyBreakdown::default(),
+            brownouts: 0,
+            last_ckpt: None,
+            completed: false,
+            workload,
+            config,
+        }
+    }
+
+    /// Attaches an oracle recorder (pass 1 of the Ideal scheme).
+    pub fn with_recorder(mut self) -> Self {
+        self.recorder = Some(OracleRecorder::new());
+        self
+    }
+
+    /// Runs to completion (or abort) and returns the results, plus the
+    /// recorded oracle trace if a recorder was attached.
+    pub fn run(mut self) -> (RunResult, Option<GenerationTrace>) {
+        self.run_loop();
+        self.finish()
+    }
+
+    /// Runs to completion and additionally returns the architectural value
+    /// of each probed word (dirty cached copies win over the backing store),
+    /// for crash-consistency verification.
+    pub fn run_with_memory_probe(mut self, addrs: &[u64]) -> (RunResult, Vec<u32>) {
+        self.run_loop();
+        let words = addrs.iter().map(|&a| self.mem.word_at(a)).collect();
+        let (result, _) = self.finish();
+        (result, words)
+    }
+
+    /// Handles ledger/predictor/trainer bookkeeping for one data access.
+    fn note_data_access(&mut self, access: &crate::memory_system::DataAccess) {
+        let addr = access.block_addr;
+        if access.hit {
+            self.d_pred.on_hit(&self.mem.dcache, access.frame, addr);
+            self.ledger.on_hit(addr);
+            if let Some(r) = &mut self.recorder {
+                r.on_hit(addr);
+            }
+            if let Some(z) = &mut self.zombie {
+                z.on_hit(addr);
+            }
+            if let Some(flag) = self.reuse_flags.get_mut(&addr) {
+                *flag = true;
+            }
+        } else {
+            self.d_pred.on_miss(addr);
+            self.ledger.on_miss(addr);
+            if let Some(ev) = access.evicted {
+                self.d_pred.on_evict(ev);
+                self.ledger.on_evict(ev);
+                if let Some(r) = &mut self.recorder {
+                    r.on_evict(ev);
+                }
+                if let Some(z) = &mut self.zombie {
+                    z.on_generation_end(ev);
+                }
+                self.train_reuse(ev);
+            }
+            self.d_pred.on_fill(&self.mem.dcache, access.frame, addr);
+            self.ledger.on_fill(addr);
+            if let Some(r) = &mut self.recorder {
+                r.on_fill(addr);
+            }
+            if let Some(z) = &mut self.zombie {
+                z.on_fill(addr);
+            }
+            self.reuse_flags.insert(addr, false);
+        }
+    }
+
+    /// Ends the reuse-training generation for `addr`.
+    fn train_reuse(&mut self, addr: u64) {
+        if let Some(reused) = self.reuse_flags.remove(&addr) {
+            if let Some(r) = &mut self.reuse {
+                r.train(addr, reused);
+            }
+        }
+    }
+
+    /// Applies a predictor tick: ledger accounting plus the preservation of
+    /// gated dirty blocks.
+    ///
+    /// In an NVSRAMCache platform a dirty block is preserved by saving it
+    /// *in place* into its nonvolatile twin cell — the same mechanism the
+    /// JIT checkpoint uses — not by a (10x more expensive) main-memory
+    /// write. We therefore charge the NVSRAM save cost to the checkpoint
+    /// bucket; the simulator moves the data to the backing store so later
+    /// accesses observe correct values (see DESIGN.md).
+    fn apply_tick(&mut self, tick: edbp_core::TickOutcome, is_dcache: bool) {
+        if is_dcache {
+            for g in &tick.gated {
+                self.ledger.on_gate(g.addr);
+                if let Some(z) = &mut self.zombie {
+                    z.on_generation_end(g.addr);
+                }
+                self.train_reuse(g.addr);
+            }
+        }
+        for wb in &tick.writebacks {
+            // Conventional predictors spill gated dirty blocks to main
+            // memory (an NVM write).
+            let (t, e) = self.mem.write_back(wb);
+            self.breakdown.memory += e;
+            self.energy.consume(e);
+            self.energy.elapse_operation(t);
+        }
+        for wb in &tick.parked {
+            // EDBP parks gated dirty blocks in their NVSRAM twins: an
+            // in-place save at checkpoint cost, restored at reboot.
+            let e = self.config.ckpt.save_energy_per_byte * wb.data.len() as f64;
+            self.breakdown.checkpoint += e;
+            self.energy.consume(e);
+            self.mem.park(wb);
+        }
+    }
+
+    /// Takes the JIT checkpoint (if `jit` — brown-outs skip it), rides out
+    /// the outage and restores. Returns false if the source never recovered.
+    fn ride_out_outage(&mut self, jit: bool) -> bool {
+        self.d_pred.on_checkpoint(&self.mem.dcache);
+        if let Some(ip) = &mut self.i_pred {
+            ip.on_checkpoint(&self.mem.icache);
+        }
+
+        if jit {
+            // --- Build the NV shadow ---
+            let mut shadow: Vec<ShadowBlock> = match self.scheme {
+                Scheme::Sdbp => {
+                    let mut shadow = Vec::new();
+                    let blocks = self.mem.dcache.valid_blocks();
+                    for (addr, data, dirty) in blocks {
+                        let keep = self
+                            .reuse
+                            .as_ref()
+                            .is_none_or(|r| r.predicts_reuse(addr));
+                        if keep {
+                            shadow.push((addr, data, dirty));
+                        } else if dirty {
+                            // Dirty dead block: spill to main memory instead.
+                            let wb = Writeback { addr, data };
+                            let (t, e) = self.mem.write_back(&wb);
+                            self.breakdown.memory += e;
+                            self.energy.consume(e);
+                            self.energy.elapse_operation(t);
+                        }
+                    }
+                    shadow
+                }
+                _ => self
+                    .mem
+                    .dcache
+                    .dirty_blocks()
+                    .into_iter()
+                    .map(|wb| (wb.addr, wb.data, true))
+                    .collect(),
+            };
+            // The checkpoint save covers exactly the shadow assembled above.
+            let bytes = shadow.iter().map(|(_, d, _)| d.len() as u64).sum::<u64>()
+                + u64::from(CoreState::BYTES);
+            let save_e = self.config.ckpt.save_energy_per_byte * bytes as f64;
+            self.breakdown.checkpoint += save_e;
+            self.energy.consume(save_e);
+            self.energy.elapse_operation(self.config.ckpt.save_latency);
+            // Blocks already parked in their NVSRAM twins ride along for
+            // free (their save was paid at gating time); they are restored
+            // at reboot like any other checkpointed block — as clean, since
+            // the backing image already holds their data.
+            for addr in self.mem.parked_addrs() {
+                let data = self.mem.backing_data(addr);
+                shadow.push((addr, data, false));
+            }
+            self.mem.clear_parked();
+            self.last_ckpt = Some((self.core.checkpoint(), shadow));
+        }
+
+        // --- Lose volatile state ---
+        for (addr, _, _) in self.mem.dcache.valid_blocks() {
+            self.train_reuse(addr);
+        }
+        self.ledger.on_power_fail();
+        if let Some(z) = &mut self.zombie {
+            z.on_power_fail();
+        }
+        self.reuse_flags.clear();
+        self.mem.reset_fetch_buffer();
+        self.mem.dcache.power_fail();
+        if !self.config.icache_tech.is_nonvolatile() {
+            self.mem.icache.power_fail();
+        }
+
+        // --- Recharge ---
+        let outcome = self.energy.power_off_and_recharge();
+        if !outcome.recovered {
+            return false;
+        }
+
+        // --- Reboot ---
+        self.d_pred.on_reboot(&self.mem.dcache);
+        if let Some(ip) = &mut self.i_pred {
+            ip.on_reboot(&self.mem.icache);
+        }
+        if let Some((state, shadow)) = self.last_ckpt.take() {
+            let bytes = shadow.iter().map(|(_, d, _)| d.len() as u64).sum::<u64>()
+                + u64::from(CoreState::BYTES);
+            let restore_e = self.config.ckpt.restore_energy_per_byte * bytes as f64;
+            self.breakdown.restore += restore_e;
+            self.energy.consume(restore_e);
+            self.energy.elapse_operation(self.config.ckpt.restore_latency);
+            self.core.restore(&state);
+            for (addr, data, dirty) in &shadow {
+                // A set can be offered more blocks than it has ways (parked
+                // blocks whose frames were re-occupied before the outage);
+                // the overflow is spilled to main memory instead of
+                // displacing an already-restored block.
+                if !self.mem.dcache.has_free_frame(*addr) {
+                    if *dirty {
+                        let wb = Writeback {
+                            addr: *addr,
+                            data: data.clone(),
+                        };
+                        let (t, e) = self.mem.write_back(&wb);
+                        self.breakdown.memory += e;
+                        self.energy.consume(e);
+                        self.energy.elapse_operation(t);
+                    }
+                    continue;
+                }
+                let frame = self.mem.restore_block(*addr, data, *dirty);
+                self.d_pred.on_restore_fill(&self.mem.dcache, frame, *addr);
+                self.ledger.on_restore(*addr);
+                if let Some(r) = &mut self.recorder {
+                    r.on_restore(*addr);
+                }
+                if let Some(z) = &mut self.zombie {
+                    z.on_fill(*addr);
+                }
+                self.reuse_flags.insert(*addr, false);
+            }
+            // The shadow stays valid until the next checkpoint overwrites it
+            // (needed again if a brown-out strikes before then).
+            self.last_ckpt = Some((state, shadow));
+        } else {
+            // Brown-out before any checkpoint: restart from program entry.
+            self.core = Core::new(&self.workload.program);
+        }
+        true
+    }
+
+    /// Assembles the final result.
+    fn finish(self) -> (RunResult, Option<GenerationTrace>) {
+        let stats = self.energy.stats();
+        let result = RunResult {
+            app: self.workload.app,
+            scheme: self.scheme,
+            completed: self.completed,
+            committed: self.core.committed(),
+            loads: self.core.loads(),
+            stores: self.core.stores(),
+            on_time: stats.on_time,
+            off_time: stats.off_time,
+            outages: stats.outages,
+            brownouts: self.brownouts,
+            energy: self.breakdown,
+            dcache: *self.mem.dcache.stats(),
+            icache: *self.mem.icache.stats(),
+            prediction: self.ledger.summary(),
+        };
+        (result, self.recorder.map(OracleRecorder::finish))
+    }
+
+    /// Runs to completion and returns the results together with the
+    /// resolved zombie samples (Fig. 4 analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SystemConfig::zombie_sample_interval`] was not set.
+    pub fn run_with_zombie_analysis(mut self) -> (RunResult, Vec<crate::ZombieSample>) {
+        assert!(
+            self.zombie.is_some(),
+            "enable SystemConfig::zombie_sample_interval before requesting zombie analysis"
+        );
+        self.run_loop();
+        let samples = self
+            .zombie
+            .take()
+            .map(crate::ZombieAnalysis::finish)
+            .unwrap_or_default();
+        let (result, _) = self.finish();
+        (result, samples)
+    }
+
+    /// The main simulation loop.
+    fn run_loop(&mut self) {
+        let sim = self;
+        let program = sim.workload.program.clone();
+        let cycle_time = sim.config.cycle_time();
+        let mcu_power = sim.config.mcu_power();
+        let d_leak_full =
+            sim.mem.dcache_characteristics().leakage * sim.config.dcache_leakage_scale;
+        let i_leak_full =
+            sim.mem.icache_characteristics().leakage * sim.config.icache_leakage_scale;
+        let gated_frac = sim.config.gated_leak_fraction;
+        let standby = sim.mem.memory_standby();
+
+        loop {
+            if sim.core.halted() {
+                sim.completed = true;
+                break;
+            }
+            if sim.core.committed() >= sim.config.max_instructions {
+                break;
+            }
+
+            let fetch = sim.mem.ifetch(sim.core.fetch_addr(&program));
+            if let Some(ip) = sim.i_pred.as_mut().filter(|_| !fetch.buffered) {
+                if fetch.hit {
+                    ip.on_hit(&sim.mem.icache, fetch.frame, fetch.block_addr);
+                } else {
+                    ip.on_miss(fetch.block_addr);
+                    if let Some(ev) = fetch.evicted {
+                        ip.on_evict(ev);
+                    }
+                    ip.on_fill(&sim.mem.icache, fetch.frame, fetch.block_addr);
+                }
+            }
+            let mut stall = fetch.stall;
+            sim.breakdown.icache_dynamic += fetch.icache_energy;
+            sim.breakdown.memory += fetch.memory_energy;
+            let mut load_energy = fetch.icache_energy + fetch.memory_energy;
+
+            let effect = sim.core.step(&program);
+            match effect {
+                Effect::Compute | Effect::Halted => {}
+                Effect::Load { addr, dst } => {
+                    let access = sim.mem.data_access(addr, AccessKind::Read, 0);
+                    sim.core.finish_load(dst, access.value);
+                    stall += access.stall;
+                    load_energy += access.dcache_energy + access.memory_energy;
+                    sim.breakdown.dcache_dynamic += access.dcache_energy;
+                    sim.breakdown.memory += access.memory_energy;
+                    sim.note_data_access(&access);
+                }
+                Effect::Store { addr, value } => {
+                    let access = sim.mem.data_access(addr, AccessKind::Write, value);
+                    stall += access.stall;
+                    load_energy += access.dcache_energy + access.memory_energy;
+                    sim.breakdown.dcache_dynamic += access.dcache_energy;
+                    sim.breakdown.memory += access.memory_energy;
+                    sim.note_data_access(&access);
+                }
+            }
+
+            let dt = cycle_time + stall;
+            let d_blocks = f64::from(sim.mem.dcache.blocks());
+            let d_active_frac = (f64::from(sim.mem.dcache.active_blocks())
+                + f64::from(sim.mem.dcache.gated_blocks()) * gated_frac)
+                / d_blocks;
+            let i_blocks = f64::from(sim.mem.icache.blocks());
+            let i_active_frac = (f64::from(sim.mem.icache.active_blocks())
+                + f64::from(sim.mem.icache.gated_blocks()) * gated_frac)
+                / i_blocks;
+            let d_static = d_leak_full * d_active_frac * dt;
+            let i_static = i_leak_full * i_active_frac * dt;
+            let mcu_e = mcu_power * dt;
+            let standby_e = standby * dt;
+            sim.breakdown.dcache_static += d_static;
+            sim.breakdown.icache_static += i_static;
+            sim.breakdown.mcu += mcu_e;
+            sim.breakdown.memory += standby_e;
+            load_energy += d_static + i_static + mcu_e + standby_e;
+
+            let consumed_before = sim.energy.stats().consumed;
+            let event = sim.energy.step(dt, load_energy);
+            let drawn = sim.energy.stats().consumed - consumed_before;
+            sim.breakdown.capacitor += drawn.saturating_sub(load_energy);
+
+            let cycle = (sim.energy.now() * sim.config.frequency) as u64;
+            let v = sim.energy.voltage();
+            let tick = sim.d_pred.tick(&mut sim.mem.dcache, v, cycle);
+            sim.apply_tick(tick, true);
+            if let Some(ip) = &mut sim.i_pred {
+                let tick = ip.tick(&mut sim.mem.icache, v, cycle);
+                sim.apply_tick(tick, false);
+            }
+
+            if let Some(z) = &mut sim.zombie {
+                let committed = sim.core.committed();
+                let resident = sim.mem.dcache.resident_addrs();
+                z.maybe_sample(committed, v.as_volts(), resident.iter());
+            }
+
+            match event {
+                StepEvent::Running => {}
+                StepEvent::CheckpointRequested => {
+                    if !sim.ride_out_outage(true) {
+                        break;
+                    }
+                }
+                StepEvent::BrownOut => {
+                    sim.brownouts += 1;
+                    if !sim.ride_out_outage(false) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wrapper making a boxed source usable where `EnergySystem` wants a
+/// concrete `EnergySource`.
+#[derive(Debug)]
+struct SourceBox(Box<dyn ehs_energy::EnergySource>);
+
+impl ehs_energy::EnergySource for SourceBox {
+    fn power_at(&self, t: Time) -> ehs_units::Power {
+        self.0.power_at(t)
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn mean_power(&self) -> ehs_units::Power {
+        self.0.mean_power()
+    }
+}
+
+/// Runs one application under one scheme at the given scale, handling the
+/// Ideal scheme's two-pass protocol transparently.
+pub fn run_app(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> RunResult {
+    run_workload(config, scheme, build(app, scale))
+}
+
+/// Like [`run_app`] for a pre-built workload.
+pub fn run_workload(config: &SystemConfig, scheme: Scheme, workload: Workload) -> RunResult {
+    let trace = scheme
+        .needs_oracle_trace()
+        .then(|| record_generation_trace(config, workload.clone()));
+    let sim = Simulation::new(config, scheme, workload, trace);
+    let (result, _) = sim.run();
+    result
+}
+
+/// Pass 1 of the Ideal scheme: runs the baseline while recording every
+/// block generation's access count.
+pub fn record_generation_trace(config: &SystemConfig, workload: Workload) -> GenerationTrace {
+    let sim = Simulation::new(config, Scheme::Baseline, workload, None).with_recorder();
+    let (_, trace) = sim.run();
+    trace.expect("recorder was attached")
+}

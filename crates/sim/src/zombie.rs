@@ -1,0 +1,296 @@
+//! Zombie-ratio instrumentation (paper Fig. 4).
+//!
+//! Fig. 4 plots, as a function of the capacitor voltage, the fraction of
+//! resident cache blocks that are *zombies* — blocks that will receive no
+//! further access before the upcoming power outage (or their own eviction)
+//! and therefore only burn leakage. Classification needs the future, so the
+//! analysis is retroactive: samples are held pending and resolved when the
+//! sampled block's generation ends.
+
+use std::collections::HashMap;
+
+/// (block address, generation serial).
+type GenerationKey = (u64, u64);
+/// (voltage at sample, access count at sample).
+type PendingSample = (f64, u32);
+
+/// One resolved sample: a resident block observed at `voltage`, and whether
+/// it turned out to be a zombie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZombieSample {
+    /// Capacitor voltage at the sampling instant (volts).
+    pub voltage: f64,
+    /// True if the block received no further access before its generation
+    /// ended (outage, eviction or gating).
+    pub zombie: bool,
+}
+
+/// Retroactive zombie classifier.
+#[derive(Debug, Clone)]
+pub struct ZombieAnalysis {
+    /// Sampling period in committed instructions.
+    interval: u64,
+    next_sample_at: u64,
+    /// Current generation serial per address.
+    serial: HashMap<u64, u64>,
+    next_serial: u64,
+    /// Access count of the current generation per address.
+    count: HashMap<u64, u32>,
+    /// Pending samples keyed by (addr, serial): (voltage, count at sample).
+    pending: HashMap<GenerationKey, Vec<PendingSample>>,
+    resolved: Vec<ZombieSample>,
+}
+
+impl ZombieAnalysis {
+    /// Creates the analysis with a sampling period in committed
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        Self {
+            interval,
+            next_sample_at: interval,
+            serial: HashMap::new(),
+            next_serial: 0,
+            count: HashMap::new(),
+            pending: HashMap::new(),
+            resolved: Vec::new(),
+        }
+    }
+
+    /// A block for `addr` was installed (or restored): new generation.
+    pub fn on_fill(&mut self, addr: u64) {
+        self.next_serial += 1;
+        self.serial.insert(addr, self.next_serial);
+        self.count.insert(addr, 1);
+    }
+
+    /// A lookup hit `addr`.
+    pub fn on_hit(&mut self, addr: u64) {
+        if let Some(c) = self.count.get_mut(&addr) {
+            *c += 1;
+        }
+    }
+
+    /// The generation of `addr` ended (eviction or gating).
+    pub fn on_generation_end(&mut self, addr: u64) {
+        let (Some(serial), Some(final_count)) =
+            (self.serial.remove(&addr), self.count.remove(&addr))
+        else {
+            return;
+        };
+        self.resolve(addr, serial, final_count);
+    }
+
+    /// A power outage ended every resident generation.
+    pub fn on_power_fail(&mut self) {
+        let addrs: Vec<u64> = self.serial.keys().copied().collect();
+        for addr in addrs {
+            self.on_generation_end(addr);
+        }
+    }
+
+    fn resolve(&mut self, addr: u64, serial: u64, final_count: u32) {
+        if let Some(samples) = self.pending.remove(&(addr, serial)) {
+            for (voltage, at_sample) in samples {
+                self.resolved.push(ZombieSample {
+                    voltage,
+                    zombie: at_sample == final_count,
+                });
+            }
+        }
+    }
+
+    /// Called once per committed instruction; takes a snapshot of every
+    /// resident block when the sampling period elapses.
+    pub fn maybe_sample<'a>(
+        &mut self,
+        committed: u64,
+        voltage: f64,
+        resident: impl IntoIterator<Item = &'a u64>,
+    ) {
+        if committed < self.next_sample_at {
+            return;
+        }
+        self.next_sample_at = committed + self.interval;
+        for &addr in resident {
+            let (Some(&serial), Some(&count)) = (self.serial.get(&addr), self.count.get(&addr))
+            else {
+                continue;
+            };
+            self.pending
+                .entry((addr, serial))
+                .or_default()
+                .push((voltage, count));
+        }
+    }
+
+    /// Finalizes: unresolved samples belong to generations that never ended
+    /// (the program finished first); a block unused since its sample is
+    /// classified as a zombie-to-be.
+    pub fn finish(mut self) -> Vec<ZombieSample> {
+        let pending: Vec<(GenerationKey, Vec<PendingSample>)> =
+            self.pending.drain().collect();
+        for ((addr, serial), samples) in pending {
+            let current = if self.serial.get(&addr) == Some(&serial) {
+                self.count.get(&addr).copied()
+            } else {
+                None
+            };
+            for (voltage, at_sample) in samples {
+                self.resolved.push(ZombieSample {
+                    voltage,
+                    zombie: current.is_none_or(|c| c == at_sample),
+                });
+            }
+        }
+        self.resolved
+    }
+
+    /// Samples resolved so far.
+    pub fn resolved(&self) -> &[ZombieSample] {
+        &self.resolved
+    }
+}
+
+/// Bins resolved samples by voltage and returns `(bin centre, zombie ratio,
+/// sample count)` rows — the series of Fig. 4.
+pub fn zombie_ratio_by_voltage(
+    samples: &[ZombieSample],
+    v_min: f64,
+    v_max: f64,
+    bins: usize,
+) -> Vec<(f64, f64, usize)> {
+    assert!(bins > 0 && v_max > v_min);
+    let width = (v_max - v_min) / bins as f64;
+    let mut zombie = vec![0usize; bins];
+    let mut total = vec![0usize; bins];
+    for s in samples {
+        if s.voltage < v_min || s.voltage >= v_max {
+            continue;
+        }
+        let b = ((s.voltage - v_min) / width) as usize;
+        let b = b.min(bins - 1);
+        total[b] += 1;
+        if s.zombie {
+            zombie[b] += 1;
+        }
+    }
+    (0..bins)
+        .map(|b| {
+            let centre = v_min + (b as f64 + 0.5) * width;
+            let ratio = if total[b] == 0 {
+                0.0
+            } else {
+                zombie[b] as f64 / total[b] as f64
+            };
+            (centre, ratio, total[b])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_unused_after_sample_is_zombie() {
+        let mut z = ZombieAnalysis::new(1);
+        z.on_fill(0x40);
+        z.maybe_sample(1, 3.3, [0x40u64].iter());
+        z.on_power_fail();
+        let s = z.finish();
+        assert_eq!(s.len(), 1);
+        assert!(s[0].zombie);
+        assert_eq!(s[0].voltage, 3.3);
+    }
+
+    #[test]
+    fn block_reused_after_sample_is_live() {
+        let mut z = ZombieAnalysis::new(1);
+        z.on_fill(0x40);
+        z.maybe_sample(1, 3.4, [0x40u64].iter());
+        z.on_hit(0x40); // reuse after the sample
+        z.on_power_fail();
+        let s = z.finish();
+        assert_eq!(s.len(), 1);
+        assert!(!s[0].zombie);
+    }
+
+    #[test]
+    fn samples_respect_interval() {
+        let mut z = ZombieAnalysis::new(100);
+        z.on_fill(0x40);
+        z.maybe_sample(50, 3.4, [0x40u64].iter()); // too early
+        z.maybe_sample(100, 3.4, [0x40u64].iter()); // fires
+        z.maybe_sample(150, 3.4, [0x40u64].iter()); // too early again
+        z.on_power_fail();
+        assert_eq!(z.finish().len(), 1);
+    }
+
+    #[test]
+    fn eviction_resolves_like_outage() {
+        let mut z = ZombieAnalysis::new(1);
+        z.on_fill(0x40);
+        z.maybe_sample(1, 3.45, [0x40u64].iter());
+        z.on_generation_end(0x40); // evicted unused
+        let s = z.finish();
+        assert!(s[0].zombie);
+    }
+
+    #[test]
+    fn generations_do_not_leak_across_refills() {
+        let mut z = ZombieAnalysis::new(1);
+        z.on_fill(0x40);
+        z.maybe_sample(1, 3.4, [0x40u64].iter());
+        z.on_generation_end(0x40);
+        // New generation of the same address, gets a hit.
+        z.on_fill(0x40);
+        z.on_hit(0x40);
+        z.on_power_fail();
+        let s = z.finish();
+        assert_eq!(s.len(), 1);
+        assert!(s[0].zombie, "sample belongs to the first, unused generation");
+    }
+
+    #[test]
+    fn unfinished_generation_with_later_hit_is_live() {
+        let mut z = ZombieAnalysis::new(1);
+        z.on_fill(0x40);
+        z.maybe_sample(1, 3.4, [0x40u64].iter());
+        z.on_hit(0x40);
+        // Program ends without outage or eviction.
+        let s = z.finish();
+        assert!(!s[0].zombie);
+    }
+
+    #[test]
+    fn binning_computes_ratios() {
+        let samples = vec![
+            ZombieSample {
+                voltage: 3.25,
+                zombie: true,
+            },
+            ZombieSample {
+                voltage: 3.26,
+                zombie: true,
+            },
+            ZombieSample {
+                voltage: 3.27,
+                zombie: false,
+            },
+            ZombieSample {
+                voltage: 3.45,
+                zombie: false,
+            },
+        ];
+        let rows = zombie_ratio_by_voltage(&samples, 3.2, 3.5, 3);
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rows[0].2, 3);
+        assert_eq!(rows[2].1, 0.0);
+    }
+}

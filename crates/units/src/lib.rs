@@ -1,0 +1,110 @@
+//! Physical-quantity newtypes for the EDBP energy-harvesting simulator.
+//!
+//! Every quantity that crosses a crate boundary in this workspace is a
+//! dimensioned newtype over `f64` rather than a bare float, so that a nanojoule
+//! can never be added to a nanosecond and a millwatt can never be confused with
+//! a microwatt. All types store their value in SI base units (joules, watts,
+//! seconds, volts, farads, hertz) and expose scaled constructors/accessors for
+//! the magnitudes the paper works in (nJ, mW, ns, µF, MHz).
+//!
+//! Cross-dimension arithmetic implements the physics the simulator needs:
+//!
+//! * [`Power`] `*` [`Time`] → [`Energy`] (leakage integration)
+//! * [`Energy`] `/` [`Time`] → [`Power`] (average power, Fig. 9)
+//! * [`Energy`] `/` [`Power`] → [`Time`] (time-to-outage estimation)
+//! * `½ ·` [`Capacitance`] `·` [`Voltage`]`²` → [`Energy`] (capacitor state)
+//!
+//! # Examples
+//!
+//! ```
+//! use ehs_units::{Capacitance, Energy, Power, Time, Voltage};
+//!
+//! // The paper's default capacitor fully charged:
+//! let cap = Capacitance::from_micro_farads(0.47);
+//! let v_max = Voltage::from_volts(3.5);
+//! let stored = Energy::in_capacitor(cap, v_max);
+//! assert!((stored.as_micro_joules() - 2.878_75).abs() < 1e-6);
+//!
+//! // Leakage of the 4 kB data cache over one 40 ns cycle:
+//! let leak = Power::from_milli_watts(1.22) * Time::from_nanos(40.0);
+//! assert!((leak.as_nano_joules() - 0.0488).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod quantity;
+
+pub use quantity::{Capacitance, Energy, Frequency, Power, Time, Voltage};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitor_energy_matches_half_cv_squared() {
+        let c = Capacitance::from_micro_farads(0.47);
+        let v = Voltage::from_volts(3.5);
+        let e = Energy::in_capacitor(c, v);
+        let expected = 0.5 * 0.47e-6 * 3.5 * 3.5;
+        assert!((e.as_joules() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn voltage_for_energy_inverts_capacitor_energy() {
+        let c = Capacitance::from_micro_farads(0.47);
+        for volts in [0.0, 1.0, 2.8, 3.2, 3.5] {
+            let v = Voltage::from_volts(volts);
+            let e = Energy::in_capacitor(c, v);
+            let back = e.capacitor_voltage(c);
+            assert!((back.as_volts() - volts).abs() < 1e-9, "{volts}");
+        }
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_milli_watts(2.0) * Time::from_millis(3.0);
+        assert!((e.as_micro_joules() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_divided_by_time_is_power() {
+        let p = Energy::from_joules(6.0) / Time::from_seconds(2.0);
+        assert!((p.as_watts() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_divided_by_power_is_time() {
+        let t = Energy::from_joules(6.0) / Power::from_watts(3.0);
+        assert!((t.as_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_constructors_round_trip() {
+        assert!((Energy::from_nano_joules(1.05).as_nano_joules() - 1.05).abs() < 1e-12);
+        assert!((Power::from_micro_watts(160.0).as_micro_watts() - 160.0).abs() < 1e-9);
+        assert!((Time::from_nanos(5.30).as_nanos() - 5.30).abs() < 1e-12);
+        assert!((Frequency::from_mega_hertz(25.0).as_mega_hertz() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_period_is_reciprocal() {
+        let f = Frequency::from_mega_hertz(25.0);
+        assert!((f.period().as_nanos() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = Energy::from_joules(1.0);
+        let b = Energy::from_joules(2.0);
+        assert_eq!(a.saturating_sub(b), Energy::ZERO);
+        assert!((b.saturating_sub(a).as_joules() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Voltage::from_volts(3.2) < Voltage::from_volts(3.4));
+        assert_eq!(format!("{}", Power::from_milli_watts(1.22)), "1.22e-3 W");
+        assert_eq!(format!("{}", Time::from_nanos(40.0)), "4e-8 s");
+    }
+}

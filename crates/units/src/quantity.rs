@@ -1,0 +1,485 @@
+//! Dimensioned newtypes and their arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Generates a dimensioned `f64` newtype with same-dimension arithmetic,
+/// scalar scaling, ordering, and display.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw value in SI base units.
+            #[inline]
+            pub const fn base(self) -> f64 {
+                self.0
+            }
+
+            /// Builds the quantity from a raw value in SI base units.
+            #[inline]
+            pub const fn from_base(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns `true` if the value is exactly zero.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of the two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of the two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Subtraction that clamps at zero instead of going negative.
+            ///
+            /// Useful for physically non-negative quantities (stored energy,
+            /// remaining time) where numerical noise could otherwise produce
+            /// a tiny negative value.
+            #[inline]
+            pub fn saturating_sub(self, other: Self) -> Self {
+                Self((self.0 - other.0).max(0.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two same-dimension quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:e} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity! {
+    /// An amount of energy, stored in joules.
+    Energy, "J"
+}
+
+quantity! {
+    /// A rate of energy transfer, stored in watts.
+    Power, "W"
+}
+
+quantity! {
+    /// A duration, stored in seconds.
+    Time, "s"
+}
+
+quantity! {
+    /// An electric potential, stored in volts.
+    Voltage, "V"
+}
+
+quantity! {
+    /// A capacitance, stored in farads.
+    Capacitance, "F"
+}
+
+quantity! {
+    /// A frequency, stored in hertz.
+    Frequency, "Hz"
+}
+
+impl Energy {
+    /// Builds an energy from joules.
+    #[inline]
+    pub const fn from_joules(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Builds an energy from microjoules.
+    #[inline]
+    pub const fn from_micro_joules(uj: f64) -> Self {
+        Self(uj * 1e-6)
+    }
+
+    /// Builds an energy from nanojoules.
+    #[inline]
+    pub const fn from_nano_joules(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Builds an energy from picojoules.
+    #[inline]
+    pub const fn from_pico_joules(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Returns the energy in joules.
+    #[inline]
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the energy in microjoules.
+    #[inline]
+    pub fn as_micro_joules(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the energy in nanojoules.
+    #[inline]
+    pub fn as_nano_joules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Energy stored in a capacitor at a given voltage: `E = ½ C V²`.
+    ///
+    /// This is the state equation of the harvesting buffer in
+    /// energy-harvesting systems (Section II of the paper).
+    #[inline]
+    pub fn in_capacitor(c: Capacitance, v: Voltage) -> Self {
+        Self(0.5 * c.0 * v.0 * v.0)
+    }
+
+    /// Inverts [`Energy::in_capacitor`]: the voltage a capacitor of size `c`
+    /// holds when storing this much energy, `V = sqrt(2E / C)`.
+    ///
+    /// Returns zero voltage for non-positive energy.
+    #[inline]
+    pub fn capacitor_voltage(self, c: Capacitance) -> Voltage {
+        if self.0 <= 0.0 || c.0 <= 0.0 {
+            Voltage::ZERO
+        } else {
+            Voltage((2.0 * self.0 / c.0).sqrt())
+        }
+    }
+}
+
+impl Power {
+    /// Builds a power from watts.
+    #[inline]
+    pub const fn from_watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Builds a power from milliwatts.
+    #[inline]
+    pub const fn from_milli_watts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Builds a power from microwatts.
+    #[inline]
+    pub const fn from_micro_watts(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Returns the power in watts.
+    #[inline]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the power in milliwatts.
+    #[inline]
+    pub fn as_milli_watts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the power in microwatts.
+    #[inline]
+    pub fn as_micro_watts(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Time {
+    /// Builds a time from seconds.
+    #[inline]
+    pub const fn from_seconds(s: f64) -> Self {
+        Self(s)
+    }
+
+    /// Builds a time from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Builds a time from microseconds.
+    #[inline]
+    pub const fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Builds a time from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Returns the time in seconds.
+    #[inline]
+    pub const fn as_seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the time in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the time in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Voltage {
+    /// Builds a voltage from volts.
+    #[inline]
+    pub const fn from_volts(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Builds a voltage from millivolts.
+    #[inline]
+    pub const fn from_milli_volts(mv: f64) -> Self {
+        Self(mv * 1e-3)
+    }
+
+    /// Returns the voltage in volts.
+    #[inline]
+    pub const fn as_volts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the voltage in millivolts.
+    #[inline]
+    pub fn as_milli_volts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Capacitance {
+    /// Builds a capacitance from farads.
+    #[inline]
+    pub const fn from_farads(f: f64) -> Self {
+        Self(f)
+    }
+
+    /// Builds a capacitance from microfarads.
+    #[inline]
+    pub const fn from_micro_farads(uf: f64) -> Self {
+        Self(uf * 1e-6)
+    }
+
+    /// Returns the capacitance in farads.
+    #[inline]
+    pub const fn as_farads(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the capacitance in microfarads.
+    #[inline]
+    pub fn as_micro_farads(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Frequency {
+    /// Builds a frequency from hertz.
+    #[inline]
+    pub const fn from_hertz(hz: f64) -> Self {
+        Self(hz)
+    }
+
+    /// Builds a frequency from megahertz.
+    #[inline]
+    pub const fn from_mega_hertz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Returns the frequency in hertz.
+    #[inline]
+    pub const fn as_hertz(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the frequency in megahertz.
+    #[inline]
+    pub fn as_mega_hertz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; a zero frequency yields an infinite period.
+    #[inline]
+    pub fn period(self) -> Time {
+        Time(1.0 / self.0)
+    }
+}
+
+// ---- Cross-dimension physics ----
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    /// Integrating power over time yields energy.
+    #[inline]
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    /// Energy per unit time is power.
+    #[inline]
+    fn div(self, rhs: Time) -> Power {
+        Power(self.0 / rhs.0)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = Time;
+    /// How long a power draw can be sustained by this much energy.
+    #[inline]
+    fn div(self, rhs: Power) -> Time {
+        Time(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Frequency> for Time {
+    type Output = f64;
+    /// Number of cycles elapsing in this duration (dimensionless).
+    #[inline]
+    fn mul(self, rhs: Frequency) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+impl Mul<Time> for Frequency {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Time) -> f64 {
+        self.0 * rhs.0
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the physical-quantity algebra.
+
+use ehs_units::{Capacitance, Energy, Power, Time, Voltage};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    0.0..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn power_time_energy_triangle(p in finite(), t in 1e-9..1e3f64) {
+        let power = Power::from_watts(p);
+        let time = Time::from_seconds(t);
+        let energy = power * time;
+        // E / t == P and E / P == t (up to float noise).
+        prop_assert!(((energy / time).as_watts() - p).abs() <= p * 1e-12 + 1e-15);
+        if p > 0.0 {
+            prop_assert!(((energy / power).as_seconds() - t).abs() <= t * 1e-12 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn capacitor_energy_voltage_round_trip(c in 1e-9..1e-3f64, v in 0.0..100.0f64) {
+        let cap = Capacitance::from_farads(c);
+        let volts = Voltage::from_volts(v);
+        let e = Energy::in_capacitor(cap, volts);
+        let back = e.capacitor_voltage(cap);
+        prop_assert!((back.as_volts() - v).abs() <= v * 1e-9 + 1e-12);
+    }
+
+    #[test]
+    fn capacitor_energy_is_monotonic_in_voltage(c in 1e-9..1e-3f64, v1 in 0.0..10.0f64, v2 in 0.0..10.0f64) {
+        let cap = Capacitance::from_farads(c);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let e_lo = Energy::in_capacitor(cap, Voltage::from_volts(lo));
+        let e_hi = Energy::in_capacitor(cap, Voltage::from_volts(hi));
+        prop_assert!(e_lo <= e_hi);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative(a in finite(), b in finite()) {
+        let diff = Energy::from_joules(a).saturating_sub(Energy::from_joules(b));
+        prop_assert!(diff >= Energy::ZERO);
+        if a >= b {
+            prop_assert!((diff.as_joules() - (a - b)).abs() <= (a + b) * 1e-12 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn scaled_constructors_agree_with_base(x in finite()) {
+        prop_assert!((Energy::from_nano_joules(x).as_joules() - x * 1e-9).abs() <= x * 1e-20 + 1e-24);
+        prop_assert!((Power::from_milli_watts(x).as_watts() - x * 1e-3).abs() <= x * 1e-14 + 1e-18);
+        prop_assert!((Time::from_micros(x).as_seconds() - x * 1e-6).abs() <= x * 1e-17 + 1e-21);
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_bounded(x in -1e6..1e6f64, lo in -1e3..1e3f64, width in 0.0..1e3f64) {
+        let lo_v = Voltage::from_volts(lo);
+        let hi_v = Voltage::from_volts(lo + width);
+        let clamped = Voltage::from_volts(x).clamp(lo_v, hi_v);
+        prop_assert!(clamped >= lo_v && clamped <= hi_v);
+        prop_assert_eq!(clamped.clamp(lo_v, hi_v), clamped);
+    }
+
+    #[test]
+    fn sum_equals_fold(xs in proptest::collection::vec(finite(), 0..20)) {
+        let total: Energy = xs.iter().map(|&x| Energy::from_joules(x)).sum();
+        let expect: f64 = xs.iter().sum();
+        prop_assert!((total.as_joules() - expect).abs() <= expect * 1e-12 + 1e-15);
+    }
+}

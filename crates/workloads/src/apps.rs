@@ -1,0 +1,713 @@
+//! The 20 synthetic applications and their parameter table.
+
+use crate::kernels::{
+    blocked, compute, random, stream, table_stream, BlockedCfg, ComputeCfg, RandomCfg, StreamCfg,
+    TableStreamCfg,
+};
+use ehs_cpu::{Program, ProgramBuilder, Reg};
+use std::fmt;
+
+/// Byte address programs are fetched from (instruction-cache address space).
+const CODE_BASE: u32 = 0x0100_0000;
+/// Data-region bases (one application runs at a time, so regions are shared).
+const STREAM_BASE: u32 = 0x0010_0000;
+const TABLE_BASE: u32 = 0x0011_0000;
+const RANDOM_BASE: u32 = 0x0012_0000;
+const IMAGE_BASE: u32 = 0x0014_0000;
+const AUX_BASE: u32 = 0x0016_0000;
+
+/// Which benchmark suite an application models (paper Section VI-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MiBench \[25\].
+    MiBench,
+    /// Mediabench \[39\].
+    Mediabench,
+}
+
+/// The 20 applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AppId {
+    AdpcmEnc,
+    AdpcmDec,
+    Crc32,
+    Sha,
+    Dijkstra,
+    Patricia,
+    StringSearch,
+    Bitcount,
+    BasicMath,
+    Qsort,
+    SusanSmoothing,
+    SusanEdges,
+    SusanCorners,
+    Fft,
+    Ifft,
+    JpegEnc,
+    JpegDec,
+    GsmEnc,
+    GsmDec,
+    Mpeg2Dec,
+}
+
+impl AppId {
+    /// All 20 applications, in the order used by reports.
+    pub const ALL: [AppId; 20] = [
+        AppId::AdpcmEnc,
+        AppId::AdpcmDec,
+        AppId::Crc32,
+        AppId::Sha,
+        AppId::Dijkstra,
+        AppId::Patricia,
+        AppId::StringSearch,
+        AppId::Bitcount,
+        AppId::BasicMath,
+        AppId::Qsort,
+        AppId::SusanSmoothing,
+        AppId::SusanEdges,
+        AppId::SusanCorners,
+        AppId::Fft,
+        AppId::Ifft,
+        AppId::JpegEnc,
+        AppId::JpegDec,
+        AppId::GsmEnc,
+        AppId::GsmDec,
+        AppId::Mpeg2Dec,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::AdpcmEnc => "adpcm_enc",
+            AppId::AdpcmDec => "adpcm_dec",
+            AppId::Crc32 => "crc32",
+            AppId::Sha => "sha",
+            AppId::Dijkstra => "dijkstra",
+            AppId::Patricia => "patricia",
+            AppId::StringSearch => "stringsearch",
+            AppId::Bitcount => "bitcount",
+            AppId::BasicMath => "basicmath",
+            AppId::Qsort => "qsort",
+            AppId::SusanSmoothing => "susan_s",
+            AppId::SusanEdges => "susan_e",
+            AppId::SusanCorners => "susan_c",
+            AppId::Fft => "fft",
+            AppId::Ifft => "ifft",
+            AppId::JpegEnc => "jpeg_enc",
+            AppId::JpegDec => "jpeg_dec",
+            AppId::GsmEnc => "gsm_enc",
+            AppId::GsmDec => "gsm_dec",
+            AppId::Mpeg2Dec => "mpeg2_dec",
+        }
+    }
+
+    /// Which suite the modelled application comes from.
+    pub fn suite(self) -> Suite {
+        match self {
+            AppId::AdpcmEnc
+            | AppId::AdpcmDec
+            | AppId::JpegEnc
+            | AppId::JpegDec
+            | AppId::GsmEnc
+            | AppId::GsmDec
+            | AppId::Mpeg2Dec => Suite::Mediabench,
+            _ => Suite::MiBench,
+        }
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How much work to synthesize. The access *patterns* are identical across
+/// scales; only the outer pass count changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~10–40 k committed instructions: unit tests.
+    Tiny,
+    /// ~150–500 k committed instructions: the default for experiments.
+    Small,
+    /// ~1.5–5 M committed instructions: closest to the paper's full runs.
+    Full,
+}
+
+impl Scale {
+    fn passes(self) -> u32 {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Small => 16,
+            Scale::Full => 160,
+        }
+    }
+}
+
+/// A synthesized benchmark: the program plus its declared data footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Which application this is.
+    pub app: AppId,
+    /// The executable program.
+    pub program: Program,
+    /// Bytes of data the program touches (cache-pressure indicator).
+    pub data_footprint_bytes: u32,
+}
+
+/// Builds one of the paper's 20 applications at the requested scale.
+pub fn build(app: AppId, scale: Scale) -> Workload {
+    let passes = scale.passes();
+    let (program, footprint) = match app {
+        // ADPCM encode: stream audio in, consult the step-size table, write
+        // one compressed word per four samples.
+        AppId::AdpcmEnc => (
+            wrap(app, passes, |b| {
+                table_stream(
+                    b,
+                    &TableStreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 2 * 1024,
+                        table_base: TABLE_BASE,
+                        table_bytes: 256,
+                        alu_ops: 4,
+                        store_every: 4,
+                    },
+                );
+            }),
+            2 * 1024 + 256,
+        ),
+        // ADPCM decode: shorter compressed input, expands with more stores.
+        AppId::AdpcmDec => (
+            wrap(app, passes, |b| {
+                table_stream(
+                    b,
+                    &TableStreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 1024,
+                        table_base: TABLE_BASE,
+                        table_bytes: 256,
+                        alu_ops: 3,
+                        store_every: 2,
+                    },
+                );
+            }),
+            1024 + 256,
+        ),
+        // CRC32: byte stream folded through a 1 kB lookup table, no stores.
+        AppId::Crc32 => (
+            wrap(app, passes, |b| {
+                table_stream(
+                    b,
+                    &TableStreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 2 * 1024,
+                        table_base: TABLE_BASE,
+                        table_bytes: 1024,
+                        alu_ops: 4,
+                        store_every: 0,
+                    },
+                );
+            }),
+            2 * 1024 + 1024,
+        ),
+        // SHA: heavy ALU per word, small hot message-schedule buffer.
+        AppId::Sha => (
+            wrap(app, passes, |b| {
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 2 * 1024,
+                        stride: 4,
+                        store_every: 8,
+                        alu_ops: 12,
+                        unroll: 16,
+                    },
+                );
+                compute(
+                    b,
+                    &ComputeCfg {
+                        iters: 256,
+                        alu_ops: 8,
+                        base: AUX_BASE,
+                        bytes: 256,
+                    },
+                );
+            }),
+            2 * 1024 + 256,
+        ),
+        // Dijkstra: random frontier pokes into the adjacency structure plus
+        // a sequential relaxation sweep over the distance array.
+        AppId::Dijkstra => (
+            wrap(app, passes, |b| {
+                random(
+                    b,
+                    &RandomCfg {
+                        base: RANDOM_BASE,
+                        bytes: 4 * 1024,
+                        iters: 2048,
+                        store_every: 4,
+                        alu_ops: 2,
+                        seed: 0x1234_5678,
+                    },
+                );
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: AUX_BASE,
+                        bytes: 2 * 1024,
+                        stride: 4,
+                        store_every: 2,
+                        alu_ops: 2,
+                        unroll: 4,
+                    },
+                );
+            }),
+            4 * 1024 + 2 * 1024,
+        ),
+        // Patricia: pure pointer chasing over a big trie, few stores.
+        AppId::Patricia => (
+            wrap(app, passes, |b| {
+                random(
+                    b,
+                    &RandomCfg {
+                        base: RANDOM_BASE,
+                        bytes: 8 * 1024,
+                        iters: 2560,
+                        store_every: 8,
+                        alu_ops: 3,
+                        seed: 0x9E37_79B9,
+                    },
+                );
+            }),
+            8 * 1024,
+        ),
+        // Stringsearch: two scan passes over the text, read-only.
+        AppId::StringSearch => (
+            wrap(app, passes, |b| {
+                for _ in 0..2 {
+                    stream(
+                        b,
+                        &StreamCfg {
+                            base: STREAM_BASE,
+                            bytes: 2 * 1024,
+                            stride: 4,
+                            store_every: 0,
+                            alu_ops: 2,
+                            unroll: 4,
+                        },
+                    );
+                }
+            }),
+            2 * 1024,
+        ),
+        // Bitcount: ALU-bound, tiny footprint.
+        AppId::Bitcount => (
+            wrap(app, passes, |b| {
+                compute(
+                    b,
+                    &ComputeCfg {
+                        iters: 2048,
+                        alu_ops: 16,
+                        base: AUX_BASE,
+                        bytes: 256,
+                    },
+                );
+            }),
+            256,
+        ),
+        // Basicmath: ALU-bound with a slightly larger working buffer and a
+        // short coefficient scan.
+        AppId::BasicMath => (
+            wrap(app, passes, |b| {
+                compute(
+                    b,
+                    &ComputeCfg {
+                        iters: 1536,
+                        alu_ops: 20,
+                        base: AUX_BASE,
+                        bytes: 1024,
+                    },
+                );
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 1024,
+                        stride: 4,
+                        store_every: 0,
+                        alu_ops: 8,
+                        unroll: 4,
+                    },
+                );
+            }),
+            2 * 1024,
+        ),
+        // Qsort: random exchanges plus a sequential partition sweep.
+        AppId::Qsort => (
+            wrap(app, passes, |b| {
+                random(
+                    b,
+                    &RandomCfg {
+                        base: RANDOM_BASE,
+                        bytes: 4 * 1024,
+                        iters: 1536,
+                        store_every: 2,
+                        alu_ops: 3,
+                        seed: 0x0BAD_F00D,
+                    },
+                );
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: RANDOM_BASE,
+                        bytes: 4 * 1024,
+                        stride: 4,
+                        store_every: 4,
+                        alu_ops: 2,
+                        unroll: 4,
+                    },
+                );
+            }),
+            4 * 1024,
+        ),
+        // SUSAN smoothing: 4x4 neighbourhood tiles, writes every few pixels.
+        AppId::SusanSmoothing => (
+            wrap(app, passes, |b| {
+                blocked(
+                    b,
+                    &BlockedCfg {
+                        base: IMAGE_BASE,
+                        width: 32,
+                        height: 32,
+                        block: 4,
+                        alu_ops: 6,
+                        store_every: 4,
+                    },
+                );
+            }),
+            32 * 32 * 4,
+        ),
+        // SUSAN edges: bigger tiles, more arithmetic, denser writes.
+        AppId::SusanEdges => (
+            wrap(app, passes, |b| {
+                blocked(
+                    b,
+                    &BlockedCfg {
+                        base: IMAGE_BASE,
+                        width: 32,
+                        height: 32,
+                        block: 8,
+                        alu_ops: 8,
+                        store_every: 8,
+                    },
+                );
+            }),
+            32 * 32 * 4,
+        ),
+        // SUSAN corners: read-mostly tile scan.
+        AppId::SusanCorners => (
+            wrap(app, passes, |b| {
+                blocked(
+                    b,
+                    &BlockedCfg {
+                        base: IMAGE_BASE,
+                        width: 32,
+                        height: 32,
+                        block: 8,
+                        alu_ops: 10,
+                        store_every: 0,
+                    },
+                );
+            }),
+            32 * 32 * 4,
+        ),
+        // FFT: butterfly stages over a 4 kB array, stores both halves.
+        AppId::Fft => (
+            wrap(app, passes, |b| {
+                strided_kernel(b, true, 5);
+            }),
+            512 * 4,
+        ),
+        // IFFT: same array, accumulating variant with extra arithmetic.
+        AppId::Ifft => (
+            wrap(app, passes, |b| {
+                strided_kernel(b, false, 6);
+            }),
+            512 * 4,
+        ),
+        // JPEG encode: three DCT-ish tile phases plus an entropy-output
+        // stream; large code footprint pressures the instruction cache.
+        AppId::JpegEnc => (
+            wrap(app, passes, |b| {
+                for phase in 0..3u32 {
+                    blocked(
+                        b,
+                        &BlockedCfg {
+                            base: IMAGE_BASE,
+                            width: 32,
+                            height: 32,
+                            block: 8,
+                            alu_ops: 6 + phase,
+                            store_every: 4,
+                        },
+                    );
+                }
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 2 * 1024,
+                        stride: 4,
+                        store_every: 2,
+                        alu_ops: 4,
+                        unroll: 8,
+                    },
+                );
+            }),
+            32 * 32 * 4 + 2 * 1024,
+        ),
+        // JPEG decode: two tile phases, expansion stream with more stores.
+        AppId::JpegDec => (
+            wrap(app, passes, |b| {
+                for _ in 0..2 {
+                    blocked(
+                        b,
+                        &BlockedCfg {
+                            base: IMAGE_BASE,
+                            width: 32,
+                            height: 32,
+                            block: 8,
+                            alu_ops: 6,
+                            store_every: 2,
+                        },
+                    );
+                }
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 4 * 1024,
+                        stride: 4,
+                        store_every: 2,
+                        alu_ops: 3,
+                        unroll: 8,
+                    },
+                );
+            }),
+            32 * 32 * 4 + 4 * 1024,
+        ),
+        // GSM encode: six codebook-search phases — long code, hot table.
+        AppId::GsmEnc => (
+            wrap(app, passes, |b| {
+                for _ in 0..6 {
+                    table_stream(
+                        b,
+                        &TableStreamCfg {
+                            base: STREAM_BASE,
+                            bytes: 1024,
+                            table_base: TABLE_BASE,
+                            table_bytes: 512,
+                            alu_ops: 10,
+                            store_every: 4,
+                        },
+                    );
+                }
+            }),
+            1024 + 512,
+        ),
+        // GSM decode: four shorter synthesis phases.
+        AppId::GsmDec => (
+            wrap(app, passes, |b| {
+                for _ in 0..4 {
+                    table_stream(
+                        b,
+                        &TableStreamCfg {
+                            base: STREAM_BASE,
+                            bytes: 1024,
+                            table_base: TABLE_BASE,
+                            table_bytes: 512,
+                            alu_ops: 6,
+                            store_every: 2,
+                        },
+                    );
+                }
+            }),
+            1024 + 512,
+        ),
+        // MPEG-2 decode: random motion-compensation fetches over a wide
+        // reference frame, tile reconstruction, sequential frame output.
+        AppId::Mpeg2Dec => (
+            wrap(app, passes, |b| {
+                random(
+                    b,
+                    &RandomCfg {
+                        base: RANDOM_BASE,
+                        bytes: 16 * 1024,
+                        iters: 1024,
+                        store_every: 0,
+                        alu_ops: 3,
+                        seed: 0xFEED_FACE,
+                    },
+                );
+                blocked(
+                    b,
+                    &BlockedCfg {
+                        base: IMAGE_BASE,
+                        width: 32,
+                        height: 32,
+                        block: 8,
+                        alu_ops: 4,
+                        store_every: 4,
+                    },
+                );
+                stream(
+                    b,
+                    &StreamCfg {
+                        base: STREAM_BASE,
+                        bytes: 4 * 1024,
+                        stride: 4,
+                        store_every: 4,
+                        alu_ops: 2,
+                        unroll: 8,
+                    },
+                );
+            }),
+            16 * 1024 + 32 * 32 * 4 + 4 * 1024,
+        ),
+    };
+    Workload {
+        app,
+        program,
+        data_footprint_bytes: footprint,
+    }
+}
+
+/// Shared FFT/IFFT body.
+fn strided_kernel(b: &mut ProgramBuilder, store_pairs: bool, alu_ops: u32) {
+    crate::kernels::strided(
+        b,
+        &crate::kernels::StridedCfg {
+            base: AUX_BASE,
+            words: 512,
+            stages: 7,
+            store_pairs,
+            alu_ops,
+        },
+    );
+}
+
+/// Wraps a body in the outer pass loop (`R13`/`R14`) and finalizes.
+fn wrap(app: AppId, passes: u32, emit_body: impl Fn(&mut ProgramBuilder)) -> Program {
+    let mut b = ProgramBuilder::new(app.name());
+    b.li(Reg::R13, 0);
+    b.li(Reg::R14, passes);
+    let top = b.label_here();
+    emit_body(&mut b);
+    b.addi(Reg::R13, Reg::R13, 1);
+    b.blt(Reg::R13, Reg::R14, top);
+    b.halt();
+    b.build_at(CODE_BASE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::test_util::run;
+
+    #[test]
+    fn all_apps_build_and_halt_at_tiny_scale() {
+        for app in AppId::ALL {
+            let wl = build(app, Scale::Tiny);
+            let (core, _, _) = run(&wl.program, 3_000_000);
+            assert!(core.halted(), "{app} did not halt");
+            assert!(
+                core.committed() > 4_000,
+                "{app} too small: {} instructions",
+                core.committed()
+            );
+            assert!(
+                core.committed() < 1_000_000,
+                "{app} too big for Tiny: {} instructions",
+                core.committed()
+            );
+        }
+    }
+
+    #[test]
+    fn load_store_ratios_are_low_and_diverse() {
+        // Fig. 7: MiBench/Mediabench load/store ratios are "relatively low".
+        let mut ratios = Vec::new();
+        for app in AppId::ALL {
+            let wl = build(app, Scale::Tiny);
+            let (core, _, _) = run(&wl.program, 3_000_000);
+            let ratio = (core.loads() + core.stores()) as f64 / core.committed() as f64;
+            assert!(
+                (0.02..=0.50).contains(&ratio),
+                "{app}: implausible ld/st ratio {ratio:.3}"
+            );
+            ratios.push(ratio);
+        }
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.5, "ratios not diverse: {min:.3}..{max:.3}");
+    }
+
+    #[test]
+    fn footprints_span_cache_sizes() {
+        let footprints: Vec<u32> = AppId::ALL
+            .iter()
+            .map(|&a| build(a, Scale::Tiny).data_footprint_bytes)
+            .collect();
+        assert!(footprints.iter().any(|&f| f <= 1024), "need cache-resident apps");
+        assert!(
+            footprints.iter().any(|&f| f >= 8 * 1024),
+            "need apps that thrash the 4 kB cache"
+        );
+    }
+
+    #[test]
+    fn scales_change_work_not_structure() {
+        let tiny = build(AppId::Crc32, Scale::Tiny);
+        let small = build(AppId::Crc32, Scale::Small);
+        assert_eq!(tiny.program.len(), small.program.len());
+        let (c_tiny, _, _) = run(&tiny.program, 10_000_000);
+        let (c_small, _, _) = run(&small.program, 10_000_000);
+        // Small uses 8x the passes of Tiny.
+        assert!(c_small.committed() > 7 * c_tiny.committed());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build(AppId::JpegEnc, Scale::Tiny);
+        let b = build(AppId::JpegEnc, Scale::Tiny);
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn code_footprints_are_diverse() {
+        let small_code = build(AppId::Crc32, Scale::Tiny).program.len();
+        let big_code = build(AppId::JpegEnc, Scale::Tiny).program.len();
+        assert!(
+            big_code > 3 * small_code,
+            "jpeg_enc ({big_code}) should dwarf crc32 ({small_code})"
+        );
+    }
+
+    #[test]
+    fn suites_are_assigned() {
+        assert_eq!(AppId::Crc32.suite(), Suite::MiBench);
+        assert_eq!(AppId::JpegEnc.suite(), Suite::Mediabench);
+        assert_eq!(AppId::ALL.len(), 20);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = AppId::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+}

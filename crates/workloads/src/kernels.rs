@@ -1,0 +1,504 @@
+//! Parameterized assembly kernels — the building blocks of the synthetic
+//! applications.
+//!
+//! Each kernel emits a self-contained loop nest into a [`ProgramBuilder`].
+//! Kernels may clobber registers `R0..=R12` and `R15` but must leave
+//! `R13`/`R14` alone — those carry the application's outer pass loop.
+
+use ehs_cpu::{ProgramBuilder, Reg};
+
+/// Sequential array walk: load, compute, occasionally store.
+///
+/// Models streaming codecs (ADPCM, CRC32, SHA hashing passes, GSM frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCfg {
+    /// Byte address of the array.
+    pub base: u32,
+    /// Array length in bytes (multiple of `stride * unroll`).
+    pub bytes: u32,
+    /// Distance between consecutive elements in bytes (≥ 4).
+    pub stride: u32,
+    /// Emit a store after every `store_every`-th unrolled load (0 = never).
+    pub store_every: u32,
+    /// ALU operations per load.
+    pub alu_ops: u32,
+    /// Loop unroll factor (≥ 1); also scales the code footprint.
+    pub unroll: u32,
+}
+
+/// Emits the streaming kernel.
+pub fn stream(b: &mut ProgramBuilder, cfg: &StreamCfg) {
+    assert!(cfg.stride >= 4 && cfg.unroll >= 1);
+    assert!(cfg.bytes.is_multiple_of(cfg.stride * cfg.unroll));
+    b.li(Reg::R1, cfg.base);
+    b.li(Reg::R2, cfg.base + cfg.bytes);
+    let top = b.label_here();
+    for u in 0..cfg.unroll {
+        let off = (u * cfg.stride) as i32;
+        b.load(Reg::R3, Reg::R1, off);
+        emit_alu(b, cfg.alu_ops, Reg::R4, Reg::R3);
+        if cfg.store_every > 0 && (u + 1) % cfg.store_every == 0 {
+            b.store(Reg::R4, Reg::R1, off);
+        }
+    }
+    b.addi(Reg::R1, Reg::R1, (cfg.unroll * cfg.stride) as i32);
+    b.blt(Reg::R1, Reg::R2, top);
+}
+
+/// Blocked 2-D image traversal: visit `block × block` tiles row by row.
+///
+/// Models JPEG's 8×8 DCT blocks and SUSAN's neighbourhood scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedCfg {
+    /// Byte address of the image (row-major u32 pixels).
+    pub base: u32,
+    /// Image width in elements (multiple of `block`).
+    pub width: u32,
+    /// Image height in elements (multiple of `block`).
+    pub height: u32,
+    /// Tile edge in elements.
+    pub block: u32,
+    /// ALU operations per loaded pixel.
+    pub alu_ops: u32,
+    /// Store after every `store_every`-th pixel of a row (0 = never).
+    pub store_every: u32,
+}
+
+/// Emits the blocked kernel.
+pub fn blocked(b: &mut ProgramBuilder, cfg: &BlockedCfg) {
+    assert!(
+        cfg.block >= 1
+            && cfg.width.is_multiple_of(cfg.block)
+            && cfg.height.is_multiple_of(cfg.block)
+    );
+    // Constants.
+    b.li(Reg::R2, cfg.block * cfg.width * 4); // bytes per block-row of tiles
+    b.li(Reg::R3, cfg.block * 4); // bytes per tile column step
+    b.li(Reg::R12, cfg.width * 4); // bytes per pixel row
+    b.li(Reg::R15, cfg.block); // rows per tile
+    b.li(Reg::R6, cfg.base);
+    // by loop.
+    b.li(Reg::R8, 0);
+    b.li(Reg::R9, cfg.height / cfg.block);
+    let by_top = b.label_here();
+    {
+        b.li(Reg::R10, 0);
+        b.li(Reg::R11, cfg.width / cfg.block);
+        let bx_top = b.label_here();
+        {
+            // Tile base = base + by * (block*width*4) + bx * (block*4).
+            b.mul(Reg::R5, Reg::R8, Reg::R2);
+            b.add(Reg::R5, Reg::R5, Reg::R6);
+            b.mul(Reg::R1, Reg::R10, Reg::R3);
+            b.add(Reg::R5, Reg::R5, Reg::R1);
+            // Row loop within the tile.
+            b.li(Reg::R7, 0);
+            let row_top = b.label_here();
+            {
+                b.mul(Reg::R1, Reg::R7, Reg::R12);
+                b.add(Reg::R1, Reg::R1, Reg::R5);
+                for ix in 0..cfg.block {
+                    let off = (ix * 4) as i32;
+                    b.load(Reg::R0, Reg::R1, off);
+                    emit_alu(b, cfg.alu_ops, Reg::R4, Reg::R0);
+                    if cfg.store_every > 0 && (ix + 1) % cfg.store_every == 0 {
+                        b.store(Reg::R4, Reg::R1, off);
+                    }
+                }
+                b.addi(Reg::R7, Reg::R7, 1);
+                b.blt(Reg::R7, Reg::R15, row_top);
+            }
+            b.addi(Reg::R10, Reg::R10, 1);
+            b.blt(Reg::R10, Reg::R11, bx_top);
+        }
+        b.addi(Reg::R8, Reg::R8, 1);
+        b.blt(Reg::R8, Reg::R9, by_top);
+    }
+}
+
+/// FFT-style strided butterflies: per stage, walk the array touching pairs
+/// `(i, i + stride)` with the stride doubling every stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedCfg {
+    /// Byte address of the array (u32 elements).
+    pub base: u32,
+    /// Number of elements (power of two).
+    pub words: u32,
+    /// Number of butterfly stages (≤ log2(words)).
+    pub stages: u32,
+    /// Store both halves of each pair (`true` for FFT, `false` models an
+    /// inverse pass that accumulates instead).
+    pub store_pairs: bool,
+    /// Extra ALU operations per pair.
+    pub alu_ops: u32,
+}
+
+/// Emits the strided butterfly kernel.
+pub fn strided(b: &mut ProgramBuilder, cfg: &StridedCfg) {
+    assert!(cfg.words.is_power_of_two());
+    assert!(cfg.stages >= 1 && (1u32 << cfg.stages) <= cfg.words);
+    b.li(Reg::R6, cfg.base);
+    b.li(Reg::R2, cfg.base + cfg.words * 4); // array end
+    b.li(Reg::R11, 4); // stride in bytes, doubles per stage
+    b.li(Reg::R8, 0);
+    b.li(Reg::R9, cfg.stages);
+    let stage_top = b.label_here();
+    {
+        b.add(Reg::R12, Reg::R11, Reg::R11); // step = 2 * stride
+        b.sub(Reg::R10, Reg::R2, Reg::R11); // bound so i + stride stays in range
+        b.li(Reg::R1, cfg.base);
+        let inner_top = b.label_here();
+        {
+            b.load(Reg::R0, Reg::R1, 0);
+            b.add(Reg::R5, Reg::R1, Reg::R11);
+            b.load(Reg::R3, Reg::R5, 0);
+            b.xor(Reg::R4, Reg::R0, Reg::R3);
+            emit_alu(b, cfg.alu_ops, Reg::R4, Reg::R0);
+            b.store(Reg::R4, Reg::R1, 0);
+            if cfg.store_pairs {
+                b.store(Reg::R4, Reg::R5, 0);
+            }
+            b.add(Reg::R1, Reg::R1, Reg::R12);
+            b.blt(Reg::R1, Reg::R10, inner_top);
+        }
+        b.add(Reg::R11, Reg::R11, Reg::R11);
+        b.addi(Reg::R8, Reg::R8, 1);
+        b.blt(Reg::R8, Reg::R9, stage_top);
+    }
+}
+
+/// Pseudo-random pointer chasing over a footprint, driven by an in-register
+/// xorshift32. Models Dijkstra's frontier, Patricia trie walks, qsort's
+/// partition exchanges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomCfg {
+    /// Byte address of the footprint.
+    pub base: u32,
+    /// Footprint size in bytes (power of two ≥ 8).
+    pub bytes: u32,
+    /// Iterations of the walk.
+    pub iters: u32,
+    /// Store after every `store_every`-th iteration (0 = never).
+    pub store_every: u32,
+    /// ALU operations per access (beyond the xorshift itself).
+    pub alu_ops: u32,
+    /// Xorshift seed (nonzero).
+    pub seed: u32,
+}
+
+/// Emits the random-walk kernel.
+pub fn random(b: &mut ProgramBuilder, cfg: &RandomCfg) {
+    assert!(cfg.bytes.is_power_of_two() && cfg.bytes >= 8);
+    assert!(cfg.seed != 0);
+    let unroll = if cfg.store_every > 0 {
+        cfg.store_every
+    } else {
+        1
+    };
+    b.li(Reg::R6, cfg.base);
+    b.li(Reg::R15, cfg.bytes - 4); // word-aligned byte mask
+    b.li(Reg::R7, cfg.seed);
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, cfg.iters / unroll);
+    let top = b.label_here();
+    for u in 0..unroll {
+        // xorshift32
+        b.shl(Reg::R5, Reg::R7, 13);
+        b.xor(Reg::R7, Reg::R7, Reg::R5);
+        b.shr(Reg::R5, Reg::R7, 17);
+        b.xor(Reg::R7, Reg::R7, Reg::R5);
+        b.shl(Reg::R5, Reg::R7, 5);
+        b.xor(Reg::R7, Reg::R7, Reg::R5);
+        // addr = base + (state & mask)
+        b.and(Reg::R5, Reg::R7, Reg::R15);
+        b.add(Reg::R5, Reg::R5, Reg::R6);
+        b.load(Reg::R0, Reg::R5, 0);
+        emit_alu(b, cfg.alu_ops, Reg::R4, Reg::R0);
+        if cfg.store_every > 0 && u + 1 == unroll {
+            b.store(Reg::R4, Reg::R5, 0);
+        }
+    }
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, top);
+}
+
+/// Streaming walk with a table lookup per element (index derived from the
+/// cursor, so the table is revisited heavily). Models ADPCM step tables and
+/// GSM codebooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStreamCfg {
+    /// Byte address of the streamed array.
+    pub base: u32,
+    /// Streamed bytes.
+    pub bytes: u32,
+    /// Byte address of the lookup table.
+    pub table_base: u32,
+    /// Table size in bytes (power of two).
+    pub table_bytes: u32,
+    /// ALU operations per element.
+    pub alu_ops: u32,
+    /// Store after every `store_every`-th element (0 = never).
+    pub store_every: u32,
+}
+
+/// Emits the table-lookup streaming kernel.
+pub fn table_stream(b: &mut ProgramBuilder, cfg: &TableStreamCfg) {
+    assert!(cfg.table_bytes.is_power_of_two() && cfg.table_bytes >= 8);
+    b.li(Reg::R1, cfg.base);
+    b.li(Reg::R2, cfg.base + cfg.bytes);
+    b.li(Reg::R12, cfg.table_base);
+    b.li(Reg::R15, cfg.table_bytes - 4);
+    let unroll = if cfg.store_every > 0 {
+        cfg.store_every
+    } else {
+        1
+    };
+    let top = b.label_here();
+    for u in 0..unroll {
+        let off = (u * 4) as i32;
+        b.load(Reg::R0, Reg::R1, off);
+        // Table index from the cursor (deterministic, data-independent).
+        b.and(Reg::R5, Reg::R1, Reg::R15);
+        b.add(Reg::R5, Reg::R5, Reg::R12);
+        b.load(Reg::R3, Reg::R5, 0);
+        b.add(Reg::R4, Reg::R0, Reg::R3);
+        emit_alu(b, cfg.alu_ops, Reg::R4, Reg::R3);
+        if cfg.store_every > 0 && u + 1 == unroll {
+            b.store(Reg::R4, Reg::R1, off);
+        }
+    }
+    b.addi(Reg::R1, Reg::R1, (unroll * 4) as i32);
+    b.blt(Reg::R1, Reg::R2, top);
+}
+
+/// Compute-dominated loop with rare memory touches over a tiny footprint.
+/// Models bitcount and basicmath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeCfg {
+    /// Loop iterations.
+    pub iters: u32,
+    /// ALU operations per iteration (before the single load/store pair).
+    pub alu_ops: u32,
+    /// Byte address of the small working buffer.
+    pub base: u32,
+    /// Buffer size in bytes (power of two ≥ 8).
+    pub bytes: u32,
+}
+
+/// Emits the compute-heavy kernel.
+pub fn compute(b: &mut ProgramBuilder, cfg: &ComputeCfg) {
+    assert!(cfg.bytes.is_power_of_two() && cfg.bytes >= 8);
+    assert!(cfg.alu_ops >= 1);
+    b.li(Reg::R6, cfg.base);
+    b.li(Reg::R15, cfg.bytes - 4);
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, cfg.iters);
+    let top = b.label_here();
+    emit_alu(b, cfg.alu_ops, Reg::R4, Reg::R1);
+    b.shl(Reg::R5, Reg::R1, 2);
+    b.and(Reg::R5, Reg::R5, Reg::R15);
+    b.add(Reg::R5, Reg::R5, Reg::R6);
+    b.load(Reg::R0, Reg::R5, 0);
+    b.store(Reg::R4, Reg::R5, 0);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, top);
+}
+
+/// Emits `count` ALU instructions folding `src` into `acc`, cycling through
+/// a deterministic op mix.
+fn emit_alu(b: &mut ProgramBuilder, count: u32, acc: Reg, src: Reg) {
+    for k in 0..count {
+        match k % 4 {
+            0 => b.add(acc, acc, src),
+            1 => b.xor(acc, acc, src),
+            2 => b.shr(acc, acc, 1),
+            _ => b.or(acc, acc, src),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use ehs_cpu::{Core, Effect, Program};
+    use std::collections::HashMap;
+
+    /// Executes a program to completion (or `max_steps`), returning the core
+    /// and the set of touched data addresses.
+    pub fn run(program: &Program, max_steps: u64) -> (Core, HashMap<u32, u32>, Vec<u32>) {
+        let mut core = Core::new(program);
+        let mut mem: HashMap<u32, u32> = HashMap::new();
+        let mut touched = Vec::new();
+        for _ in 0..max_steps {
+            match core.step(program) {
+                Effect::Compute => {}
+                Effect::Load { addr, dst } => {
+                    touched.push(addr);
+                    let v = mem.get(&addr).copied().unwrap_or(0);
+                    core.finish_load(dst, v);
+                }
+                Effect::Store { addr, value } => {
+                    touched.push(addr);
+                    mem.insert(addr, value);
+                }
+                Effect::Halted => break,
+            }
+        }
+        (core, mem, touched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehs_cpu::ProgramBuilder;
+    use test_util::run;
+
+    fn finish(mut b: ProgramBuilder) -> ehs_cpu::Program {
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn stream_touches_every_element_in_order() {
+        let mut b = ProgramBuilder::new("s");
+        stream(
+            &mut b,
+            &StreamCfg {
+                base: 0x1000,
+                bytes: 256,
+                stride: 4,
+                store_every: 2,
+                alu_ops: 2,
+                unroll: 4,
+            },
+        );
+        let p = finish(b);
+        let (core, _, touched) = run(&p, 100_000);
+        assert!(core.halted());
+        let loads: Vec<u32> = touched.iter().copied().step_by(1).collect();
+        assert!(loads.contains(&0x1000));
+        assert!(loads.contains(&0x10FC));
+        assert!(!loads.contains(&0x1100));
+        assert_eq!(core.loads(), 64);
+        assert_eq!(core.stores(), 32, "store_every=2 stores half the loads");
+    }
+
+    #[test]
+    fn blocked_visits_whole_image_with_tile_locality() {
+        let mut b = ProgramBuilder::new("b");
+        blocked(
+            &mut b,
+            &BlockedCfg {
+                base: 0x2000,
+                width: 16,
+                height: 8,
+                block: 4,
+                alu_ops: 1,
+                store_every: 4,
+            },
+        );
+        let p = finish(b);
+        let (core, _, touched) = run(&p, 200_000);
+        assert!(core.halted());
+        assert_eq!(core.loads(), 16 * 8, "every pixel loaded once");
+        // First tile's rows come before the second tile's columns.
+        assert_eq!(touched[0], 0x2000);
+        let mut distinct: Vec<u32> = touched.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 16 * 8);
+    }
+
+    #[test]
+    fn strided_doubles_stride_each_stage() {
+        let mut b = ProgramBuilder::new("f");
+        strided(
+            &mut b,
+            &StridedCfg {
+                base: 0x3000,
+                words: 64,
+                stages: 3,
+                store_pairs: true,
+                alu_ops: 2,
+            },
+        );
+        let p = finish(b);
+        let (core, _, touched) = run(&p, 100_000);
+        assert!(core.halted());
+        // Stage 1 pairs are 4 bytes apart, stage 2 pairs 8 bytes apart.
+        assert_eq!(touched[1] - touched[0], 4);
+        assert!(core.loads() > 0 && core.stores() > 0);
+        // Stores and loads are paired (store_pairs = true).
+        assert_eq!(core.loads(), core.stores());
+    }
+
+    #[test]
+    fn random_stays_in_footprint_and_spreads() {
+        let mut b = ProgramBuilder::new("r");
+        random(
+            &mut b,
+            &RandomCfg {
+                base: 0x4000,
+                bytes: 4096,
+                iters: 512,
+                store_every: 4,
+                alu_ops: 1,
+                seed: 0xBEEF,
+            },
+        );
+        let p = finish(b);
+        let (core, _, touched) = run(&p, 200_000);
+        assert!(core.halted());
+        for &a in &touched {
+            assert!((0x4000..0x5000).contains(&a), "addr {a:#x} escaped");
+            assert_eq!(a % 4, 0, "addresses stay word-aligned");
+        }
+        let mut distinct: Vec<u32> = touched.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 200, "walk must spread, got {}", distinct.len());
+        assert_eq!(core.stores() * 4, core.loads());
+    }
+
+    #[test]
+    fn table_stream_hits_both_regions() {
+        let mut b = ProgramBuilder::new("t");
+        table_stream(
+            &mut b,
+            &TableStreamCfg {
+                base: 0x8000,
+                bytes: 512,
+                table_base: 0x100,
+                table_bytes: 64,
+                alu_ops: 2,
+                store_every: 2,
+            },
+        );
+        let p = finish(b);
+        let (core, _, touched) = run(&p, 100_000);
+        assert!(core.halted());
+        assert!(touched.iter().any(|&a| a >= 0x8000));
+        assert!(touched.iter().any(|&a| (0x100..0x140).contains(&a)));
+        assert_eq!(core.loads(), 256, "stream + table load per element");
+    }
+
+    #[test]
+    fn compute_kernel_is_alu_dominated() {
+        let mut b = ProgramBuilder::new("c");
+        compute(
+            &mut b,
+            &ComputeCfg {
+                iters: 256,
+                alu_ops: 16,
+                base: 0x9000,
+                bytes: 256,
+            },
+        );
+        let p = finish(b);
+        let (core, _, _) = run(&p, 100_000);
+        assert!(core.halted());
+        let mem_ops = core.loads() + core.stores();
+        let ratio = mem_ops as f64 / core.committed() as f64;
+        assert!(ratio < 0.12, "compute kernel too memory-heavy: {ratio}");
+    }
+}

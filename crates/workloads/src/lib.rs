@@ -1,0 +1,37 @@
+//! Synthetic MiBench / Mediabench workloads for the EDBP reproduction.
+//!
+//! The paper evaluates 20 applications from MiBench \[25\] and Mediabench \[39\]
+//! compiled for ARM and run under gem5. Real binaries cannot run on this
+//! crate's mini-RISC substrate, so each application is *synthesized*: a small
+//! assembly program (built with [`ehs_cpu::ProgramBuilder`]) whose memory
+//! behaviour matches the real application along the axes this study is
+//! sensitive to —
+//!
+//! * **load/store fraction** of committed instructions (Fig. 7's bottom
+//!   panel drives how many dead/zombie blocks exist),
+//! * **data footprint** relative to the 4 kB data cache (hit rate, thrash),
+//! * **access structure** (streaming, blocked 2-D, strided butterflies,
+//!   pointer-chasing, table lookups),
+//! * **code footprint** relative to the 4 kB instruction cache.
+//!
+//! EDBP never inspects data values — only the address/reuse stream and power
+//! schedule — so matching these distributions preserves the paper's
+//! comparisons. See `DESIGN.md` §4 for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use ehs_workloads::{build, AppId, Scale};
+//!
+//! let wl = build(AppId::Crc32, Scale::Tiny);
+//! assert_eq!(wl.app.name(), "crc32");
+//! assert!(wl.program.len() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod kernels;
+
+pub use apps::{build, AppId, Scale, Suite, Workload};

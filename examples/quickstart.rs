@@ -1,0 +1,51 @@
+//! Quickstart: simulate one benchmark on the paper's platform, with and
+//! without EDBP, and print what changed.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use edbp_repro::sim::{run_app, Scheme, SystemConfig};
+use edbp_repro::workloads::{AppId, Scale};
+
+fn main() {
+    // The paper's Table II platform: 4 kB SRAM D$, 4 kB ReRAM I$, 16 MB
+    // ReRAM memory, RFHome harvesting, 25 MHz in-order core.
+    let config = SystemConfig::paper_default();
+
+    println!("Simulating jpeg_enc on the RFHome trace...\n");
+    let baseline = run_app(&config, Scheme::Baseline, AppId::JpegEnc, Scale::Small);
+    let edbp = run_app(&config, Scheme::Edbp, AppId::JpegEnc, Scale::Small);
+    let combined = run_app(&config, Scheme::DecayEdbp, AppId::JpegEnc, Scale::Small);
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>9}",
+        "scheme", "time (ms)", "energy(uJ)", "outages", "d$ miss"
+    );
+    for r in [&baseline, &edbp, &combined] {
+        println!(
+            "{:<22} {:>10.3} {:>10.1} {:>10} {:>8.2}%",
+            r.scheme.name(),
+            r.total_time().as_millis(),
+            r.energy.total().as_micro_joules(),
+            r.outages,
+            r.dcache_miss_rate() * 100.0,
+        );
+    }
+
+    println!(
+        "\nEDBP alone:        {:+.1}% energy, {:.3}x speedup",
+        (1.0 - edbp.energy.total() / baseline.energy.total()) * 100.0,
+        baseline.total_time() / edbp.total_time(),
+    );
+    println!(
+        "Cache Decay + EDBP: {:+.1}% energy, {:.3}x speedup",
+        (1.0 - combined.energy.total() / baseline.energy.total()) * 100.0,
+        baseline.total_time() / combined.total_time(),
+    );
+    println!(
+        "\nZombie accounting (EDBP): {} gated correctly (TP), {} wrong kills (FP), \
+         {} zombies missed",
+        edbp.prediction.true_positives,
+        edbp.prediction.false_positives,
+        edbp.prediction.missed_zombies,
+    );
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+set -u
+cd "$(dirname "$0")"
+BINS="exp_hw_cost exp_fig09_absolute_power exp_fig06_true_false_rates \
+exp_fig07_energy_breakdown exp_fig08_performance exp_fig04_zombie_ratio \
+exp_table1 exp_fig01_cache_size_motivation exp_fig10_replacement_policy \
+exp_fig11_cache_size exp_fig12_associativity exp_fig13_nvm_technology \
+exp_fig14_memory_size exp_fig15_energy_conditions exp_fig16_capacitor_size \
+exp_fig17_sensitivity_summary exp_fig18_icache exp_ablation_adaptation \
+exp_ablation_policy exp_other_predictors"
+for b in $BINS; do
+  echo "=== running $b ==="
+  ./target/release/$b "${1:-small}" > results/$b.txt 2>&1 || echo "$b FAILED"
+done
+echo "all experiments done"

@@ -1,0 +1,15 @@
+//! Workspace root crate for the EDBP reproduction.
+//!
+//! This crate re-exports the public APIs of every member crate so that the
+//! `examples/` and `tests/` at the repository root can exercise the whole
+//! system through a single dependency. Library users should normally depend
+//! on the individual crates (`edbp-core`, `ehs-sim`, ...) directly.
+
+pub use edbp_core as edbp;
+pub use ehs_cache as cache;
+pub use ehs_cpu as cpu;
+pub use ehs_energy as energy;
+pub use ehs_nvm as nvm;
+pub use ehs_sim as sim;
+pub use ehs_units as units;
+pub use ehs_workloads as workloads;

@@ -1,0 +1,152 @@
+//! Crash-consistency integration tests: the architectural result of a run
+//! interrupted by dozens of power failures must equal the failure-free
+//! result, for every scheme. This is the correctness contract of JIT
+//! checkpointing (paper Section II) and of every predictor's write-back /
+//! parking discipline.
+
+use edbp_repro::cpu::{Core, Effect, ProgramBuilder, Reg};
+use edbp_repro::sim::{Scheme, Simulation, SourceKind, SystemConfig};
+use edbp_repro::units::Power;
+use edbp_repro::workloads::{AppId, Workload};
+use std::collections::HashMap;
+
+/// A program that writes a recognizable pattern: out[i] = sum of inputs up
+/// to i, over several passes (so blocks are dirtied, evicted, re-read).
+fn pattern_program() -> Workload {
+    const IN: u32 = 0x0010_0000;
+    const OUT: u32 = 0x0012_0000;
+    const WORDS: u32 = 512; // 2 kB in + 2 kB out: dirties half the cache
+
+    let mut b = ProgramBuilder::new("pattern");
+    // Initialize input: in[i] = i * 3 + 7.
+    b.li(Reg::R1, IN);
+    b.li(Reg::R2, IN + WORDS * 4);
+    b.li(Reg::R3, 7);
+    let init = b.label_here();
+    b.store(Reg::R3, Reg::R1, 0);
+    b.addi(Reg::R3, Reg::R3, 3);
+    b.addi(Reg::R1, Reg::R1, 4);
+    b.blt(Reg::R1, Reg::R2, init);
+
+    // Sixteen passes of prefix sums into OUT (long enough to span many
+    // power cycles on the RFHome trace).
+    b.li(Reg::R13, 0);
+    b.li(Reg::R14, 16);
+    let pass = b.label_here();
+    {
+        b.li(Reg::R1, IN);
+        b.li(Reg::R5, OUT);
+        b.li(Reg::R2, IN + WORDS * 4);
+        b.li(Reg::R4, 0); // running sum
+        let loop_top = b.label_here();
+        b.load(Reg::R3, Reg::R1, 0);
+        b.add(Reg::R4, Reg::R4, Reg::R3);
+        b.store(Reg::R4, Reg::R5, 0);
+        b.addi(Reg::R1, Reg::R1, 4);
+        b.addi(Reg::R5, Reg::R5, 4);
+        b.blt(Reg::R1, Reg::R2, loop_top);
+    }
+    b.addi(Reg::R13, Reg::R13, 1);
+    b.blt(Reg::R13, Reg::R14, pass);
+    b.halt();
+
+    Workload {
+        app: AppId::Sha,
+        program: b.build_at(0x0100_0000),
+        data_footprint_bytes: WORDS * 8,
+    }
+}
+
+/// Golden model: execute the program on a plain interpreter (no caches, no
+/// power failures) and return the expected OUT words.
+fn golden_out_words() -> Vec<u32> {
+    let wl = pattern_program();
+    let mut core = Core::new(&wl.program);
+    let mut mem: HashMap<u32, u32> = HashMap::new();
+    loop {
+        match core.step(&wl.program) {
+            Effect::Compute => {}
+            Effect::Load { addr, dst } => {
+                let v = mem.get(&addr).copied().unwrap_or(0);
+                core.finish_load(dst, v);
+            }
+            Effect::Store { addr, value } => {
+                mem.insert(addr, value);
+            }
+            Effect::Halted => break,
+        }
+    }
+    (0..512u32)
+        .map(|i| mem.get(&(0x0012_0000 + i * 4)).copied().unwrap_or(0))
+        .collect()
+}
+
+fn probe_addrs() -> Vec<u64> {
+    (0..512u64).map(|i| 0x0012_0000 + i * 4).collect()
+}
+
+fn assert_consistent(scheme: Scheme) {
+    let config = SystemConfig::paper_default();
+    let trace = scheme
+        .needs_oracle_trace()
+        .then(|| edbp_repro::sim::record_generation_trace(&config, pattern_program()));
+    let sim = Simulation::new(&config, scheme, pattern_program(), trace);
+    let (result, words) = sim.run_with_memory_probe(&probe_addrs());
+    assert!(result.completed, "{scheme}: did not complete");
+    assert!(
+        result.outages >= 2,
+        "{scheme}: needs real intermittence to be meaningful (got {} outages)",
+        result.outages
+    );
+    assert_eq!(result.brownouts, 0, "{scheme}: JIT margin violated");
+    let golden = golden_out_words();
+    assert_eq!(words, golden, "{scheme}: memory image diverged");
+}
+
+#[test]
+fn baseline_is_crash_consistent() {
+    assert_consistent(Scheme::Baseline);
+}
+
+#[test]
+fn sdbp_is_crash_consistent() {
+    assert_consistent(Scheme::Sdbp);
+}
+
+#[test]
+fn cache_decay_is_crash_consistent() {
+    assert_consistent(Scheme::Decay);
+}
+
+#[test]
+fn edbp_is_crash_consistent() {
+    assert_consistent(Scheme::Edbp);
+}
+
+#[test]
+fn combined_is_crash_consistent() {
+    assert_consistent(Scheme::DecayEdbp);
+}
+
+#[test]
+fn amc_edbp_is_crash_consistent() {
+    assert_consistent(Scheme::AmcEdbp);
+}
+
+#[test]
+fn ideal_is_crash_consistent() {
+    assert_consistent(Scheme::Ideal);
+}
+
+#[test]
+fn failure_free_run_matches_golden_too() {
+    // With an over-provisioned constant source there are no outages at all;
+    // the cached execution must still match the golden model.
+    let mut config = SystemConfig::paper_default();
+    config.source = SourceKind::Constant(Power::from_milli_watts(100.0));
+    let sim = Simulation::new(&config, Scheme::Baseline, pattern_program(), None);
+    let (result, words) = sim.run_with_memory_probe(&probe_addrs());
+    assert!(result.completed);
+    assert_eq!(result.outages, 0, "100 mW never fails");
+    assert_eq!(words, golden_out_words());
+}

@@ -1,0 +1,59 @@
+//! Smoke tests for the experiment harness: each runner must produce a
+//! well-formed table at Tiny scale. The cheap experiments run fully; the
+//! heavyweight sweeps are covered by their underlying pieces elsewhere and
+//! by the `exp_*` binaries / benches.
+
+use edbp_repro::sim::experiments::{
+    ablation_policy, fig6_true_false_rates, fig9_absolute, hw_cost, other_predictors,
+    ExperimentOptions,
+};
+
+#[test]
+fn hw_cost_reproduces_the_paper_point() {
+    let table = hw_cost(ExperimentOptions::quick());
+    let rendered = table.render();
+    assert!(
+        rendered.contains("0.0098%"),
+        "Section VI-B's 0.0098% must appear:\n{rendered}"
+    );
+}
+
+#[test]
+fn fig9_covers_all_twenty_apps() {
+    let table = fig9_absolute(ExperimentOptions::quick());
+    assert_eq!(table.len(), 21, "20 apps + MEAN row");
+    let rendered = table.render();
+    assert!(rendered.contains("crc32"));
+    assert!(rendered.contains("mpeg2_dec"));
+    assert!(rendered.contains("MEAN"));
+}
+
+#[test]
+fn fig6_reports_three_schemes_per_app() {
+    let table = fig6_true_false_rates(ExperimentOptions::quick());
+    assert_eq!(table.len(), 3 * 21, "3 schemes x (20 apps + MEAN)");
+}
+
+#[test]
+fn ablation_policy_runs_all_four_variants() {
+    let table = ablation_policy(ExperimentOptions::quick());
+    assert_eq!(table.len(), 4);
+    let rendered = table.render();
+    assert!(rendered.contains("paper (mru+clean)"));
+    assert!(rendered.contains("neither"));
+}
+
+#[test]
+fn other_predictors_composes_edbp_with_amc() {
+    let table = other_predictors(ExperimentOptions::quick());
+    assert_eq!(table.len(), 5);
+    assert!(table.render().contains("amc+edbp"));
+}
+
+#[test]
+fn tables_render_as_csv_too() {
+    let table = hw_cost(ExperimentOptions::quick());
+    let csv = table.to_csv();
+    assert!(csv.lines().count() >= 2, "header + rows");
+    assert!(csv.starts_with("blocks,"));
+}

@@ -1,0 +1,171 @@
+//! Full-system behavioural integration tests: determinism, scheme
+//! mechanics, and the qualitative relationships the paper's evaluation
+//! rests on.
+
+use edbp_repro::energy::TracePreset;
+use edbp_repro::sim::{run_app, Scheme, SourceKind, SystemConfig};
+use edbp_repro::units::{Capacitance, Power};
+use edbp_repro::workloads::{AppId, Scale};
+
+#[test]
+fn identical_configurations_give_identical_results() {
+    let config = SystemConfig::paper_default();
+    let a = run_app(&config, Scheme::DecayEdbp, AppId::Qsort, Scale::Tiny);
+    let b = run_app(&config, Scheme::DecayEdbp, AppId::Qsort, Scale::Tiny);
+    assert_eq!(a, b, "simulation must be bit-reproducible");
+}
+
+#[test]
+fn different_seeds_change_outage_schedule() {
+    let mut config = SystemConfig::paper_default();
+    let a = run_app(&config, Scheme::Baseline, AppId::Qsort, Scale::Tiny);
+    config.source = SourceKind::Preset {
+        preset: TracePreset::RfHome,
+        seed: 1234,
+        scale: 1.0,
+    };
+    let b = run_app(&config, Scheme::Baseline, AppId::Qsort, Scale::Tiny);
+    assert_eq!(a.committed, b.committed, "same program, same work");
+    assert_ne!(
+        a.total_time(),
+        b.total_time(),
+        "a different ambient history must change the timeline"
+    );
+}
+
+#[test]
+fn infinite_energy_means_no_outages_and_no_edbp_activity() {
+    // Section VIII: with an unlimited supply EDBP never engages.
+    let mut config = SystemConfig::paper_default();
+    config.source = SourceKind::Constant(Power::from_milli_watts(200.0));
+    let r = run_app(&config, Scheme::Edbp, AppId::Crc32, Scale::Tiny);
+    assert!(r.completed);
+    assert_eq!(r.outages, 0);
+    assert_eq!(r.prediction.true_positives, 0, "no voltage sag, no kills");
+    assert_eq!(r.prediction.false_positives, 0);
+    assert_eq!(r.dcache.gates, 0);
+}
+
+#[test]
+fn outage_frequency_follows_the_trace_ordering() {
+    // Section VI-H6: thermal < solar < RFOffice/RFHome in outage count.
+    let mut outages = Vec::new();
+    for preset in [TracePreset::Thermal, TracePreset::Solar, TracePreset::RfHome] {
+        let mut config = SystemConfig::paper_default();
+        config.source = SourceKind::Preset {
+            preset,
+            seed: 42,
+            scale: 1.0,
+        };
+        let r = run_app(&config, Scheme::Baseline, AppId::JpegEnc, Scale::Small);
+        assert!(r.completed, "{preset:?} run must complete");
+        outages.push((preset, r.outages));
+    }
+    assert!(
+        outages[0].1 <= outages[1].1 && outages[1].1 < outages[2].1,
+        "outage ordering violated: {outages:?}"
+    );
+}
+
+#[test]
+fn bigger_capacitors_mean_fewer_outages() {
+    // The mechanism behind Fig. 16.
+    let mut counts = Vec::new();
+    for uf in [4.7, 47.0, 470.0] {
+        let mut config = SystemConfig::paper_default();
+        config.energy.capacitor.capacitance = Capacitance::from_micro_farads(uf);
+        let r = run_app(&config, Scheme::Baseline, AppId::Dijkstra, Scale::Small);
+        assert!(r.completed);
+        counts.push(r.outages);
+    }
+    assert!(
+        counts[0] > counts[1] && counts[1] >= counts[2],
+        "outages must fall with capacitance: {counts:?}"
+    );
+}
+
+#[test]
+fn leakage_off_stress_saves_static_energy() {
+    // Fig. 1/8's magic knob: 80% less D$ leakage must show up directly in
+    // the static-energy bucket without touching hit rates.
+    let config = SystemConfig::paper_default();
+    let base = run_app(&config, Scheme::Baseline, AppId::Sha, Scale::Tiny);
+    let off = run_app(&config, Scheme::LeakageOff80, AppId::Sha, Scale::Tiny);
+    let ratio = off.energy.dcache_static / base.energy.dcache_static;
+    assert!(
+        (0.1..0.45).contains(&ratio),
+        "static energy should drop to ~20-30% (time shifts add slack), got {ratio:.3}"
+    );
+}
+
+#[test]
+fn edbp_gates_blocks_and_accounts_them() {
+    let config = SystemConfig::paper_default();
+    let r = run_app(&config, Scheme::Edbp, AppId::JpegEnc, Scale::Small);
+    assert!(r.completed);
+    assert!(r.dcache.gates > 0, "EDBP must actually deactivate blocks");
+    let p = &r.prediction;
+    assert!(
+        p.true_positives + p.false_positives > 0,
+        "gated blocks must be classified"
+    );
+    assert!(p.coverage() > 0.0 && p.coverage() <= 1.0);
+    assert!(p.accuracy() > 0.0 && p.accuracy() <= 1.0);
+}
+
+#[test]
+fn combined_scheme_covers_more_than_decay_alone() {
+    // The paper's Fig. 6 story: Cache Decay alone misses the zombies.
+    let config = SystemConfig::paper_default();
+    let decay = run_app(&config, Scheme::Decay, AppId::JpegEnc, Scale::Small);
+    let combined = run_app(&config, Scheme::DecayEdbp, AppId::JpegEnc, Scale::Small);
+    assert!(
+        combined.prediction.coverage() > decay.prediction.coverage(),
+        "decay {:.3} vs combined {:.3}",
+        decay.prediction.coverage(),
+        combined.prediction.coverage()
+    );
+}
+
+#[test]
+fn baseline_never_gates() {
+    let config = SystemConfig::paper_default();
+    let r = run_app(&config, Scheme::Baseline, AppId::Fft, Scale::Tiny);
+    assert_eq!(r.dcache.gates, 0);
+    assert_eq!(r.prediction.true_positives, 0);
+    assert_eq!(r.prediction.false_positives, 0);
+}
+
+#[test]
+fn icache_survives_outages_when_nonvolatile() {
+    // The default ReRAM I$ keeps its contents across power failures, so its
+    // miss count is essentially the cold footprint, independent of outages.
+    let config = SystemConfig::paper_default();
+    let r = run_app(&config, Scheme::Baseline, AppId::GsmEnc, Scale::Small);
+    assert!(r.outages > 0);
+    assert!(
+        r.icache.miss_rate() < 0.02,
+        "nonvolatile I$ should rarely miss, got {:.4}",
+        r.icache.miss_rate()
+    );
+}
+
+#[test]
+fn sram_icache_goes_cold_at_every_outage() {
+    let mut config = SystemConfig::paper_default();
+    config.icache_tech = edbp_repro::nvm::MemoryTechnology::Sram;
+    config.icache_energy_scale = 1.0;
+    let volatile = run_app(&config, Scheme::Baseline, AppId::GsmEnc, Scale::Small);
+    let nonvolatile = run_app(
+        &SystemConfig::paper_default(),
+        Scheme::Baseline,
+        AppId::GsmEnc,
+        Scale::Small,
+    );
+    assert!(
+        volatile.icache.misses > nonvolatile.icache.misses,
+        "volatile I$ must re-fill after outages ({} vs {})",
+        volatile.icache.misses,
+        nonvolatile.icache.misses
+    );
+}
