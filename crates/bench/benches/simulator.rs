@@ -43,9 +43,7 @@ fn edbp_tick(c: &mut Criterion) {
                 let edbp = Edbp::new(EdbpConfig::for_cache(&cache));
                 (cache, edbp)
             },
-            |(mut cache, mut edbp)| {
-                black_box(edbp.tick(&mut cache, Voltage::from_volts(3.2), 0))
-            },
+            |(mut cache, mut edbp)| black_box(edbp.tick(&mut cache, Voltage::from_volts(3.2), 0)),
             criterion::BatchSize::SmallInput,
         )
     });
@@ -55,7 +53,9 @@ fn trace_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace");
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("rfhome_power_at_10k", |b| {
-        let trace = SourceConfig::preset(TracePreset::RfHome).with_seed(7).build();
+        let trace = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(7)
+            .build();
         b.iter(|| {
             let mut acc = 0.0;
             for i in 0..10_000u64 {
@@ -64,6 +64,50 @@ fn trace_sampling(c: &mut Criterion) {
                     .as_watts();
             }
             black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// The per-cycle / per-checkpoint cache walks, in their allocation-free
+/// visitor form vs. the legacy `Vec` snapshots they replaced. The visitor
+/// numbers are what the simulation loop actually pays.
+fn cache_walks(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig::paper_dcache());
+    for i in 0..256u64 {
+        cache.lookup(
+            i * 16,
+            if i % 2 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        );
+        cache.fill(i * 16, &[0u8; 16], i % 2 == 0);
+    }
+    let mut group = c.benchmark_group("cache_walk");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("resident_addrs_iter", |b| {
+        b.iter(|| black_box(cache.resident_addrs_iter().sum::<u64>()))
+    });
+    group.bench_function("resident_addrs_vec", |b| {
+        b.iter(|| black_box(cache.resident_addrs().len()))
+    });
+    group.bench_function("for_each_valid", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            cache.for_each_valid(|_, data, _| bytes += data.len());
+            black_box(bytes)
+        })
+    });
+    group.bench_function("valid_blocks_vec", |b| {
+        b.iter(|| black_box(cache.valid_blocks().len()))
+    });
+    group.bench_function("for_each_dirty", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            cache.for_each_dirty(|_, data| bytes += data.len());
+            black_box(bytes)
         })
     });
     group.finish();
@@ -88,6 +132,7 @@ criterion_group!(
     cache_hot_loop,
     edbp_tick,
     trace_sampling,
+    cache_walks,
     end_to_end_throughput
 );
 criterion_main!(simulator);

@@ -139,21 +139,19 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Way {
     tag: Option<u64>,
     dirty: bool,
     gated: bool,
-    data: Box<[u8]>,
 }
 
 impl Way {
-    fn new(block_bytes: usize) -> Self {
+    fn new() -> Self {
         Self {
             tag: None,
             dirty: false,
             gated: false,
-            data: vec![0u8; block_bytes].into_boxed_slice(),
         }
     }
 
@@ -171,10 +169,17 @@ struct Set {
 
 /// A set-associative, write-back, write-allocate cache with per-block
 /// power gating. See the crate-level docs for the access protocol.
+///
+/// Block data lives in one contiguous arena sized by the geometry
+/// (`sets × ways × block_bytes`), indexed by frame, instead of one heap
+/// buffer per way — the per-frame metadata scans and the data moves both
+/// stay cache-friendly and allocation-free.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     sets: Vec<Set>,
+    /// Block data for every frame, `frame_index * block_bytes` apart.
+    data: Box<[u8]>,
     shared: SharedPolicyState,
     stats: CacheStats,
     gated_count: u32,
@@ -186,15 +191,14 @@ impl Cache {
         let g = config.geometry;
         let sets = (0..g.sets())
             .map(|_| Set {
-                ways: (0..g.associativity)
-                    .map(|_| Way::new(g.block_bytes as usize))
-                    .collect(),
+                ways: (0..g.associativity).map(|_| Way::new()).collect(),
                 policy: SetPolicyState::new(config.policy, g.associativity as u8),
             })
             .collect();
         Self {
             config,
             sets,
+            data: vec![0u8; g.blocks() as usize * g.block_bytes as usize].into_boxed_slice(),
             shared: SharedPolicyState::new(config.policy, g.sets()),
             stats: CacheStats::default(),
             gated_count: 0,
@@ -259,6 +263,19 @@ impl Cache {
         (tag * u64::from(self.sets()) + u64::from(set)) * u64::from(self.block_bytes())
     }
 
+    /// Arena byte range of the frame at (set, way).
+    #[inline]
+    fn frame_range(&self, set: u32, way: u8) -> std::ops::Range<usize> {
+        let bytes = self.config.geometry.block_bytes as usize;
+        let frame = set as usize * usize::from(self.ways()) + usize::from(way);
+        frame * bytes..(frame + 1) * bytes
+    }
+
+    #[inline]
+    fn frame_data(&self, set: u32, way: u8) -> &[u8] {
+        &self.data[self.frame_range(set, way)]
+    }
+
     /// True if the set `addr` maps to has a frame that can accept a fill
     /// without displacing a live block (an invalid or gated frame).
     pub fn has_free_frame(&self, addr: u64) -> bool {
@@ -289,11 +306,7 @@ impl Cache {
         let (set_idx, tag) = self.split(addr);
         let set = &mut self.sets[set_idx as usize];
 
-        if let Some(way_idx) = set
-            .ways
-            .iter()
-            .position(|w| !w.gated && w.tag == Some(tag))
-        {
+        if let Some(way_idx) = set.ways.iter().position(|w| !w.gated && w.tag == Some(tag)) {
             let was_dirty = set.ways[way_idx].dirty;
             if kind == AccessKind::Write {
                 set.ways[way_idx].dirty = true;
@@ -315,20 +328,17 @@ impl Cache {
 
         // Prefer an invalid powered frame, then a gated frame, then the
         // policy victim.
-        let victim_way = if let Some(w) = set
-            .ways
-            .iter()
-            .position(|w| !w.gated && w.tag.is_none())
+        let victim_way = if let Some(w) = set.ways.iter().position(|w| !w.gated && w.tag.is_none())
         {
             w as u8
         } else if let Some(w) = set.ways.iter().position(|w| w.gated) {
             w as u8
         } else {
-            set.policy.victim(&mut self.shared, self.config.geometry.associativity as u8)
+            set.policy
+                .victim(&mut self.shared, self.config.geometry.associativity as u8)
         };
 
-        let ways = &mut set.ways;
-        let victim = &mut ways[victim_way as usize];
+        let victim = &mut set.ways[victim_way as usize];
         let evicted = if victim.gated {
             None
         } else {
@@ -337,12 +347,14 @@ impl Cache {
                     * u64::from(self.config.geometry.block_bytes)
             })
         };
+        let victim_dirty = victim.dirty;
+        victim.invalidate();
         let writeback = match evicted {
-            Some(addr) if victim.dirty => {
+            Some(addr) if victim_dirty => {
                 self.stats.writebacks += 1;
                 Some(Writeback {
                     addr,
-                    data: victim.data.to_vec(),
+                    data: self.frame_data(set_idx, victim_way).to_vec(),
                 })
             }
             _ => None,
@@ -350,7 +362,6 @@ impl Cache {
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
-        victim.invalidate();
 
         LookupOutcome::Miss(MissInfo {
             victim: BlockId {
@@ -401,8 +412,9 @@ impl Cache {
         }
         way.tag = Some(tag);
         way.dirty = dirty;
-        way.data.copy_from_slice(data);
         set.policy.on_fill(way_idx, set_idx, &mut self.shared);
+        let range = self.frame_range(set_idx, way_idx);
+        self.data[range].copy_from_slice(data);
         self.stats.fills += 1;
 
         BlockId {
@@ -419,7 +431,7 @@ impl Cache {
     pub fn data(&self, block: BlockId) -> &[u8] {
         let way = &self.sets[block.set as usize].ways[block.way as usize];
         assert!(!way.gated && way.tag.is_some(), "data of a dead frame");
-        &way.data
+        self.frame_data(block.set, block.way)
     }
 
     /// Writes bytes into a resident block at `offset`, marking it dirty.
@@ -430,8 +442,9 @@ impl Cache {
     pub fn write_data(&mut self, block: BlockId, offset: usize, bytes: &[u8]) {
         let way = &mut self.sets[block.set as usize].ways[block.way as usize];
         assert!(!way.gated && way.tag.is_some(), "write to a dead frame");
-        way.data[offset..offset + bytes.len()].copy_from_slice(bytes);
         way.dirty = true;
+        let start = self.frame_range(block.set, block.way).start + offset;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
     }
 
     /// Power-gates a frame (gate-Vdd). Content is lost; dirty content is
@@ -450,16 +463,17 @@ impl Cache {
             Some(tag) => {
                 let addr = (tag * u64::from(self.config.geometry.sets()) + u64::from(set_idx))
                     * u64::from(self.config.geometry.block_bytes);
-                let writeback = if way.dirty {
+                let was_dirty = way.dirty;
+                way.dirty = false;
+                let writeback = if was_dirty {
                     self.stats.writebacks += 1;
                     Some(Writeback {
                         addr,
-                        data: way.data.to_vec(),
+                        data: self.frame_data(set_idx, block.way).to_vec(),
                     })
                 } else {
                     None
                 };
-                way.dirty = false;
                 GateOutcome::GatedValid { addr, writeback }
             }
         }
@@ -498,21 +512,63 @@ impl Cache {
         lost
     }
 
-    /// Snapshot of every *valid, powered* dirty block, for JIT checkpointing.
-    pub fn dirty_blocks(&self) -> Vec<Writeback> {
-        let mut out = Vec::new();
+    /// Visits every *valid, powered* block (clean and dirty) without
+    /// allocating: `f(block_addr, data, dirty)`. The hot path for JIT
+    /// checkpointing and whole-cache schemes such as SDBP; the `Vec`
+    /// snapshots below are thin wrappers kept for tests and cold paths.
+    pub fn for_each_valid(&self, mut f: impl FnMut(u64, &[u8], bool)) {
         for (set_idx, set) in self.sets.iter().enumerate() {
-            for way in &set.ways {
-                if !way.gated && way.dirty {
-                    if let Some(tag) = way.tag {
-                        out.push(Writeback {
-                            addr: self.block_addr(set_idx as u32, tag),
-                            data: way.data.to_vec(),
-                        });
-                    }
+            for (way_idx, way) in set.ways.iter().enumerate() {
+                if way.gated {
+                    continue;
+                }
+                if let Some(tag) = way.tag {
+                    f(
+                        self.block_addr(set_idx as u32, tag),
+                        self.frame_data(set_idx as u32, way_idx as u8),
+                        way.dirty,
+                    );
                 }
             }
         }
+    }
+
+    /// Visits every *valid, powered* dirty block without allocating:
+    /// `f(block_addr, data)`.
+    pub fn for_each_dirty(&self, mut f: impl FnMut(u64, &[u8])) {
+        self.for_each_valid(|addr, data, dirty| {
+            if dirty {
+                f(addr, data);
+            }
+        });
+    }
+
+    /// Iterates the addresses of all valid powered blocks. Touches only
+    /// tag metadata — no block data, no allocation — so it is cheap enough
+    /// for per-cycle instrumentation (the zombie sampler).
+    pub fn resident_addrs_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let n_sets = u64::from(self.config.geometry.sets());
+        let block_bytes = u64::from(self.config.geometry.block_bytes);
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.ways.iter().filter_map(move |way| match way.tag {
+                    Some(tag) if !way.gated => Some((tag * n_sets + set_idx as u64) * block_bytes),
+                    _ => None,
+                })
+            })
+    }
+
+    /// Snapshot of every *valid, powered* dirty block, for JIT checkpointing.
+    pub fn dirty_blocks(&self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        self.for_each_dirty(|addr, data| {
+            out.push(Writeback {
+                addr,
+                data: data.to_vec(),
+            });
+        });
         out
     }
 
@@ -520,20 +576,9 @@ impl Cache {
     /// whole-cache checkpointing schemes such as SDBP.
     pub fn valid_blocks(&self) -> Vec<(u64, Vec<u8>, bool)> {
         let mut out = Vec::new();
-        for (set_idx, set) in self.sets.iter().enumerate() {
-            for way in &set.ways {
-                if way.gated {
-                    continue;
-                }
-                if let Some(tag) = way.tag {
-                    out.push((
-                        self.block_addr(set_idx as u32, tag),
-                        way.data.to_vec(),
-                        way.dirty,
-                    ));
-                }
-            }
-        }
+        self.for_each_valid(|addr, data, dirty| {
+            out.push((addr, data.to_vec(), dirty));
+        });
         out
     }
 
@@ -546,25 +591,19 @@ impl Cache {
             .iter()
             .enumerate()
             .map(|(w, way)| WayView {
-                block: BlockId {
-                    set,
-                    way: w as u8,
-                },
+                block: BlockId { set, way: w as u8 },
                 valid: way.tag.is_some() && !way.gated,
                 dirty: way.dirty,
                 gated: way.gated,
-                addr: way
-                    .tag
-                    .map(|t| self.block_addr(set, t))
-                    .unwrap_or(0),
+                addr: way.tag.map(|t| self.block_addr(set, t)).unwrap_or(0),
                 rank: ranks[w],
             })
             .collect()
     }
 
-    /// Iterates over the addresses of all valid powered blocks.
+    /// Collects the addresses of all valid powered blocks.
     pub fn resident_addrs(&self) -> Vec<u64> {
-        self.valid_blocks().into_iter().map(|(a, _, _)| a).collect()
+        self.resident_addrs_iter().collect()
     }
 }
 

@@ -487,8 +487,7 @@ mod tests {
         let ranks = set.ranks(4);
         let victim = set.victim(&mut shared, 4);
         assert_eq!(
-            ranks[victim as usize],
-            3,
+            ranks[victim as usize], 3,
             "the PLRU victim must hold the worst rank (ranks {ranks:?}, victim {victim})"
         );
     }

@@ -64,6 +64,36 @@ fn check_invariants(cache: &Cache, reference: &Reference) {
     }
 }
 
+/// The borrowing visitor APIs must report exactly what the legacy `Vec`
+/// snapshot APIs report — same blocks, same data, same order. The hot paths
+/// use the visitors; the snapshots are the specification.
+fn check_visitor_equivalence(cache: &Cache) {
+    let valid = cache.valid_blocks();
+    let mut visited: Vec<(u64, Vec<u8>, bool)> = Vec::new();
+    cache.for_each_valid(|addr, data, dirty| visited.push((addr, data.to_vec(), dirty)));
+    assert_eq!(visited, valid, "for_each_valid diverged from valid_blocks");
+
+    let dirty = cache.dirty_blocks();
+    let mut dirty_visited: Vec<(u64, Vec<u8>)> = Vec::new();
+    cache.for_each_dirty(|addr, data| dirty_visited.push((addr, data.to_vec())));
+    assert_eq!(dirty_visited.len(), dirty.len());
+    for (got, want) in dirty_visited.iter().zip(&dirty) {
+        assert_eq!(
+            got.0, want.addr,
+            "for_each_dirty diverged from dirty_blocks"
+        );
+        assert_eq!(got.1, want.data);
+    }
+
+    let addrs: Vec<u64> = cache.resident_addrs_iter().collect();
+    assert_eq!(addrs, cache.resident_addrs());
+    let from_valid: Vec<u64> = valid.iter().map(|(a, _, _)| *a).collect();
+    assert_eq!(
+        addrs, from_valid,
+        "resident_addrs_iter diverged from valid_blocks"
+    );
+}
+
 fn run_ops(policy: ReplacementPolicy, ops: &[Op]) {
     let mut cache = small_cache(policy);
     let mut reference = Reference::default();
@@ -111,11 +141,15 @@ fn run_ops(policy: ReplacementPolicy, ops: &[Op]) {
             }
         }
         check_invariants(&cache, &reference);
+        check_visitor_equivalence(&cache);
     }
     // Accounting sanity at the end.
     let stats = cache.stats();
     assert_eq!(stats.accesses(), stats.hits + stats.misses);
-    assert!(stats.fills <= stats.misses, "write-allocate fills only on miss");
+    assert!(
+        stats.fills <= stats.misses,
+        "write-allocate fills only on miss"
+    );
 }
 
 proptest! {
@@ -158,6 +192,30 @@ proptest! {
                 let got = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
                 prop_assert_eq!(got, value, "resident block lost its data");
             }
+        }
+    }
+
+    #[test]
+    fn visitors_match_snapshots_with_random_data(
+        writes in proptest::collection::vec((0u64..48, any::<u32>(), any::<bool>()), 1..128)
+    ) {
+        // Distinct per-block contents and a mix of clean/dirty fills, so a
+        // frame-indexing bug in the arena-backed visitors cannot hide
+        // behind identical block images.
+        let mut cache = small_cache(ReplacementPolicy::Lru);
+        for (slot, value, dirty) in writes {
+            let addr = slot * 16;
+            let kind = if dirty { AccessKind::Write } else { AccessKind::Read };
+            if let LookupOutcome::Miss(_) = cache.lookup(addr, kind) {
+                let mut block = [0u8; 16];
+                block[..4].copy_from_slice(&value.to_le_bytes());
+                block[12..].copy_from_slice(&(addr as u32).to_le_bytes());
+                cache.fill(addr, &block, dirty);
+            } else if dirty {
+                let frame = cache.contains(addr).expect("hit");
+                cache.write_data(frame, 0, &value.to_le_bytes());
+            }
+            check_visitor_equivalence(&cache);
         }
     }
 

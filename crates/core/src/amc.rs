@@ -4,10 +4,10 @@
 //! EDBP composes with *any* conventional predictor; AMC lets the benches
 //! demonstrate that beyond Cache Decay.
 
+use crate::fxhash::FxHashSet;
 use crate::{GatedBlock, LeakagePredictor, TickOutcome};
 use ehs_cache::{BlockId, Cache, GateOutcome};
 use ehs_units::Voltage;
-use std::collections::HashSet;
 
 /// Configuration of [`AdaptiveModeControl`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +52,7 @@ pub struct AdaptiveModeControl {
     ways: usize,
     next_global_tick: u64,
     /// Addresses gated by AMC whose tags would still match (sleep misses).
-    asleep: HashSet<u64>,
+    asleep: FxHashSet<u64>,
     window_misses: u64,
     window_sleep_misses: u64,
 }
@@ -77,7 +77,7 @@ impl AdaptiveModeControl {
             counters: vec![0; cache.blocks() as usize],
             ways: usize::from(cache.ways()),
             next_global_tick: config.initial_interval_cycles / 4,
-            asleep: HashSet::new(),
+            asleep: FxHashSet::default(),
             window_misses: 0,
             window_sleep_misses: 0,
             config,

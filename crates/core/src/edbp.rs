@@ -101,7 +101,10 @@ impl EdbpConfig {
             *self.initial_thresholds.last().expect("non-empty") >= self.floor,
             "lowest threshold below the adjustment floor"
         );
-        assert!(self.deactivation_buffer_entries > 0, "buffer cannot be empty");
+        assert!(
+            self.deactivation_buffer_entries > 0,
+            "buffer cannot be empty"
+        );
         assert!(
             (0.0..=1.0).contains(&self.reference_fpr),
             "reference FPR must be a rate"
@@ -254,11 +257,7 @@ impl LeakagePredictor for Edbp {
     }
 
     fn tick(&mut self, cache: &mut Cache, voltage: Voltage, _cycle: u64) -> TickOutcome {
-        let crossed = self
-            .thresholds
-            .iter()
-            .take_while(|&&t| voltage < t)
-            .count();
+        let crossed = self.thresholds.iter().take_while(|&&t| voltage < t).count();
         let mut out = TickOutcome::default();
         while self.level < crossed {
             self.level += 1;
@@ -274,7 +273,11 @@ impl LeakagePredictor for Edbp {
             "edbp reboot: wrong_kill={} total={} fpr={:.3} thr0={:.3}",
             self.wrong_kill,
             self.total_predicted,
-            if self.total_predicted > 0 { self.wrong_kill as f64 / self.total_predicted as f64 } else { 0.0 },
+            if self.total_predicted > 0 {
+                self.wrong_kill as f64 / self.total_predicted as f64
+            } else {
+                0.0
+            },
             self.thresholds[0].as_volts()
         );
         // Section V-B1: the FPR is computed in the wake of the failure from
@@ -392,7 +395,10 @@ mod tests {
         assert_eq!(edbp.level(), 3);
         assert_eq!(out.gated.len(), 3, "three non-MRU blocks gated");
         assert_eq!(out.parked.len(), 2, "both dirty blocks parked in NV twins");
-        assert!(out.writebacks.is_empty(), "EDBP never spills to main memory");
+        assert!(
+            out.writebacks.is_empty(),
+            "EDBP never spills to main memory"
+        );
         assert!(cache.contains(addrs[3]).is_some(), "MRU always survives");
     }
 

@@ -60,6 +60,7 @@
 mod amc;
 mod decay;
 mod edbp;
+pub mod fxhash;
 mod metrics;
 mod oracle;
 mod predictor;
@@ -68,6 +69,7 @@ mod reuse;
 pub use amc::{AdaptiveModeControl, AmcConfig};
 pub use decay::{CacheDecay, DecayConfig};
 pub use edbp::{Edbp, EdbpConfig};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{PredictionClass, PredictionLedger, PredictionSummary};
 pub use oracle::{GenerationTrace, OraclePredictor, OracleRecorder};
 pub use predictor::{CombinedPredictor, GatedBlock, LeakagePredictor, NullPredictor, TickOutcome};

@@ -19,7 +19,7 @@
 //! Coverage and accuracy follow the paper's Equations 1 and 2, with both
 //! kinds of missed blocks counted as false negatives.
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 /// Terminal classification of one block generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,9 +137,9 @@ impl PredictionSummary {
 #[derive(Debug, Clone, Default)]
 pub struct PredictionLedger {
     /// Hits since fill, per resident block address.
-    resident: HashMap<u64, u32>,
+    resident: FxHashMap<u64, u32>,
     /// Addresses gated this power cycle, awaiting TP/FP resolution.
-    gated_pending: HashSet<u64>,
+    gated_pending: FxHashSet<u64>,
     summary: PredictionSummary,
 }
 

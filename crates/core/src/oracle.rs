@@ -28,10 +28,11 @@
 //! The result is a slightly *pessimistic* ideal — a lower bound on the true
 //! optimum — which is the honest direction to err in.
 
+use crate::fxhash::FxHashMap;
 use crate::{GatedBlock, LeakagePredictor, TickOutcome};
 use ehs_cache::{BlockId, Cache, GateOutcome};
 use ehs_units::Voltage;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One recorded generation: its access count, how it ended, and whether it
 /// began as a checkpoint restore (rather than a demand fill).
@@ -45,7 +46,7 @@ struct Generation {
 /// Per-address, per-generation access records from a baseline run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GenerationTrace {
-    generations: HashMap<u64, VecDeque<Generation>>,
+    generations: FxHashMap<u64, VecDeque<Generation>>,
 }
 
 impl GenerationTrace {
@@ -130,9 +131,9 @@ impl OracleRecorder {
 #[derive(Debug, Clone)]
 pub struct OraclePredictor {
     /// Remaining generations per address.
-    remaining: HashMap<u64, VecDeque<Generation>>,
+    remaining: FxHashMap<u64, VecDeque<Generation>>,
     /// Resident blocks: (remaining accesses, outage-ended flag).
-    live: HashMap<u64, (u32, bool)>,
+    live: FxHashMap<u64, (u32, bool)>,
     /// Blocks whose budgets ran out: (addr, guarded). Guarded kills wait for
     /// the voltage guard.
     pending_kill: Vec<(u64, bool)>,
@@ -154,7 +155,7 @@ impl OraclePredictor {
     pub fn with_guard(trace: GenerationTrace, guard: Voltage) -> Self {
         Self {
             remaining: trace.generations.into_iter().collect(),
-            live: HashMap::new(),
+            live: FxHashMap::default(),
             pending_kill: Vec::new(),
             guard,
         }

@@ -72,10 +72,7 @@ impl ProgramBuilder {
     ///
     /// Panics if the label was already placed.
     pub fn place(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label placed twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label placed twice");
         self.labels[label.0] = Some(self.here());
     }
 

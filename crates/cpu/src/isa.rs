@@ -214,11 +214,7 @@ mod tests {
 
     #[test]
     fn fetch_addr_spaces_by_four() {
-        let p = Program::new(
-            "t",
-            vec![Instruction::Halt, Instruction::Halt],
-            0x1000,
-        );
+        let p = Program::new("t", vec![Instruction::Halt, Instruction::Halt], 0x1000);
         assert_eq!(p.fetch_addr(0), 0x1000);
         assert_eq!(p.fetch_addr(1), 0x1004);
     }

@@ -210,10 +210,8 @@ mod tests {
 
     #[test]
     fn charge_discharge_round_trip() {
-        let mut c = Capacitor::charged_to(
-            CapacitorConfig::paper_default(),
-            Voltage::from_volts(3.0),
-        );
+        let mut c =
+            Capacitor::charged_to(CapacitorConfig::paper_default(), Voltage::from_volts(3.0));
         let e = Energy::from_nano_joules(2500.0);
         c.discharge(e);
         c.charge(e);

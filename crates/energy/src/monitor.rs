@@ -32,8 +32,7 @@ impl VoltageThresholds {
     ///
     /// Returns [`EnergyConfigError::ThresholdOrdering`] when violated.
     pub fn validate(&self, v_min: Voltage, v_max: Voltage) -> Result<(), EnergyConfigError> {
-        let ordered =
-            v_min < self.v_ckpt && self.v_ckpt < self.v_rst && self.v_rst <= v_max;
+        let ordered = v_min < self.v_ckpt && self.v_ckpt < self.v_rst && self.v_rst <= v_max;
         if ordered {
             Ok(())
         } else {

@@ -358,7 +358,9 @@ mod tests {
     #[test]
     fn full_cycle_with_real_source() {
         let cfg = EnergySystemConfig::paper_default();
-        let src = SourceConfig::preset(TracePreset::RfHome).with_seed(11).build();
+        let src = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(11)
+            .build();
         let mut sys = EnergySystem::new(cfg, src).expect("valid");
         let dt = Time::from_micros(5.0);
         let load = Power::from_milli_watts(4.0) * dt;
@@ -419,10 +421,9 @@ mod tests {
         while sys.step(dt, load) != StepEvent::CheckpointRequested {}
         let _ = sys.power_off_and_recharge();
         let s = sys.stats();
-        assert!((s.total_time().as_seconds()
-            - (s.on_time + s.off_time).as_seconds())
-        .abs()
-            < 1e-12);
+        assert!(
+            (s.total_time().as_seconds() - (s.on_time + s.off_time).as_seconds()).abs() < 1e-12
+        );
         assert!((sys.now().as_seconds() - s.total_time().as_seconds()).abs() < 1e-9);
     }
 }

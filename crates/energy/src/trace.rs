@@ -299,7 +299,10 @@ impl SampledTrace {
     ///
     /// Panics if `samples` is empty or `sample_period` is not positive.
     pub fn new(name: impl Into<String>, sample_period: Time, samples: Vec<Power>) -> Self {
-        assert!(!samples.is_empty(), "sampled trace needs at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "sampled trace needs at least one sample"
+        );
         assert!(
             sample_period.as_seconds() > 0.0,
             "sample period must be positive"
@@ -324,7 +327,9 @@ impl SampledTrace {
 
 impl EnergySource for SampledTrace {
     fn power_at(&self, t: Time) -> Power {
-        let idx = (t.as_seconds() / self.sample_period.as_seconds()).floor().max(0.0) as u64;
+        let idx = (t.as_seconds() / self.sample_period.as_seconds())
+            .floor()
+            .max(0.0) as u64;
         self.samples[(idx % self.samples.len() as u64) as usize]
     }
 
@@ -394,8 +399,12 @@ mod tests {
 
     #[test]
     fn synthetic_trace_is_deterministic() {
-        let a = SourceConfig::preset(TracePreset::RfHome).with_seed(9).build();
-        let b = SourceConfig::preset(TracePreset::RfHome).with_seed(9).build();
+        let a = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(9)
+            .build();
+        let b = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(9)
+            .build();
         for i in 0..1000 {
             let t = Time::from_micros(37.0) * i as f64;
             assert_eq!(a.power_at(t), b.power_at(t));
@@ -404,8 +413,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SourceConfig::preset(TracePreset::RfHome).with_seed(1).build();
-        let b = SourceConfig::preset(TracePreset::RfHome).with_seed(2).build();
+        let a = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(1)
+            .build();
+        let b = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(2)
+            .build();
         let differs = (0..1000).any(|i| {
             let t = Time::from_micros(100.0) * i as f64;
             a.power_at(t) != b.power_at(t)
@@ -415,7 +428,9 @@ mod tests {
 
     #[test]
     fn rf_sources_have_dead_air() {
-        let trace = SourceConfig::preset(TracePreset::RfHome).with_seed(3).build();
+        let trace = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(3)
+            .build();
         // Gap windows deliver only the weak background trickle (<= 20% of
         // the burst level).
         let trickle_ceiling = Power::from_milli_watts(21.0 * 0.125);
@@ -434,12 +449,17 @@ mod tests {
             }
             prev_gap = g;
         }
-        assert!(transitions < gaps / 4, "gaps not clustered: {transitions} transitions");
+        assert!(
+            transitions < gaps / 4,
+            "gaps not clustered: {transitions} transitions"
+        );
     }
 
     #[test]
     fn thermal_is_nearly_always_on() {
-        let trace = SourceConfig::preset(TracePreset::Thermal).with_seed(3).build();
+        let trace = SourceConfig::preset(TracePreset::Thermal)
+            .with_seed(3)
+            .build();
         let zeros = (0..10_000)
             .filter(|&i| trace.power_at(Time::from_millis(1.0) * i as f64).is_zero())
             .count();
@@ -448,7 +468,9 @@ mod tests {
 
     #[test]
     fn power_scale_scales_mean() {
-        let base = SourceConfig::preset(TracePreset::Solar).with_seed(5).build();
+        let base = SourceConfig::preset(TracePreset::Solar)
+            .with_seed(5)
+            .build();
         let half = SourceConfig::preset(TracePreset::Solar)
             .with_seed(5)
             .with_power_scale(0.5)
@@ -478,13 +500,18 @@ mod tests {
     #[test]
     fn constant_source_is_constant() {
         let s = ConstantSource::new(Power::from_milli_watts(10.0));
-        assert_eq!(s.power_at(Time::ZERO), s.power_at(Time::from_seconds(100.0)));
+        assert_eq!(
+            s.power_at(Time::ZERO),
+            s.power_at(Time::from_seconds(100.0))
+        );
         assert_eq!(s.mean_power().as_milli_watts(), 10.0);
     }
 
     #[test]
     fn negative_time_does_not_panic() {
-        let s = SourceConfig::preset(TracePreset::RfHome).with_seed(0).build();
+        let s = SourceConfig::preset(TracePreset::RfHome)
+            .with_seed(0)
+            .build();
         let _ = s.power_at(Time::from_seconds(-1.0));
     }
 }

@@ -1,0 +1,135 @@
+//! Measures simulator hot-loop throughput and records it in
+//! `BENCH_hotloop.json` at the repo root, so the performance trajectory is
+//! tracked PR over PR. See DESIGN.md §8 for the methodology.
+//!
+//! Usage: `cargo run --release -p ehs-sim --bin exp_perf_baseline [label]`
+//!
+//! The suite runs the paper-default platform over a representative app/
+//! scheme mix (one cache-resident streaming app, one thrashing
+//! pointer-chaser, one large-code media app; baseline and the headline
+//! predictor; plus a zombie-instrumented run, which exercises the per-cycle
+//! sampling path). Throughput is reported as `sim_mips` — simulated
+//! committed instructions per host wall-second, in millions — best of
+//! `REPS` suite repetitions. Each labelled run is one line in the `runs`
+//! array; re-running with an existing label replaces that line.
+
+use ehs_sim::{run_app, Scheme, SystemConfig};
+use ehs_workloads::{AppId, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 3;
+const APPS: [AppId; 3] = [AppId::Crc32, AppId::Patricia, AppId::JpegEnc];
+const SCHEMES: [Scheme; 2] = [Scheme::Baseline, Scheme::DecayEdbp];
+
+struct Case {
+    name: String,
+    config: SystemConfig,
+    scheme: Scheme,
+    app: AppId,
+}
+
+fn cases() -> Vec<Case> {
+    let default = SystemConfig::paper_default();
+    let mut zombie = default.clone();
+    zombie.zombie_sample_interval = Some(500);
+    let mut cases = Vec::new();
+    for scheme in SCHEMES {
+        for app in APPS {
+            cases.push(Case {
+                name: format!("{}/{:?}", scheme.name(), app),
+                config: default.clone(),
+                scheme,
+                app,
+            });
+        }
+    }
+    cases.push(Case {
+        name: "zombie-instrumented/Crc32".to_string(),
+        config: zombie,
+        scheme: Scheme::Baseline,
+        app: AppId::Crc32,
+    });
+    cases
+}
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "current".to_string());
+    let cases = cases();
+
+    let mut best_wall = f64::INFINITY;
+    let mut committed = 0u64;
+    let mut per_case: Vec<(String, f64)> = Vec::new();
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let mut rep_committed = 0u64;
+        let mut rep_cases = Vec::new();
+        for case in &cases {
+            let r = run_app(&case.config, case.scheme, case.app, Scale::Small);
+            rep_committed += r.committed;
+            rep_cases.push((case.name.clone(), r.sim_mips));
+        }
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "rep {}/{REPS}: {rep_committed} instructions in {wall:.3}s = {:.3} sim-MIPS",
+            rep + 1,
+            rep_committed as f64 / wall / 1e6
+        );
+        if wall < best_wall {
+            best_wall = wall;
+            committed = rep_committed;
+            per_case = rep_cases;
+        }
+    }
+    let sim_mips = committed as f64 / best_wall / 1e6;
+
+    let mut line = String::new();
+    write!(
+        line,
+        "    {{\"label\": \"{label}\", \"sim_mips\": {sim_mips:.3}, \
+         \"committed_instructions\": {committed}, \"wall_seconds\": {best_wall:.3}, \
+         \"per_case_mips\": {{"
+    )
+    .expect("write to string");
+    for (i, (name, mips)) in per_case.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        write!(line, "\"{name}\": {mips:.3}").expect("write to string");
+    }
+    line.push_str("}}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");
+    let kept: Vec<String> = std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| {
+            l.trim_start().starts_with("{\"label\":")
+                && !l.contains(&format!("\"label\": \"{label}\""))
+        })
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"simulator hot loop, paper-default platform\",\n");
+    out.push_str(
+        "  \"metric\": \"sim_mips = simulated committed instructions per host wall-second, in millions (best of 3 suite repetitions)\",\n",
+    );
+    out.push_str(
+        "  \"suite\": \"crc32+patricia+jpeg_enc @ Small under nvsramcache and decay+edbp, plus a zombie-instrumented baseline run\",\n",
+    );
+    out.push_str("  \"runs\": [\n");
+    for old in &kept {
+        out.push_str(old);
+        out.push_str(",\n");
+    }
+    out.push_str(&line);
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, &out).expect("write BENCH_hotloop.json");
+
+    println!("{label}: {sim_mips:.3} sim-MIPS ({committed} instructions in {best_wall:.3}s)");
+    println!("recorded in BENCH_hotloop.json");
+}

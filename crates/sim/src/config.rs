@@ -2,9 +2,7 @@
 
 use edbp_core::{DecayConfig, EdbpConfig};
 use ehs_cache::CacheConfig;
-use ehs_energy::{
-    ConstantSource, EnergySource, EnergySystemConfig, SourceConfig, TracePreset,
-};
+use ehs_energy::{ConstantSource, EnergySource, EnergySystemConfig, SourceConfig, TracePreset};
 use ehs_nvm::MemoryTechnology;
 use ehs_units::{Energy, Frequency, Power, Time};
 

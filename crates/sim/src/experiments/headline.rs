@@ -147,7 +147,10 @@ pub fn fig8_performance(opts: ExperimentOptions) -> Table {
     }
     for (s, scheme) in Scheme::FIG8.iter().enumerate() {
         let g = geomean(speedups(&results[0], &results[s]));
-        let miss = results[s].iter().map(RunResult::dcache_miss_rate).sum::<f64>()
+        let miss = results[s]
+            .iter()
+            .map(RunResult::dcache_miss_rate)
+            .sum::<f64>()
             / results[s].len() as f64;
         table.row([
             "MEAN".to_owned(),

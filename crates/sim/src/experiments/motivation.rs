@@ -14,8 +14,7 @@ pub(crate) const CACHE_SIZES: [u32; 7] = [256, 512, 1024, 2048, 4096, 8192, 1638
 fn config_with_dcache_size(base: &SystemConfig, bytes: u32) -> SystemConfig {
     let mut config = base.clone();
     let assoc = config.dcache.geometry.associativity.min(bytes / 16);
-    config.dcache.geometry =
-        CacheGeometry::new(bytes, assoc, 16).expect("swept geometry is valid");
+    config.dcache.geometry = CacheGeometry::new(bytes, assoc, 16).expect("swept geometry is valid");
     config
 }
 
@@ -109,23 +108,27 @@ pub fn fig4_zombie_ratio(opts: ExperimentOptions) -> Table {
     config.zombie_sample_interval = Some(500);
 
     let samples: Vec<ZombieSample> = {
-        use parking_lot::Mutex;
-        let pool = Mutex::new(Vec::new());
+        use std::sync::Mutex;
+        // One slot per app so thread interleaving cannot reorder the pool.
+        let slots: Vec<Mutex<Vec<ZombieSample>>> =
+            AppId::ALL.iter().map(|_| Mutex::new(Vec::new())).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..opts.threads.max(1) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= AppId::ALL.len() {
                         break;
                     }
                     let s = zombie_samples_for(&config, AppId::ALL[i], opts);
-                    pool.lock().extend(s);
+                    *slots[i].lock().expect("zombie slot poisoned") = s;
                 });
             }
-        })
-        .expect("zombie analysis threads must not panic");
-        pool.into_inner()
+        });
+        slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("zombie slot poisoned"))
+            .collect()
     };
 
     let rows = zombie_ratio_by_voltage(&samples, 3.2, 3.5, 6);

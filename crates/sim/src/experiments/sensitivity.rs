@@ -30,7 +30,13 @@ fn sweep_point(
     reference: Option<&[crate::RunResult]>,
     opts: ExperimentOptions,
 ) -> Vec<crate::RunResult> {
-    let results = run_matrix(config, &SWEEP_SCHEMES, &AppId::ALL, opts.scale, opts.threads);
+    let results = run_matrix(
+        config,
+        &SWEEP_SCHEMES,
+        &AppId::ALL,
+        opts.scale,
+        opts.threads,
+    );
     let base: Vec<crate::RunResult> = match reference {
         Some(r) => r.to_vec(),
         None => results[0].clone(),

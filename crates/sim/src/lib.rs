@@ -49,5 +49,7 @@ pub use config::{CheckpointCosts, SourceKind, SystemConfig};
 pub use memory_system::MemorySystem;
 pub use scheme::Scheme;
 pub use stats::{EnergyBreakdown, RunResult};
-pub use system::{record_generation_trace, run_app, run_workload, Simulation};
+pub use system::{
+    record_generation_trace, run_app, run_baseline_with_trace, run_workload, Simulation,
+};
 pub use zombie::{zombie_ratio_by_voltage, ZombieAnalysis, ZombieSample};

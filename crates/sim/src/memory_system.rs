@@ -2,10 +2,10 @@
 //! with per-access cost accounting.
 
 use crate::SystemConfig;
+use edbp_core::{FxHashMap, FxHashSet};
 use ehs_cache::{AccessKind, BlockId, Cache, LookupOutcome, Writeback};
 use ehs_nvm::{ArrayCharacteristics, CacheArrayModel, MainMemoryModel, MemoryCharacteristics};
 use ehs_units::{Energy, Power, Time};
-use std::collections::HashMap;
 
 /// Cost and event record of one data access.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,15 +66,18 @@ pub struct MemorySystem {
     i_chars: ArrayCharacteristics,
     mem_chars: MemoryCharacteristics,
     /// Sparse main memory, keyed by D-cache-block-aligned address.
-    backing: HashMap<u64, Vec<u8>>,
+    backing: FxHashMap<u64, Vec<u8>>,
     d_block: u64,
     /// Fetch buffer: the block the front-end last read from the I-cache.
     /// Sequential fetches within it are free (no I-cache access), which is
     /// how MCU front-ends amortize a block-wide instruction read.
     fetch_buffer: Option<u64>,
+    /// Reusable zero image for I-cache fills (instruction bytes are never
+    /// inspected, so every fill shares this one buffer).
+    i_zero: Box<[u8]>,
     /// Blocks parked in their NVSRAM twins by a predictor: re-referencing
     /// one is a cheap in-place recall, not a main-memory transfer.
-    parked: std::collections::HashSet<u64>,
+    parked: FxHashSet<u64>,
     /// Cost of recalling one parked block from its twin.
     recall_energy: Energy,
     recall_latency: Time,
@@ -85,15 +88,15 @@ impl MemorySystem {
     pub fn new(config: &SystemConfig) -> Self {
         let dcache = Cache::new(config.dcache);
         let icache = Cache::new(config.icache);
-        let d_chars = CacheArrayModel::new(config.dcache_tech, config.dcache.geometry)
-            .characteristics();
-        let mut i_chars = CacheArrayModel::new(config.icache_tech, config.icache.geometry)
-            .characteristics();
+        let d_chars =
+            CacheArrayModel::new(config.dcache_tech, config.dcache.geometry).characteristics();
+        let mut i_chars =
+            CacheArrayModel::new(config.icache_tech, config.icache.geometry).characteristics();
         i_chars.read_energy = i_chars.read_energy * config.icache_energy_scale;
         i_chars.write_energy = i_chars.write_energy * config.icache_energy_scale;
         i_chars.probe_energy = i_chars.probe_energy * config.icache_energy_scale;
-        let mem_chars = MainMemoryModel::new(config.memory_tech, config.memory_bytes)
-            .characteristics();
+        let mem_chars =
+            MainMemoryModel::new(config.memory_tech, config.memory_bytes).characteristics();
         let d_block = u64::from(config.dcache.geometry.block_bytes);
         Self {
             dcache,
@@ -101,10 +104,11 @@ impl MemorySystem {
             d_chars,
             i_chars,
             mem_chars,
-            backing: HashMap::new(),
+            backing: FxHashMap::default(),
             d_block,
             fetch_buffer: None,
-            parked: std::collections::HashSet::new(),
+            i_zero: vec![0u8; config.icache.geometry.block_bytes as usize].into_boxed_slice(),
+            parked: FxHashSet::default(),
             recall_energy: config.ckpt.restore_energy_per_byte
                 * f64::from(config.dcache.geometry.block_bytes),
             recall_latency: config.ckpt.restore_latency,
@@ -115,9 +119,14 @@ impl MemorySystem {
     /// to the backing image for bookkeeping) and future misses on it become
     /// cheap recalls. Returns nothing; the caller charges the save cost.
     pub fn park(&mut self, wb: &Writeback) {
-        let block = self.backing_block(wb.addr);
-        block.copy_from_slice(&wb.data);
-        self.parked.insert(wb.addr);
+        self.park_from(wb.addr, &wb.data);
+    }
+
+    /// [`MemorySystem::park`] from a borrowed block image — the hot-path
+    /// variant that needs no `Writeback` allocation.
+    pub fn park_from(&mut self, addr: u64, data: &[u8]) {
+        self.backing_block(addr).copy_from_slice(data);
+        self.parked.insert(addr);
     }
 
     /// Addresses currently parked in NV twins (restored at reboot).
@@ -130,6 +139,11 @@ impl MemorySystem {
     /// Reads the backing image of a block (for checkpoint assembly).
     pub fn backing_data(&mut self, block_addr: u64) -> Vec<u8> {
         self.backing_block(block_addr).clone()
+    }
+
+    /// Borrows the backing image of a block (zero-filled on first touch).
+    pub fn backing_slice(&mut self, block_addr: u64) -> &[u8] {
+        self.backing_block(block_addr)
     }
 
     /// Clears the parked set (after the reboot restore re-adopted them).
@@ -167,8 +181,12 @@ impl MemorySystem {
     /// Writes one evicted/gated dirty block to main memory and returns its
     /// (latency, energy) cost.
     pub fn write_back(&mut self, wb: &Writeback) -> (Time, Energy) {
-        let block = self.backing_block(wb.addr);
-        block.copy_from_slice(&wb.data);
+        self.write_back_from(wb.addr, &wb.data)
+    }
+
+    /// [`MemorySystem::write_back`] from a borrowed block image.
+    pub fn write_back_from(&mut self, addr: u64, data: &[u8]) -> (Time, Energy) {
+        self.backing_block(addr).copy_from_slice(data);
         (self.mem_chars.write_latency, self.mem_chars.write_energy)
     }
 
@@ -213,10 +231,17 @@ impl MemorySystem {
                     stall += self.mem_chars.read_latency;
                     memory_energy += self.mem_chars.read_energy;
                 }
-                let data = self.backing_block(block_addr).clone();
-                let frame = self
-                    .dcache
-                    .fill(block_addr, &data, kind == AccessKind::Write);
+                // Disjoint borrows: fill the D-cache straight from the
+                // backing image, no per-miss block clone.
+                let Self {
+                    dcache,
+                    backing,
+                    d_block,
+                    ..
+                } = self;
+                let len = *d_block as usize;
+                let data = backing.entry(block_addr).or_insert_with(|| vec![0u8; len]);
+                let frame = dcache.fill(block_addr, data, kind == AccessKind::Write);
                 dcache_energy += self.d_chars.write_energy;
                 stall += self.d_chars.write_latency;
                 frame
@@ -290,8 +315,7 @@ impl MemorySystem {
             LookupOutcome::Miss(miss) => {
                 // Instructions are read-only: no dirty victims possible.
                 debug_assert!(miss.writeback.is_none(), "I-cache blocks are clean");
-                let data = vec![0u8; i_block as usize];
-                let frame = self.icache.fill(block_addr, &data, false);
+                let frame = self.icache.fill(block_addr, &self.i_zero, false);
                 Fetch {
                     hit: false,
                     buffered: false,

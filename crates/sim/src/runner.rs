@@ -1,14 +1,42 @@
-//! Deterministic parallel fan-out of simulation runs.
+//! Deterministic parallel fan-out of simulation runs, with process-wide
+//! memoization.
+//!
+//! # Memoization
+//!
+//! Experiment drivers repeat identical runs constantly: every figure's
+//! matrix re-runs the baseline column, `mean_speedup_over_seeds` shares its
+//! baseline runs with the headline matrix, and the Ideal scheme's oracle
+//! pass *is* a baseline run. [`run_jobs`] therefore caches results in a
+//! process-wide table keyed by (config fingerprint, scheme, app, scale):
+//!
+//! * A `Baseline` job always runs with a passive generation recorder
+//!   attached and stores both the result and the trace — so the Ideal
+//!   scheme's oracle pass and the baseline column of the same matrix are
+//!   **one** execution (`baseline_executions` counts them).
+//! * Concurrent requests for the same key block on one `OnceLock`; the
+//!   duplicate is never executed.
+//! * A cache hit returns the stored result with [`RunResult::sim_mips`]
+//!   zeroed (wall-clock throughput is meaningless for a lookup); `sim_mips`
+//!   is excluded from `PartialEq`, so memoized and fresh results compare
+//!   equal — the determinism tests rely on exactly that.
+//!
+//! [`run_app`] remains uncached for callers that want a guaranteed fresh
+//! execution (e.g. throughput measurement).
 
-use crate::{run_app, RunResult, Scheme, SystemConfig};
-use ehs_workloads::{AppId, Scale};
-use parking_lot::Mutex;
+use crate::{run_app, run_baseline_with_trace, RunResult, Scheme, SystemConfig};
+use edbp_core::{FxBuildHasher, GenerationTrace};
+use ehs_workloads::{build, AppId, Scale};
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// One run request.
+/// One run request. The configuration is shared by `Arc`, so fanning a
+/// matrix out over hundreds of jobs clones a pointer, not the config.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Job {
-    /// Platform configuration.
-    pub config: SystemConfig,
+    /// Platform configuration (shared, immutable).
+    pub config: Arc<SystemConfig>,
     /// Scheme to simulate.
     pub scheme: Scheme,
     /// Application.
@@ -17,31 +45,151 @@ pub struct Job {
     pub scale: Scale,
 }
 
-/// Runs all jobs, fanning out across `threads` OS threads (scoped via
-/// crossbeam), and returns results in the same order as the input —
-/// parallelism never changes the output.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    config_fp: u64,
+    scheme: Scheme,
+    app: AppId,
+    scale: Scale,
+}
+
+struct MemoEntry {
+    result: RunResult,
+    /// Generation trace, recorded on every memoized Baseline run so the
+    /// Ideal scheme can reuse the same execution.
+    trace: Option<Arc<GenerationTrace>>,
+}
+
+type Slot = Arc<OnceLock<MemoEntry>>;
+
+static MEMO: OnceLock<Mutex<HashMap<MemoKey, Slot>>> = OnceLock::new();
+static BASELINE_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of actual (non-memoized) baseline simulations executed by the
+/// memoization layer since process start. Test hook for the "an Ideal
+/// matrix runs the baseline exactly once per (app, config, seed)" property.
+pub fn baseline_executions() -> u64 {
+    BASELINE_EXECUTIONS.load(Ordering::Relaxed)
+}
+
+/// Fingerprint of the full configuration. `Debug` formatting covers every
+/// field (it round-trips `f64`s exactly), and the Fx hash of that string is
+/// stable within a process — which is all a process-wide cache key needs.
+fn config_fingerprint(config: &SystemConfig) -> u64 {
+    FxBuildHasher::default().hash_one(format!("{config:?}"))
+}
+
+fn memo_slot(key: MemoKey) -> Slot {
+    MEMO.get_or_init(Mutex::default)
+        .lock()
+        .expect("memo table poisoned")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+/// Runs (or recalls) one job through the memoization table. Returns the
+/// entry's result plus whether this call performed the execution.
+fn run_cached(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> RunResult {
+    let slot = memo_slot(MemoKey {
+        config_fp: config_fingerprint(config),
+        scheme,
+        app,
+        scale,
+    });
+    let mut ran_here = false;
+    let entry = slot.get_or_init(|| {
+        ran_here = true;
+        match scheme {
+            Scheme::Baseline => {
+                BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+                let (result, trace) = run_baseline_with_trace(config, build(app, scale));
+                MemoEntry {
+                    result,
+                    trace: Some(Arc::new(trace)),
+                }
+            }
+            Scheme::Ideal => {
+                // The oracle pass is a baseline run — share it through the
+                // cache instead of executing a private one.
+                let trace = baseline_trace(config, app, scale);
+                let sim = crate::Simulation::new(
+                    config,
+                    Scheme::Ideal,
+                    build(app, scale),
+                    Some((*trace).clone()),
+                );
+                let (result, _) = sim.run();
+                MemoEntry {
+                    result,
+                    trace: None,
+                }
+            }
+            _ => MemoEntry {
+                result: run_app(config, scheme, app, scale),
+                trace: None,
+            },
+        }
+    });
+    let mut result = entry.result.clone();
+    if !ran_here {
+        result.sim_mips = 0.0;
+    }
+    result
+}
+
+/// The recorded trace of the memoized baseline run for this key (executing
+/// the baseline if it has not run yet).
+fn baseline_trace(config: &SystemConfig, app: AppId, scale: Scale) -> Arc<GenerationTrace> {
+    let slot = memo_slot(MemoKey {
+        config_fp: config_fingerprint(config),
+        scheme: Scheme::Baseline,
+        app,
+        scale,
+    });
+    let entry = slot.get_or_init(|| {
+        BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+        let (result, trace) = run_baseline_with_trace(config, build(app, scale));
+        MemoEntry {
+            result,
+            trace: Some(Arc::new(trace)),
+        }
+    });
+    entry
+        .trace
+        .as_ref()
+        .expect("baseline entries always carry a trace")
+        .clone()
+}
+
+/// Runs all jobs, fanning out across `threads` scoped OS threads, and
+/// returns results in the same order as the input — parallelism never
+/// changes the output. Identical jobs (same config, scheme, app, scale) are
+/// executed once per process and recalled from the memoization table.
 pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<RunResult> {
     assert!(threads >= 1, "need at least one thread");
-    let results: Vec<Mutex<Option<RunResult>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let job = &jobs[i];
-                let result = run_app(&job.config, job.scheme, job.app, job.scale);
-                *results[i].lock() = Some(result);
+                let result = run_cached(&job.config, job.scheme, job.app, job.scale);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("simulation threads must not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every job ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
         .collect()
 }
 
@@ -54,11 +202,13 @@ pub fn run_matrix(
     scale: Scale,
     threads: usize,
 ) -> Vec<Vec<RunResult>> {
+    let config = Arc::new(config.clone());
     let jobs: Vec<Job> = schemes
         .iter()
         .flat_map(|&scheme| {
+            let config = &config;
             apps.iter().map(move |&app| Job {
-                config: config.clone(),
+                config: Arc::clone(config),
                 scheme,
                 app,
                 scale,
@@ -154,10 +304,11 @@ mod tests {
     #[test]
     fn run_jobs_preserves_input_order() {
         let config = SystemConfig::paper_default();
+        let config = Arc::new(config);
         let jobs: Vec<Job> = [AppId::Crc32, AppId::Bitcount]
             .iter()
             .map(|&app| Job {
-                config: config.clone(),
+                config: Arc::clone(&config),
                 scheme: Scheme::Baseline,
                 app,
                 scale: Scale::Tiny,

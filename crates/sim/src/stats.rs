@@ -64,7 +64,12 @@ impl EnergyBreakdown {
 }
 
 /// Everything measured by one application run under one scheme.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the *simulated* outcome — [`RunResult::sim_mips`]
+/// is host-wall-clock throughput and is deliberately excluded, so
+/// determinism checks (`threads=1` vs `threads=8`, memoized vs fresh) can
+/// use `==` directly.
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// The application.
     pub app: AppId,
@@ -95,6 +100,29 @@ pub struct RunResult {
     pub icache: CacheStats,
     /// Zombie-aware prediction accounting (data cache).
     pub prediction: PredictionSummary,
+    /// Simulator throughput: simulated (committed) instructions per host
+    /// wall-clock second, in millions. Zero when the run was served from
+    /// the memoization cache. Not part of equality.
+    pub sim_mips: f64,
+}
+
+impl PartialEq for RunResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.app == other.app
+            && self.scheme == other.scheme
+            && self.completed == other.completed
+            && self.committed == other.committed
+            && self.loads == other.loads
+            && self.stores == other.stores
+            && self.on_time == other.on_time
+            && self.off_time == other.off_time
+            && self.outages == other.outages
+            && self.brownouts == other.brownouts
+            && self.energy == other.energy
+            && self.dcache == other.dcache
+            && self.icache == other.icache
+            && self.prediction == other.prediction
+    }
 }
 
 impl RunResult {

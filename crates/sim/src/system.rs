@@ -2,19 +2,62 @@
 
 use crate::{EnergyBreakdown, MemorySystem, RunResult, Scheme, SystemConfig};
 use edbp_core::{
-    AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig,
+    AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig, FxHashMap,
     GenerationTrace, LeakagePredictor, NullPredictor, OraclePredictor, OracleRecorder,
     PredictionLedger, ReusePredictor, ReusePredictorConfig,
 };
-use ehs_cache::{AccessKind, Cache, Writeback};
+use ehs_cache::{AccessKind, Cache};
 use ehs_cpu::{Core, CoreState, Effect};
 use ehs_energy::{EnergySystem, StepEvent};
 use ehs_units::Time;
 use ehs_workloads::{build, AppId, Scale, Workload};
-use std::collections::HashMap;
 
-/// A checkpointed block: address, data, dirty flag.
-type ShadowBlock = (u64, Vec<u8>, bool);
+/// A pooled checkpoint shadow: the blocks saved across an outage, stored
+/// structure-of-arrays in buffers that are cleared and refilled at every
+/// checkpoint instead of reallocated (block data lives in one contiguous
+/// `Vec<u8>` that reaches its high-water capacity once and then stays).
+#[derive(Debug, Default)]
+struct ShadowArena {
+    addrs: Vec<u64>,
+    dirty: Vec<bool>,
+    data: Vec<u8>,
+    block_bytes: usize,
+}
+
+impl ShadowArena {
+    fn new(block_bytes: usize) -> Self {
+        Self {
+            block_bytes,
+            ..Self::default()
+        }
+    }
+
+    fn clear(&mut self) {
+        self.addrs.clear();
+        self.dirty.clear();
+        self.data.clear();
+    }
+
+    fn push(&mut self, addr: u64, data: &[u8], dirty: bool) {
+        debug_assert_eq!(data.len(), self.block_bytes);
+        self.addrs.push(addr);
+        self.dirty.push(dirty);
+        self.data.extend_from_slice(data);
+    }
+
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Total payload bytes (what the checkpoint save/restore is billed for).
+    fn bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn block(&self, i: usize) -> &[u8] {
+        &self.data[i * self.block_bytes..(i + 1) * self.block_bytes]
+    }
+}
 
 /// One in-flight simulation. Most users want [`run_app`]; construct a
 /// `Simulation` directly to customize the workload or inject an oracle
@@ -33,14 +76,22 @@ pub struct Simulation {
     /// SDBP's reuse predictor (checkpoint filter).
     reuse: Option<ReusePredictor>,
     /// Per-resident-block "reused since fill" flags (trains `reuse`).
-    reuse_flags: HashMap<u64, bool>,
+    /// Maintained only when `reuse` is present — no other scheme reads them.
+    reuse_flags: FxHashMap<u64, bool>,
     /// Oracle recording (pass 1 of the Ideal scheme).
     recorder: Option<OracleRecorder>,
     /// Zombie-ratio instrumentation (Fig. 4).
     zombie: Option<crate::ZombieAnalysis>,
     breakdown: EnergyBreakdown,
     brownouts: u64,
-    last_ckpt: Option<(CoreState, Vec<ShadowBlock>)>,
+    /// Core state of the last JIT checkpoint; the matching cache shadow
+    /// lives in `shadow`. `None` until the first checkpoint is taken.
+    last_ckpt: Option<CoreState>,
+    /// Pooled block shadow of the last checkpoint.
+    shadow: ShadowArena,
+    /// Scratch arena for dirty dead blocks spilled while assembling an SDBP
+    /// checkpoint (write-backs happen after the cache walk ends).
+    spill: ShadowArena,
     completed: bool,
 }
 
@@ -111,9 +162,12 @@ impl Simulation {
         let core = Core::new(&workload.program);
         let energy = EnergySystem::new(config.energy.clone(), SourceBox(config.source.build()))
             .expect("energy configuration must be valid");
-        let reuse = (scheme == Scheme::Sdbp)
-            .then(|| ReusePredictor::new(ReusePredictorConfig::default()));
-        let zombie = config.zombie_sample_interval.map(crate::ZombieAnalysis::new);
+        let reuse =
+            (scheme == Scheme::Sdbp).then(|| ReusePredictor::new(ReusePredictorConfig::default()));
+        let zombie = config
+            .zombie_sample_interval
+            .map(crate::ZombieAnalysis::new);
+        let block_bytes = config.dcache.geometry.block_bytes as usize;
         Self {
             scheme,
             mem,
@@ -123,12 +177,14 @@ impl Simulation {
             i_pred,
             ledger: PredictionLedger::new(),
             reuse,
-            reuse_flags: HashMap::new(),
+            reuse_flags: FxHashMap::default(),
             recorder: None,
             zombie,
             breakdown: EnergyBreakdown::default(),
             brownouts: 0,
             last_ckpt: None,
+            shadow: ShadowArena::new(block_bytes),
+            spill: ShadowArena::new(block_bytes),
             completed: false,
             workload,
             config,
@@ -144,8 +200,14 @@ impl Simulation {
     /// Runs to completion (or abort) and returns the results, plus the
     /// recorded oracle trace if a recorder was attached.
     pub fn run(mut self) -> (RunResult, Option<GenerationTrace>) {
+        let wall_start = std::time::Instant::now();
         self.run_loop();
-        self.finish()
+        let wall = wall_start.elapsed().as_secs_f64();
+        let (mut result, trace) = self.finish();
+        if wall > 0.0 {
+            result.sim_mips = result.committed as f64 / wall / 1e6;
+        }
+        (result, trace)
     }
 
     /// Runs to completion and additionally returns the architectural value
@@ -170,8 +232,10 @@ impl Simulation {
             if let Some(z) = &mut self.zombie {
                 z.on_hit(addr);
             }
-            if let Some(flag) = self.reuse_flags.get_mut(&addr) {
-                *flag = true;
+            if self.reuse.is_some() {
+                if let Some(flag) = self.reuse_flags.get_mut(&addr) {
+                    *flag = true;
+                }
             }
         } else {
             self.d_pred.on_miss(addr);
@@ -195,14 +259,16 @@ impl Simulation {
             if let Some(z) = &mut self.zombie {
                 z.on_fill(addr);
             }
-            self.reuse_flags.insert(addr, false);
+            if self.reuse.is_some() {
+                self.reuse_flags.insert(addr, false);
+            }
         }
     }
 
     /// Ends the reuse-training generation for `addr`.
     fn train_reuse(&mut self, addr: u64) {
-        if let Some(reused) = self.reuse_flags.remove(&addr) {
-            if let Some(r) = &mut self.reuse {
+        if let Some(r) = &mut self.reuse {
+            if let Some(reused) = self.reuse_flags.remove(&addr) {
                 r.train(addr, reused);
             }
         }
@@ -254,40 +320,51 @@ impl Simulation {
         }
 
         if jit {
-            // --- Build the NV shadow ---
-            let mut shadow: Vec<ShadowBlock> = match self.scheme {
+            // --- Build the NV shadow (into the pooled arena) ---
+            self.shadow.clear();
+            match self.scheme {
                 Scheme::Sdbp => {
-                    let mut shadow = Vec::new();
-                    let blocks = self.mem.dcache.valid_blocks();
-                    for (addr, data, dirty) in blocks {
-                        let keep = self
-                            .reuse
-                            .as_ref()
-                            .is_none_or(|r| r.predicts_reuse(addr));
+                    // Disjoint field borrows: walk the cache without
+                    // cloning while filling the two arenas.
+                    let Self {
+                        mem,
+                        reuse,
+                        shadow,
+                        spill,
+                        ..
+                    } = self;
+                    mem.dcache.for_each_valid(|addr, data, dirty| {
+                        let keep = reuse.as_ref().is_none_or(|r| r.predicts_reuse(addr));
                         if keep {
-                            shadow.push((addr, data, dirty));
+                            shadow.push(addr, data, dirty);
                         } else if dirty {
                             // Dirty dead block: spill to main memory instead.
-                            let wb = Writeback { addr, data };
-                            let (t, e) = self.mem.write_back(&wb);
-                            self.breakdown.memory += e;
-                            self.energy.consume(e);
-                            self.energy.elapse_operation(t);
+                            spill.push(addr, data, true);
                         }
+                    });
+                    let Self {
+                        mem,
+                        spill,
+                        breakdown,
+                        energy,
+                        ..
+                    } = self;
+                    for i in 0..spill.len() {
+                        let (t, e) = mem.write_back_from(spill.addrs[i], spill.block(i));
+                        breakdown.memory += e;
+                        energy.consume(e);
+                        energy.elapse_operation(t);
                     }
-                    shadow
+                    spill.clear();
                 }
-                _ => self
-                    .mem
-                    .dcache
-                    .dirty_blocks()
-                    .into_iter()
-                    .map(|wb| (wb.addr, wb.data, true))
-                    .collect(),
-            };
+                _ => {
+                    let Self { mem, shadow, .. } = self;
+                    mem.dcache
+                        .for_each_dirty(|addr, data| shadow.push(addr, data, true));
+                }
+            }
             // The checkpoint save covers exactly the shadow assembled above.
-            let bytes = shadow.iter().map(|(_, d, _)| d.len() as u64).sum::<u64>()
-                + u64::from(CoreState::BYTES);
+            let bytes = self.shadow.bytes() + u64::from(CoreState::BYTES);
             let save_e = self.config.ckpt.save_energy_per_byte * bytes as f64;
             self.breakdown.checkpoint += save_e;
             self.energy.consume(save_e);
@@ -297,16 +374,31 @@ impl Simulation {
             // at reboot like any other checkpointed block — as clean, since
             // the backing image already holds their data.
             for addr in self.mem.parked_addrs() {
-                let data = self.mem.backing_data(addr);
-                shadow.push((addr, data, false));
+                let Self { mem, shadow, .. } = self;
+                shadow.push(addr, mem.backing_slice(addr), false);
             }
             self.mem.clear_parked();
-            self.last_ckpt = Some((self.core.checkpoint(), shadow));
+            self.last_ckpt = Some(self.core.checkpoint());
         }
 
         // --- Lose volatile state ---
-        for (addr, _, _) in self.mem.dcache.valid_blocks() {
-            self.train_reuse(addr);
+        if self.reuse.is_some() {
+            // Every resident block's generation ends untrained-reuse-wise.
+            // The flag map's key set equals the resident set, but iterate
+            // the cache (set/way order) so training order is deterministic.
+            let Self {
+                mem,
+                reuse,
+                reuse_flags,
+                ..
+            } = self;
+            if let Some(r) = reuse {
+                for addr in mem.dcache.resident_addrs_iter() {
+                    if let Some(reused) = reuse_flags.remove(&addr) {
+                        r.train(addr, reused);
+                    }
+                }
+            }
         }
         self.ledger.on_power_fail();
         if let Some(z) = &mut self.zombie {
@@ -330,46 +422,50 @@ impl Simulation {
         if let Some(ip) = &mut self.i_pred {
             ip.on_reboot(&self.mem.icache);
         }
-        if let Some((state, shadow)) = self.last_ckpt.take() {
-            let bytes = shadow.iter().map(|(_, d, _)| d.len() as u64).sum::<u64>()
-                + u64::from(CoreState::BYTES);
+        if let Some(state) = self.last_ckpt.take() {
+            let bytes = self.shadow.bytes() + u64::from(CoreState::BYTES);
             let restore_e = self.config.ckpt.restore_energy_per_byte * bytes as f64;
             self.breakdown.restore += restore_e;
             self.energy.consume(restore_e);
-            self.energy.elapse_operation(self.config.ckpt.restore_latency);
+            self.energy
+                .elapse_operation(self.config.ckpt.restore_latency);
             self.core.restore(&state);
-            for (addr, data, dirty) in &shadow {
+            // Temporarily move the arena out so the loop body can borrow
+            // `self` mutably; put it back after (same allocation).
+            let shadow = std::mem::take(&mut self.shadow);
+            for i in 0..shadow.len() {
+                let (addr, dirty) = (shadow.addrs[i], shadow.dirty[i]);
+                let data = shadow.block(i);
                 // A set can be offered more blocks than it has ways (parked
                 // blocks whose frames were re-occupied before the outage);
                 // the overflow is spilled to main memory instead of
                 // displacing an already-restored block.
-                if !self.mem.dcache.has_free_frame(*addr) {
-                    if *dirty {
-                        let wb = Writeback {
-                            addr: *addr,
-                            data: data.clone(),
-                        };
-                        let (t, e) = self.mem.write_back(&wb);
+                if !self.mem.dcache.has_free_frame(addr) {
+                    if dirty {
+                        let (t, e) = self.mem.write_back_from(addr, data);
                         self.breakdown.memory += e;
                         self.energy.consume(e);
                         self.energy.elapse_operation(t);
                     }
                     continue;
                 }
-                let frame = self.mem.restore_block(*addr, data, *dirty);
-                self.d_pred.on_restore_fill(&self.mem.dcache, frame, *addr);
-                self.ledger.on_restore(*addr);
+                let frame = self.mem.restore_block(addr, data, dirty);
+                self.d_pred.on_restore_fill(&self.mem.dcache, frame, addr);
+                self.ledger.on_restore(addr);
                 if let Some(r) = &mut self.recorder {
-                    r.on_restore(*addr);
+                    r.on_restore(addr);
                 }
                 if let Some(z) = &mut self.zombie {
-                    z.on_fill(*addr);
+                    z.on_fill(addr);
                 }
-                self.reuse_flags.insert(*addr, false);
+                if self.reuse.is_some() {
+                    self.reuse_flags.insert(addr, false);
+                }
             }
+            self.shadow = shadow;
             // The shadow stays valid until the next checkpoint overwrites it
             // (needed again if a brown-out strikes before then).
-            self.last_ckpt = Some((state, shadow));
+            self.last_ckpt = Some(state);
         } else {
             // Brown-out before any checkpoint: restart from program entry.
             self.core = Core::new(&self.workload.program);
@@ -395,6 +491,7 @@ impl Simulation {
             dcache: *self.mem.dcache.stats(),
             icache: *self.mem.icache.stats(),
             prediction: self.ledger.summary(),
+            sim_mips: 0.0,
         };
         (result, self.recorder.map(OracleRecorder::finish))
     }
@@ -432,13 +529,16 @@ impl Simulation {
             sim.mem.icache_characteristics().leakage * sim.config.icache_leakage_scale;
         let gated_frac = sim.config.gated_leak_fraction;
         let standby = sim.mem.memory_standby();
+        let d_blocks = f64::from(sim.mem.dcache.blocks());
+        let i_blocks = f64::from(sim.mem.icache.blocks());
+        let max_instructions = sim.config.max_instructions;
 
         loop {
             if sim.core.halted() {
                 sim.completed = true;
                 break;
             }
-            if sim.core.committed() >= sim.config.max_instructions {
+            if sim.core.committed() >= max_instructions {
                 break;
             }
 
@@ -482,11 +582,9 @@ impl Simulation {
             }
 
             let dt = cycle_time + stall;
-            let d_blocks = f64::from(sim.mem.dcache.blocks());
             let d_active_frac = (f64::from(sim.mem.dcache.active_blocks())
                 + f64::from(sim.mem.dcache.gated_blocks()) * gated_frac)
                 / d_blocks;
-            let i_blocks = f64::from(sim.mem.icache.blocks());
             let i_active_frac = (f64::from(sim.mem.icache.active_blocks())
                 + f64::from(sim.mem.icache.gated_blocks()) * gated_frac)
                 / i_blocks;
@@ -515,9 +613,16 @@ impl Simulation {
             }
 
             if let Some(z) = &mut sim.zombie {
+                // Cheap interval check first; only a due sample walks the
+                // resident set (and even then without materializing it).
                 let committed = sim.core.committed();
-                let resident = sim.mem.dcache.resident_addrs();
-                z.maybe_sample(committed, v.as_volts(), resident.iter());
+                if z.due(committed) {
+                    z.sample(
+                        committed,
+                        v.as_volts(),
+                        sim.mem.dcache.resident_addrs_iter(),
+                    );
+                }
             }
 
             match event {
@@ -576,7 +681,19 @@ pub fn run_workload(config: &SystemConfig, scheme: Scheme, workload: Workload) -
 /// Pass 1 of the Ideal scheme: runs the baseline while recording every
 /// block generation's access count.
 pub fn record_generation_trace(config: &SystemConfig, workload: Workload) -> GenerationTrace {
+    run_baseline_with_trace(config, workload).1
+}
+
+/// Runs the baseline once, returning both its results and the recorded
+/// generation trace. The recorder is a passive observer, so the result is
+/// bit-identical to an unrecorded baseline run — which lets one execution
+/// serve both as the Ideal scheme's oracle pass and as the baseline column
+/// of the same experiment matrix (see the memoization layer in `runner`).
+pub fn run_baseline_with_trace(
+    config: &SystemConfig,
+    workload: Workload,
+) -> (RunResult, GenerationTrace) {
     let sim = Simulation::new(config, Scheme::Baseline, workload, None).with_recorder();
-    let (_, trace) = sim.run();
-    trace.expect("recorder was attached")
+    let (result, trace) = sim.run();
+    (result, trace.expect("recorder was attached"))
 }

@@ -7,7 +7,7 @@
 //! analysis is retroactive: samples are held pending and resolved when the
 //! sampled block's generation ends.
 
-use std::collections::HashMap;
+use edbp_core::FxHashMap;
 
 /// (block address, generation serial).
 type GenerationKey = (u64, u64);
@@ -32,12 +32,12 @@ pub struct ZombieAnalysis {
     interval: u64,
     next_sample_at: u64,
     /// Current generation serial per address.
-    serial: HashMap<u64, u64>,
+    serial: FxHashMap<u64, u64>,
     next_serial: u64,
     /// Access count of the current generation per address.
-    count: HashMap<u64, u32>,
+    count: FxHashMap<u64, u32>,
     /// Pending samples keyed by (addr, serial): (voltage, count at sample).
-    pending: HashMap<GenerationKey, Vec<PendingSample>>,
+    pending: FxHashMap<GenerationKey, Vec<PendingSample>>,
     resolved: Vec<ZombieSample>,
 }
 
@@ -53,10 +53,10 @@ impl ZombieAnalysis {
         Self {
             interval,
             next_sample_at: interval,
-            serial: HashMap::new(),
+            serial: FxHashMap::default(),
             next_serial: 0,
-            count: HashMap::new(),
-            pending: HashMap::new(),
+            count: FxHashMap::default(),
+            pending: FxHashMap::default(),
             resolved: Vec::new(),
         }
     }
@@ -104,19 +104,23 @@ impl ZombieAnalysis {
         }
     }
 
-    /// Called once per committed instruction; takes a snapshot of every
-    /// resident block when the sampling period elapses.
-    pub fn maybe_sample<'a>(
+    /// Whether the sampling period has elapsed. The per-cycle guard in the
+    /// simulation loop: only when this returns true is it worth walking the
+    /// resident set at all.
+    pub fn due(&self, committed: u64) -> bool {
+        committed >= self.next_sample_at
+    }
+
+    /// Takes a snapshot of every resident block. Call only when
+    /// [`ZombieAnalysis::due`] returned true.
+    pub fn sample(
         &mut self,
         committed: u64,
         voltage: f64,
-        resident: impl IntoIterator<Item = &'a u64>,
+        resident: impl IntoIterator<Item = u64>,
     ) {
-        if committed < self.next_sample_at {
-            return;
-        }
         self.next_sample_at = committed + self.interval;
-        for &addr in resident {
+        for addr in resident {
             let (Some(&serial), Some(&count)) = (self.serial.get(&addr), self.count.get(&addr))
             else {
                 continue;
@@ -128,12 +132,26 @@ impl ZombieAnalysis {
         }
     }
 
+    /// Called once per committed instruction; takes a snapshot of every
+    /// resident block when the sampling period elapses. Convenience wrapper
+    /// over [`ZombieAnalysis::due`] + [`ZombieAnalysis::sample`] for callers
+    /// that already hold a resident set.
+    pub fn maybe_sample<'a>(
+        &mut self,
+        committed: u64,
+        voltage: f64,
+        resident: impl IntoIterator<Item = &'a u64>,
+    ) {
+        if self.due(committed) {
+            self.sample(committed, voltage, resident.into_iter().copied());
+        }
+    }
+
     /// Finalizes: unresolved samples belong to generations that never ended
     /// (the program finished first); a block unused since its sample is
     /// classified as a zombie-to-be.
     pub fn finish(mut self) -> Vec<ZombieSample> {
-        let pending: Vec<(GenerationKey, Vec<PendingSample>)> =
-            self.pending.drain().collect();
+        let pending: Vec<(GenerationKey, Vec<PendingSample>)> = self.pending.drain().collect();
         for ((addr, serial), samples) in pending {
             let current = if self.serial.get(&addr) == Some(&serial) {
                 self.count.get(&addr).copied()
@@ -253,7 +271,10 @@ mod tests {
         z.on_power_fail();
         let s = z.finish();
         assert_eq!(s.len(), 1);
-        assert!(s[0].zombie, "sample belongs to the first, unused generation");
+        assert!(
+            s[0].zombie,
+            "sample belongs to the first, unused generation"
+        );
     }
 
     #[test]

@@ -661,7 +661,10 @@ mod tests {
             .iter()
             .map(|&a| build(a, Scale::Tiny).data_footprint_bytes)
             .collect();
-        assert!(footprints.iter().any(|&f| f <= 1024), "need cache-resident apps");
+        assert!(
+            footprints.iter().any(|&f| f <= 1024),
+            "need cache-resident apps"
+        );
         assert!(
             footprints.iter().any(|&f| f >= 8 * 1024),
             "need apps that thrash the 4 kB cache"

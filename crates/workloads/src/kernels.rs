@@ -456,7 +456,11 @@ mod tests {
         let mut distinct: Vec<u32> = touched.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() > 200, "walk must spread, got {}", distinct.len());
+        assert!(
+            distinct.len() > 200,
+            "walk must spread, got {}",
+            distinct.len()
+        );
         assert_eq!(core.stores() * 4, core.loads());
     }
 

@@ -50,9 +50,17 @@ fn build_program() -> Workload {
 fn main() {
     let config = SystemConfig::paper_default();
     println!("custom kernel: hot 1 kB checksum + cold 256 B log tail\n");
-    println!("{:<22} {:>10} {:>11} {:>8}", "scheme", "time (ms)", "energy(uJ)", "outages");
+    println!(
+        "{:<22} {:>10} {:>11} {:>8}",
+        "scheme", "time (ms)", "energy(uJ)", "outages"
+    );
     let mut baseline_time = None;
-    for scheme in [Scheme::Baseline, Scheme::Decay, Scheme::Edbp, Scheme::DecayEdbp] {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::Decay,
+        Scheme::Edbp,
+        Scheme::DecayEdbp,
+    ] {
         let r = run_workload(&config, scheme, build_program());
         println!(
             "{:<22} {:>10.3} {:>11.1} {:>8}",

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example replay_measured_trace`
 
-use edbp_repro::energy::{
-    EnergySystem, EnergySystemConfig, SampledTrace, StepEvent,
-};
+use edbp_repro::energy::{EnergySystem, EnergySystemConfig, SampledTrace, StepEvent};
 use edbp_repro::units::{Power, Time};
 
 fn main() {
@@ -24,8 +22,8 @@ fn main() {
         .collect();
     let trace = SampledTrace::new("field-measurement", Time::from_millis(1.0), samples);
 
-    let mut system = EnergySystem::new(EnergySystemConfig::paper_default(), trace)
-        .expect("valid configuration");
+    let mut system =
+        EnergySystem::new(EnergySystemConfig::paper_default(), trace).expect("valid configuration");
 
     // A constant 20 mW load, stepped at 50 us.
     let dt = Time::from_micros(50.0);

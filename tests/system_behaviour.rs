@@ -50,7 +50,11 @@ fn infinite_energy_means_no_outages_and_no_edbp_activity() {
 fn outage_frequency_follows_the_trace_ordering() {
     // Section VI-H6: thermal < solar < RFOffice/RFHome in outage count.
     let mut outages = Vec::new();
-    for preset in [TracePreset::Thermal, TracePreset::Solar, TracePreset::RfHome] {
+    for preset in [
+        TracePreset::Thermal,
+        TracePreset::Solar,
+        TracePreset::RfHome,
+    ] {
         let mut config = SystemConfig::paper_default();
         config.source = SourceKind::Preset {
             preset,
