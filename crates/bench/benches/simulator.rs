@@ -4,9 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use edbp_core::{Edbp, EdbpConfig, LeakagePredictor};
 use ehs_cache::{AccessKind, Cache, CacheConfig};
-use ehs_energy::{EnergySource, SourceConfig, TracePreset};
+use ehs_energy::{
+    BurstPlan, ConstantSource, EnergySource, EnergySystem, EnergySystemConfig, SourceConfig,
+    StepEvent, TracePreset,
+};
 use ehs_sim::{run_app, Scheme, SystemConfig};
-use ehs_units::{Time, Voltage};
+use ehs_units::{Energy, Frequency, Power, Time, Voltage};
 use ehs_workloads::{AppId, Scale};
 use std::hint::black_box;
 
@@ -113,6 +116,60 @@ fn cache_walks(c: &mut Criterion) {
     group.finish();
 }
 
+/// The energy system's burst stepping (DESIGN.md §8) against the per-cycle
+/// reference it replicates: the same 1024 simulated cycles either as 1024
+/// `step` calls or as 256 four-cycle `step_burst` calls — four cycles being
+/// the longest burst the 16 B fetch buffer admits. Both sides perform the
+/// identical per-cycle capacitor arithmetic (that is the bit-exactness
+/// contract), so this pair guards that `step_burst`'s early-exit checks add
+/// no regression over plain `step`; the simulator's actual speedup comes
+/// from the *caller* skipping its per-cycle leakage/predictor/breakdown
+/// bookkeeping, which `end_to_end` below measures.
+fn burst_stepping(c: &mut Criterion) {
+    const CYCLES: u64 = 1024;
+    let dt = Time::from_nanos(40.0);
+    let load = Energy::from_pico_joules(200.0);
+    let new_system = || {
+        EnergySystem::new(
+            EnergySystemConfig::paper_default(),
+            ConstantSource::new(Power::from_milli_watts(10.0)),
+        )
+        .expect("paper default validates")
+    };
+    let mut group = c.benchmark_group("energy");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("step_1k_cycles", |b| {
+        let mut sys = new_system();
+        b.iter(|| {
+            let mut last = StepEvent::Running;
+            for _ in 0..CYCLES {
+                last = sys.step(dt, load);
+            }
+            black_box(last)
+        })
+    });
+    group.bench_function("step_burst_4x256", |b| {
+        let mut sys = new_system();
+        let plan = BurstPlan {
+            max_cycles: 4,
+            dt,
+            load,
+            frequency: Frequency::from_mega_hertz(25.0),
+            wake_at_cycle: None,
+            wake_below_voltage: None,
+        };
+        b.iter(|| {
+            let mut overdraw = Energy::ZERO;
+            let mut taken = 0u64;
+            for _ in 0..CYCLES / plan.max_cycles {
+                taken += sys.step_burst(&plan, &mut overdraw).0;
+            }
+            black_box((taken, overdraw))
+        })
+    });
+    group.finish();
+}
+
 fn end_to_end_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
@@ -133,6 +190,7 @@ criterion_group!(
     edbp_tick,
     trace_sampling,
     cache_walks,
+    burst_stepping,
     end_to_end_throughput
 );
 criterion_main!(simulator);

@@ -5,7 +5,7 @@
 //! demonstrate that beyond Cache Decay.
 
 use crate::fxhash::FxHashSet;
-use crate::{GatedBlock, LeakagePredictor, TickOutcome};
+use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
 use ehs_cache::{BlockId, Cache, GateOutcome};
 use ehs_units::Voltage;
 
@@ -160,6 +160,18 @@ impl LeakagePredictor for AdaptiveModeControl {
             }
         }
         out
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        // Same shape as Cache Decay: the global counter only fires at
+        // `next_global_tick`. Interval adaptation happens in `on_miss`, which
+        // forces hints to be re-queried anyway, and never moves an
+        // already-scheduled firing.
+        WakeHint {
+            at_cycle: Some(self.next_global_tick),
+            below_voltage: None,
+            every_cycle: false,
+        }
     }
 
     fn on_reboot(&mut self, cache: &Cache) {

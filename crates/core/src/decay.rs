@@ -1,7 +1,7 @@
 //! Cache Decay (Kaxiras, Hu, Martonosi — ISCA 2001), the conventional
 //! time-based dead block predictor the paper combines EDBP with.
 
-use crate::{GatedBlock, LeakagePredictor, TickOutcome};
+use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
 use ehs_cache::{BlockId, Cache, GateOutcome};
 use ehs_units::Voltage;
 
@@ -152,6 +152,16 @@ impl LeakagePredictor for CacheDecay {
             }
         }
         out
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        // tick() is a strict no-op (the while loop does not enter) until the
+        // cycle counter reaches the next global-counter firing.
+        WakeHint {
+            at_cycle: Some(self.next_global_tick),
+            below_voltage: None,
+            every_cycle: false,
+        }
     }
 
     fn on_reboot(&mut self, cache: &Cache) {

@@ -1,6 +1,6 @@
 //! EDBP — the paper's contribution: voltage-guided zombie-block deactivation.
 
-use crate::{GatedBlock, LeakagePredictor, TickOutcome};
+use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
 use ehs_cache::{Cache, GateOutcome};
 use ehs_units::Voltage;
 use std::collections::VecDeque;
@@ -265,6 +265,18 @@ impl LeakagePredictor for Edbp {
             out.absorb(self.apply_level(cache, level));
         }
         out
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        // tick() only acts when the voltage drops strictly below the next
+        // un-crossed threshold (the ladder is descending, so `take_while`
+        // cannot pass `crossed` beyond `level` before that). With every rung
+        // crossed, EDBP is done for this power cycle.
+        WakeHint {
+            at_cycle: None,
+            below_voltage: self.thresholds.get(self.level).copied(),
+            every_cycle: false,
+        }
     }
 
     fn on_reboot(&mut self, _cache: &Cache) {

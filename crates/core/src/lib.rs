@@ -72,5 +72,7 @@ pub use edbp::{Edbp, EdbpConfig};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{PredictionClass, PredictionLedger, PredictionSummary};
 pub use oracle::{GenerationTrace, OraclePredictor, OracleRecorder};
-pub use predictor::{CombinedPredictor, GatedBlock, LeakagePredictor, NullPredictor, TickOutcome};
+pub use predictor::{
+    CombinedPredictor, GatedBlock, LeakagePredictor, NullPredictor, TickOutcome, WakeHint,
+};
 pub use reuse::{ReusePredictor, ReusePredictorConfig};

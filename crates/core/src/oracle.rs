@@ -29,7 +29,7 @@
 //! optimum — which is the honest direction to err in.
 
 use crate::fxhash::FxHashMap;
-use crate::{GatedBlock, LeakagePredictor, TickOutcome};
+use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
 use ehs_cache::{BlockId, Cache, GateOutcome};
 use ehs_units::Voltage;
 use std::collections::VecDeque;
@@ -242,6 +242,25 @@ impl LeakagePredictor for OraclePredictor {
         }
         self.pending_kill = kept;
         out
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        // With nothing pending, a tick drains an empty list: pure no-op.
+        // Pending kills only appear through `on_hit`/`on_fill` hooks, which
+        // invalidate hints. All-guarded kills wait for the voltage guard
+        // (strict `voltage < guard`); any unguarded kill fires on the very
+        // next tick, so the hint must demand one.
+        if self.pending_kill.is_empty() {
+            WakeHint::NEVER
+        } else if self.pending_kill.iter().all(|&(_, guarded)| guarded) {
+            WakeHint {
+                at_cycle: None,
+                below_voltage: Some(self.guard),
+                every_cycle: false,
+            }
+        } else {
+            WakeHint::EVERY_CYCLE
+        }
     }
 
     fn on_reboot(&mut self, _cache: &Cache) {

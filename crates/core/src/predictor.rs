@@ -37,6 +37,76 @@ impl TickOutcome {
         self.writebacks.extend(other.writebacks);
         self.parked.extend(other.parked);
     }
+
+    /// Whether this tick changed any state the simulator must account for.
+    pub fn is_empty(&self) -> bool {
+        self.gated.is_empty() && self.writebacks.is_empty() && self.parked.is_empty()
+    }
+}
+
+/// When a predictor next needs a [`LeakagePredictor::tick`] call, as reported
+/// by [`LeakagePredictor::next_wakeup`].
+///
+/// The contract: from the predictor's *current* state, every `tick(cache, v,
+/// cycle)` whose arguments satisfy **none** of the armed conditions must be a
+/// state-preserving no-op with an empty [`TickOutcome`]. The simulator relies
+/// on this to skip ticks entirely between events — correctness (bit-exact
+/// results vs. ticking every cycle) rests on the hint being conservative.
+/// Any `on_*` event may change the predictor's answer, so hints must be
+/// re-queried after hooks fire, after an executed tick, and after a reboot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeHint {
+    /// Tick once the cycle counter reaches this value (epoch boundary).
+    pub at_cycle: Option<u64>,
+    /// Tick once the voltage drops strictly below this value (threshold
+    /// crossing; matches the strict `voltage < t` comparisons the voltage-
+    /// guided predictors use).
+    pub below_voltage: Option<Voltage>,
+    /// The predictor cannot bound its next action: tick every cycle.
+    pub every_cycle: bool,
+}
+
+impl WakeHint {
+    /// No wakeup needed: every tick from the current state is a no-op.
+    pub const NEVER: WakeHint = WakeHint {
+        at_cycle: None,
+        below_voltage: None,
+        every_cycle: false,
+    };
+
+    /// The conservative default: tick at every cycle.
+    pub const EVERY_CYCLE: WakeHint = WakeHint {
+        at_cycle: None,
+        below_voltage: None,
+        every_cycle: true,
+    };
+
+    /// Combines two hints into one that wakes as soon as *either* would:
+    /// the earlier cycle, the higher voltage threshold, and every-cycle if
+    /// either demands it.
+    #[must_use]
+    pub fn merge(self, other: WakeHint) -> WakeHint {
+        let at_cycle = match (self.at_cycle, other.at_cycle) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let below_voltage = match (self.below_voltage, other.below_voltage) {
+            (Some(a), Some(b)) => Some(if a >= b { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        WakeHint {
+            at_cycle,
+            below_voltage,
+            every_cycle: self.every_cycle || other.every_cycle,
+        }
+    }
+
+    /// Whether a tick at `(cycle, voltage)` may act and must therefore run.
+    pub fn due(&self, cycle: u64, voltage: Voltage) -> bool {
+        self.every_cycle
+            || self.at_cycle.is_some_and(|c| cycle >= c)
+            || self.below_voltage.is_some_and(|w| voltage < w)
+    }
 }
 
 /// A cache-leakage predictor: observes the access stream and periodically
@@ -81,6 +151,14 @@ pub trait LeakagePredictor: fmt::Debug + Send {
     /// whatever should die. Called once per simulated step.
     fn tick(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64) -> TickOutcome;
 
+    /// When this predictor next needs [`LeakagePredictor::tick`] called; see
+    /// [`WakeHint`] for the no-op contract. The default is the conservative
+    /// [`WakeHint::EVERY_CYCLE`], which keeps unknown implementations on the
+    /// cycle-accurate path.
+    fn next_wakeup(&self) -> WakeHint {
+        WakeHint::EVERY_CYCLE
+    }
+
     /// The JIT checkpoint is about to be taken (power failure imminent).
     fn on_checkpoint(&mut self, cache: &Cache) {
         let _ = cache;
@@ -110,6 +188,10 @@ impl LeakagePredictor for NullPredictor {
 
     fn tick(&mut self, _cache: &mut Cache, _voltage: Voltage, _cycle: u64) -> TickOutcome {
         TickOutcome::default()
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        WakeHint::NEVER
     }
 }
 
@@ -188,6 +270,12 @@ impl LeakagePredictor for CombinedPredictor {
         out
     }
 
+    fn next_wakeup(&self) -> WakeHint {
+        self.members
+            .iter()
+            .fold(WakeHint::NEVER, |h, m| h.merge(m.next_wakeup()))
+    }
+
     fn on_checkpoint(&mut self, cache: &Cache) {
         for m in &mut self.members {
             m.on_checkpoint(cache);
@@ -233,6 +321,78 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn combined_rejects_empty() {
         let _ = CombinedPredictor::new(vec![]);
+    }
+
+    #[test]
+    fn wake_hint_merge_takes_the_earliest_wakeup() {
+        let decay_like = WakeHint {
+            at_cycle: Some(4096),
+            below_voltage: None,
+            every_cycle: false,
+        };
+        let edbp_like = WakeHint {
+            at_cycle: None,
+            below_voltage: Some(Voltage::from_volts(3.27)),
+            every_cycle: false,
+        };
+        let merged = decay_like.merge(edbp_like);
+        assert_eq!(merged.at_cycle, Some(4096));
+        assert_eq!(merged.below_voltage, Some(Voltage::from_volts(3.27)));
+        assert!(!merged.every_cycle);
+        // Cycle pick: earlier wins. Voltage pick: higher wins (wakes first
+        // on a falling rail).
+        let other = WakeHint {
+            at_cycle: Some(100),
+            below_voltage: Some(Voltage::from_volts(3.30)),
+            every_cycle: false,
+        };
+        let m2 = merged.merge(other);
+        assert_eq!(m2.at_cycle, Some(100));
+        assert_eq!(m2.below_voltage, Some(Voltage::from_volts(3.30)));
+        // EVERY_CYCLE is absorbing.
+        assert!(m2.merge(WakeHint::EVERY_CYCLE).every_cycle);
+        // NEVER is the identity.
+        assert_eq!(m2.merge(WakeHint::NEVER), m2);
+    }
+
+    #[test]
+    fn wake_hint_due_semantics() {
+        let h = WakeHint {
+            at_cycle: Some(1000),
+            below_voltage: Some(Voltage::from_volts(3.2)),
+            every_cycle: false,
+        };
+        let v_hi = Voltage::from_volts(3.4);
+        let v_lo = Voltage::from_volts(3.1);
+        assert!(!h.due(999, v_hi));
+        assert!(h.due(1000, v_hi), "cycle boundary is inclusive");
+        assert!(h.due(0, v_lo), "strictly below the voltage threshold");
+        assert!(!h.due(0, Voltage::from_volts(3.2)), "equality is not below");
+        assert!(!WakeHint::NEVER.due(u64::MAX, Voltage::from_volts(0.0)));
+        assert!(WakeHint::EVERY_CYCLE.due(0, v_hi));
+    }
+
+    #[test]
+    fn combined_wakeup_merges_members() {
+        let cache = Cache::new(CacheConfig::paper_dcache());
+        let decay = crate::CacheDecay::new(
+            crate::DecayConfig {
+                decay_interval_cycles: 4096,
+            },
+            &cache,
+        );
+        let edbp = crate::Edbp::new(crate::EdbpConfig::for_cache(&cache));
+        let edbp_first = edbp.next_wakeup().below_voltage.expect("armed");
+        let c = CombinedPredictor::new(vec![Box::new(decay), Box::new(edbp)]);
+        let hint = c.next_wakeup();
+        assert_eq!(hint.at_cycle, Some(1024), "decay period = interval/4");
+        assert_eq!(hint.below_voltage, Some(edbp_first));
+        assert!(!hint.every_cycle);
+    }
+
+    #[test]
+    fn null_predictor_never_wakes() {
+        assert_eq!(NullPredictor::new().next_wakeup(), WakeHint::NEVER);
     }
 
     #[test]

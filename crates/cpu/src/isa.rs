@@ -125,7 +125,7 @@ pub struct Program {
 }
 
 /// Bytes per encoded instruction (fixed 32-bit encoding, as on ARM).
-pub(crate) const INSTRUCTION_BYTES: u32 = 4;
+pub const INSTRUCTION_BYTES: u32 = 4;
 
 impl Program {
     /// Creates a program from parts.
@@ -190,6 +190,37 @@ impl Program {
     pub fn instructions(&self) -> &[Instruction] {
         &self.instructions
     }
+
+    /// Length of the pure-compute run starting at `pc`, capped at `max`:
+    /// the number of consecutive instructions that are certain to execute as
+    /// single-cycle [`crate::Effect::Compute`] steps with straight-line
+    /// fetching.
+    ///
+    /// ALU instructions extend the run. A control-flow instruction may
+    /// *close* the run (it executes in one compute cycle, but its successor's
+    /// address is data-dependent, so the scan cannot see past it). Loads,
+    /// stores, `Halt` and the end of the program stop the scan without being
+    /// counted.
+    pub fn compute_run_len(&self, pc: u32, max: u32) -> u32 {
+        let mut n = 0u32;
+        while n < max {
+            let Some(instr) = self.instructions.get(pc as usize + n as usize) else {
+                break;
+            };
+            match instr {
+                Instruction::Load(..) | Instruction::Store(..) | Instruction::Halt => break,
+                Instruction::Bne(..)
+                | Instruction::Beq(..)
+                | Instruction::Blt(..)
+                | Instruction::Jmp(_) => {
+                    n += 1;
+                    break;
+                }
+                _ => n += 1,
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +241,33 @@ mod tests {
         assert!(Instruction::Load(Reg::R1, Reg::R2, 0).is_load());
         assert!(Instruction::Store(Reg::R1, Reg::R2, 0).is_store());
         assert!(!Instruction::Add(Reg::R1, Reg::R2, Reg::R3).is_memory());
+    }
+
+    #[test]
+    fn compute_run_len_scans_to_the_next_memory_effect() {
+        use Instruction::*;
+        let p = Program::new(
+            "t",
+            vec![
+                Li(Reg::R1, 1),                 // 0: compute
+                Add(Reg::R2, Reg::R1, Reg::R1), // 1: compute
+                Load(Reg::R3, Reg::R2, 0),      // 2: stops, not counted
+                Xor(Reg::R4, Reg::R1, Reg::R2), // 3: compute
+                Bne(Reg::R1, Reg::R2, 0),       // 4: counted, closes the run
+                Sub(Reg::R5, Reg::R1, Reg::R2), // 5: unreachable by the scan above
+                Halt,                           // 6
+            ],
+            0,
+        );
+        assert_eq!(p.compute_run_len(0, 16), 2, "stops before the load");
+        assert_eq!(p.compute_run_len(2, 16), 0, "load is never counted");
+        assert_eq!(p.compute_run_len(3, 16), 2, "branch closes the run");
+        assert_eq!(p.compute_run_len(5, 16), 1, "halt is never counted");
+        assert_eq!(p.compute_run_len(6, 16), 0);
+        assert_eq!(p.compute_run_len(0, 1), 1, "max caps the scan");
+        assert_eq!(p.compute_run_len(6, 0), 0);
+        // Scanning at the end of the program is safe.
+        assert_eq!(p.compute_run_len(7, 16), 0);
     }
 
     #[test]

@@ -42,4 +42,4 @@ mod isa;
 
 pub use builder::{Label, ProgramBuilder};
 pub use core::{Core, CoreState, Effect};
-pub use isa::{Instruction, Program, Reg};
+pub use isa::{Instruction, Program, Reg, INSTRUCTION_BYTES};

@@ -52,7 +52,9 @@ mod trace;
 pub use capacitor::{Capacitor, CapacitorConfig};
 pub use error::EnergyConfigError;
 pub use monitor::{MonitorState, VoltageMonitor, VoltageThresholds};
-pub use system::{EnergySystem, EnergySystemConfig, OutageOutcome, PowerCycleStats, StepEvent};
+pub use system::{
+    BurstPlan, EnergySystem, EnergySystemConfig, OutageOutcome, PowerCycleStats, StepEvent,
+};
 pub use trace::{
     ConstantSource, EnergySource, SampledTrace, SourceConfig, SyntheticTrace, TracePreset,
 };

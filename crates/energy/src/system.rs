@@ -4,7 +4,7 @@ use crate::{
     Capacitor, CapacitorConfig, EnergyConfigError, EnergySource, MonitorState, VoltageMonitor,
     VoltageThresholds,
 };
-use ehs_units::{Energy, Power, Time, Voltage};
+use ehs_units::{Energy, Frequency, Power, Time, Voltage};
 
 /// Static configuration of the harvesting subsystem.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +93,35 @@ pub enum StepEvent {
     BrownOut,
 }
 
+/// Inputs to [`EnergySystem::step_burst`]: a run of cycles with identical
+/// per-cycle load, plus the conditions that end the burst early.
+///
+/// A burst replays the *exact* per-cycle arithmetic of repeated
+/// [`EnergySystem::step`] calls — the capacitor trajectory, statistics and
+/// monitor observations are bit-identical to the cycle-accurate loop — and
+/// only eliminates redundant work (harvested-power lookups are memoized per
+/// source segment, and the caller skips its own per-cycle bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstPlan {
+    /// Maximum number of cycles to coalesce (the caller's run-length). Must
+    /// be at least 1; at least one cycle always executes.
+    pub max_cycles: u64,
+    /// Duration of one cycle.
+    pub dt: Time,
+    /// Load drawn per cycle — identical every cycle of the burst.
+    pub load: Energy,
+    /// Core clock, used to derive the cycle number exactly as the simulator
+    /// does: `(now * frequency) as u64`, evaluated after each cycle.
+    pub frequency: Frequency,
+    /// Stop (after completing the crossing cycle) once the derived cycle
+    /// number reaches this value — a predictor epoch boundary.
+    pub wake_at_cycle: Option<u64>,
+    /// Stop (after completing the crossing cycle) once the capacitor voltage
+    /// drops strictly below this value — an EDBP gating threshold or the
+    /// oracle's release guard.
+    pub wake_below_voltage: Option<Voltage>,
+}
+
 /// Result of riding out one power outage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OutageOutcome {
@@ -145,6 +174,10 @@ pub struct EnergySystem {
     source: Box<dyn EnergySource>,
     now: Time,
     stats: PowerCycleStats,
+    /// Last `(segment, power)` sampled from the source. Valid only for
+    /// sources whose `segment_of` is `Some`; see [`EnergySource::segment_of`]
+    /// for the constancy contract that makes reuse bit-exact.
+    power_memo: Option<(u64, Power)>,
 }
 
 impl EnergySystem {
@@ -165,6 +198,7 @@ impl EnergySystem {
             config,
             now: Time::ZERO,
             stats: PowerCycleStats::default(),
+            power_memo: None,
         })
     }
 
@@ -211,7 +245,36 @@ impl EnergySystem {
     /// capacitor's own self-discharge.
     pub fn step(&mut self, dt: Time, load: Energy) -> StepEvent {
         debug_assert!(dt.as_seconds() > 0.0, "step needs positive dt");
-        let harvested = self.source.power_at(self.now) * dt;
+        let power = self.sampled_power();
+        self.step_cycle(dt, load, power)
+    }
+
+    /// Harvested power at `self.now`, memoized per source segment. For
+    /// segmented sources this is bit-identical to calling `power_at` (the
+    /// power is constant within a segment by contract) while skipping the
+    /// per-instant synthesis.
+    fn sampled_power(&mut self) -> Power {
+        match self.source.segment_of(self.now) {
+            Some(seg) => {
+                if let Some((s, p)) = self.power_memo {
+                    if s == seg {
+                        return p;
+                    }
+                }
+                let p = self.source.power_at(self.now);
+                self.power_memo = Some((seg, p));
+                p
+            }
+            None => self.source.power_at(self.now),
+        }
+    }
+
+    /// One execution cycle: the exact arithmetic shared by [`Self::step`]
+    /// and [`Self::step_burst`]. `power` must be the source power at
+    /// `self.now`.
+    #[inline]
+    fn step_cycle(&mut self, dt: Time, load: Energy, power: Power) -> StepEvent {
+        let harvested = power * dt;
         let absorbed = self.capacitor.charge(harvested);
         self.stats.shed += harvested - absorbed;
         self.stats.harvested += absorbed;
@@ -237,6 +300,47 @@ impl EnergySystem {
         }
     }
 
+    /// Advances up to `plan.max_cycles` identical execution cycles in one
+    /// call, stopping early — *after* the crossing cycle completes — when the
+    /// monitor fires, the voltage drops below `plan.wake_below_voltage`, or
+    /// the derived cycle number reaches `plan.wake_at_cycle`.
+    ///
+    /// Per cycle, `drawn − plan.load` (clamped at zero) is accumulated into
+    /// `overdraw` exactly as the simulator's cycle-accurate loop does with
+    /// its capacitor-leakage breakdown bucket: the subtraction uses the
+    /// *accumulator* delta of `stats.consumed`, not the per-cycle delivered
+    /// energy, so rounding matches the one-step-at-a-time sequence bit for
+    /// bit.
+    ///
+    /// Returns the number of cycles actually executed (always ≥ 1) and the
+    /// event observed on the last of them.
+    pub fn step_burst(&mut self, plan: &BurstPlan, overdraw: &mut Energy) -> (u64, StepEvent) {
+        debug_assert!(plan.max_cycles >= 1, "burst needs at least one cycle");
+        debug_assert!(plan.dt.as_seconds() > 0.0, "step needs positive dt");
+        let mut cycles = 0u64;
+        loop {
+            let consumed_before = self.stats.consumed;
+            let power = self.sampled_power();
+            let event = self.step_cycle(plan.dt, plan.load, power);
+            let drawn = self.stats.consumed - consumed_before;
+            *overdraw += drawn.saturating_sub(plan.load);
+            cycles += 1;
+            if event != StepEvent::Running || cycles >= plan.max_cycles {
+                return (cycles, event);
+            }
+            if let Some(w) = plan.wake_below_voltage {
+                if self.capacitor.voltage() < w {
+                    return (cycles, StepEvent::Running);
+                }
+            }
+            if let Some(c) = plan.wake_at_cycle {
+                if (self.now * plan.frequency) as u64 >= c {
+                    return (cycles, StepEvent::Running);
+                }
+            }
+        }
+    }
+
     /// Draws a one-off energy cost at the current instant (checkpoint or
     /// restore operations). Returns the energy actually delivered.
     pub fn consume(&mut self, e: Energy) -> Energy {
@@ -249,7 +353,7 @@ impl EnergySystem {
     /// [`EnergySystem::consume`] (e.g. checkpoint latency). No load is drawn
     /// and the monitor is not consulted — the JIT reserve funds this window.
     pub fn elapse_operation(&mut self, dt: Time) {
-        let harvested = self.source.power_at(self.now) * dt;
+        let harvested = self.sampled_power() * dt;
         let absorbed = self.capacitor.charge(harvested);
         self.stats.shed += harvested - absorbed;
         self.stats.harvested += absorbed;
@@ -268,7 +372,7 @@ impl EnergySystem {
         let mut harvested_total = Energy::ZERO;
         let mut recovered = false;
         while off < self.config.max_off_time {
-            let harvested = self.source.power_at(self.now) * dt;
+            let harvested = self.sampled_power() * dt;
             let absorbed = self.capacitor.charge(harvested);
             self.stats.shed += harvested - absorbed;
             self.stats.harvested += absorbed;
@@ -393,6 +497,150 @@ mod tests {
         // Buffer stays pinned at V_max and sheds the excess.
         assert!((sys.voltage().as_volts() - 3.5).abs() < 0.05);
         assert!(sys.stats().shed > Energy::ZERO);
+    }
+
+    fn mk_synthetic(seed: u64) -> EnergySystem {
+        EnergySystem::new(
+            EnergySystemConfig::paper_default(),
+            SourceConfig::preset(TracePreset::RfHome)
+                .with_seed(seed)
+                .build(),
+        )
+        .expect("valid")
+    }
+
+    fn assert_state_identical(a: &EnergySystem, b: &EnergySystem) {
+        assert_eq!(
+            a.now().as_seconds().to_bits(),
+            b.now().as_seconds().to_bits()
+        );
+        assert_eq!(
+            a.voltage().as_volts().to_bits(),
+            b.voltage().as_volts().to_bits()
+        );
+        assert_eq!(a.stored(), b.stored());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn step_burst_matches_looped_step_bit_for_bit() {
+        let dt = Time::from_nanos(40.0);
+        let load = Power::from_milli_watts(18.0) * dt;
+        let freq = ehs_units::Frequency::from_mega_hertz(25.0);
+        for seed in [0, 7, 41] {
+            let mut burst = mk_synthetic(seed);
+            let mut looped = mk_synthetic(seed);
+            let mut overdraw = Energy::ZERO;
+            let mut looped_overdraw = Energy::ZERO;
+            let mut remaining = 50_000u64;
+            while remaining > 0 {
+                let n = remaining.min(1000);
+                let plan = BurstPlan {
+                    max_cycles: n,
+                    dt,
+                    load,
+                    frequency: freq,
+                    wake_at_cycle: None,
+                    wake_below_voltage: None,
+                };
+                let (taken, event) = burst.step_burst(&plan, &mut overdraw);
+                assert!(taken >= 1 && taken <= n);
+                let mut looped_event = StepEvent::Running;
+                for _ in 0..taken {
+                    let before = looped.stats().consumed;
+                    looped_event = looped.step(dt, load);
+                    let drawn = looped.stats().consumed - before;
+                    looped_overdraw += drawn.saturating_sub(load);
+                }
+                assert_eq!(event, looped_event);
+                assert_state_identical(&burst, &looped);
+                assert_eq!(overdraw, looped_overdraw);
+                if event != StepEvent::Running {
+                    // Ride the outage out identically on both systems.
+                    let a = burst.power_off_and_recharge();
+                    let b = looped.power_off_and_recharge();
+                    assert_eq!(a, b);
+                    assert_state_identical(&burst, &looped);
+                    if !a.recovered {
+                        break;
+                    }
+                }
+                remaining -= taken;
+            }
+        }
+    }
+
+    #[test]
+    fn step_burst_stops_below_wake_voltage() {
+        let mut sys = mk(0.0); // zero harvest: voltage only falls
+        let dt = Time::from_nanos(40.0);
+        let load = Power::from_milli_watts(20.0) * dt;
+        let guard = Voltage::from_base(3.45);
+        let plan = BurstPlan {
+            max_cycles: u64::MAX,
+            dt,
+            load,
+            frequency: ehs_units::Frequency::from_mega_hertz(25.0),
+            wake_at_cycle: None,
+            wake_below_voltage: Some(guard),
+        };
+        let mut overdraw = Energy::ZERO;
+        let (taken, event) = sys.step_burst(&plan, &mut overdraw);
+        assert_eq!(event, StepEvent::Running);
+        assert!(sys.voltage() < guard, "stopped on the crossing cycle");
+        // The crossing is exact: one cycle earlier the voltage was >= guard.
+        let mut replay = mk(0.0);
+        for _ in 0..taken - 1 {
+            let _ = replay.step(dt, load);
+        }
+        assert!(replay.voltage() >= guard);
+    }
+
+    #[test]
+    fn step_burst_stops_at_wake_cycle() {
+        let mut sys = mk(100.0);
+        let dt = Time::from_nanos(40.0);
+        let load = Power::from_milli_watts(4.0) * dt;
+        let freq = ehs_units::Frequency::from_mega_hertz(25.0);
+        let plan = BurstPlan {
+            max_cycles: u64::MAX,
+            dt,
+            load,
+            frequency: freq,
+            wake_at_cycle: Some(1000),
+            wake_below_voltage: None,
+        };
+        let mut overdraw = Energy::ZERO;
+        let (taken, event) = sys.step_burst(&plan, &mut overdraw);
+        assert_eq!(event, StepEvent::Running);
+        let cycle = (sys.now() * freq) as u64;
+        assert!(cycle >= 1000, "cycle {cycle}");
+        assert!(taken <= 1001, "overshot the epoch boundary: {taken}");
+    }
+
+    #[test]
+    fn step_burst_reports_monitor_crossing_cycle() {
+        let mut burst = mk(0.0);
+        let mut looped = mk(0.0);
+        let dt = Time::from_micros(10.0);
+        let load = Power::from_milli_watts(5.0) * dt;
+        let plan = BurstPlan {
+            max_cycles: u64::MAX,
+            dt,
+            load,
+            frequency: ehs_units::Frequency::from_mega_hertz(25.0),
+            wake_at_cycle: None,
+            wake_below_voltage: None,
+        };
+        let mut overdraw = Energy::ZERO;
+        let (taken, event) = burst.step_burst(&plan, &mut overdraw);
+        assert_eq!(event, StepEvent::CheckpointRequested);
+        let mut steps = 0u64;
+        while looped.step(dt, load) == StepEvent::Running {
+            steps += 1;
+        }
+        assert_eq!(taken, steps + 1, "monitor fired on a different cycle");
+        assert_state_identical(&burst, &looped);
     }
 
     #[test]

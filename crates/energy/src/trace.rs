@@ -23,6 +23,18 @@ pub trait EnergySource: fmt::Debug + Send {
     /// Human-readable source name (used in reports).
     fn name(&self) -> &str;
 
+    /// Identifier of the piecewise-constant segment containing `t`, if this
+    /// source is piecewise-constant in time.
+    ///
+    /// Contract: if two instants map to the same `Some(segment)`, `power_at`
+    /// must return bit-identical power for both. Callers use this to memoize
+    /// `power_at` across consecutive steps; `None` (the default) disables
+    /// memoization and forces a fresh sample at every instant.
+    fn segment_of(&self, t: Time) -> Option<u64> {
+        let _ = t;
+        None
+    }
+
     /// Mean harvested power over a long horizon, if known analytically.
     ///
     /// The default integrates `power_at` numerically over one second.
@@ -265,6 +277,14 @@ impl EnergySource for SyntheticTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn segment_of(&self, t: Time) -> Option<u64> {
+        // Must match the `seg` computation in `power_at` exactly: every hash
+        // feeding the power level is keyed off `seg` (or its window), so the
+        // power is constant across a segment.
+        let p = &self.params;
+        Some((t.as_seconds() / p.segment.as_seconds()).floor().max(0.0) as u64)
+    }
 }
 
 /// A harvested-power trace replayed from uniform samples, wrapping around at
@@ -337,6 +357,15 @@ impl EnergySource for SampledTrace {
         &self.name
     }
 
+    fn segment_of(&self, t: Time) -> Option<u64> {
+        // The un-wrapped sample index; `power_at` is a pure function of it.
+        Some(
+            (t.as_seconds() / self.sample_period.as_seconds())
+                .floor()
+                .max(0.0) as u64,
+        )
+    }
+
     fn mean_power(&self) -> Power {
         self.samples.iter().copied().sum::<Power>() / self.samples.len() as f64
     }
@@ -363,6 +392,10 @@ impl EnergySource for ConstantSource {
 
     fn name(&self) -> &str {
         "constant"
+    }
+
+    fn segment_of(&self, _t: Time) -> Option<u64> {
+        Some(0)
     }
 
     fn mean_power(&self) -> Power {
@@ -505,6 +538,43 @@ mod tests {
             s.power_at(Time::from_seconds(100.0))
         );
         assert_eq!(s.mean_power().as_milli_watts(), 10.0);
+    }
+
+    #[test]
+    fn segment_of_upholds_the_piecewise_constant_contract() {
+        // Sample every preset densely; whenever two instants share a segment
+        // id, their power must be bit-identical.
+        for preset in TracePreset::ALL {
+            let trace = SourceConfig::preset(preset).with_seed(7).build();
+            let step = Time::from_micros(13.0);
+            let mut last: Option<(u64, Power)> = None;
+            for i in 0..20_000u32 {
+                let t = step * f64::from(i);
+                let seg = trace.segment_of(t).expect("synthetic is segmented");
+                let p = trace.power_at(t);
+                if let Some((s, prev)) = last {
+                    if s == seg {
+                        assert_eq!(prev, p, "{preset}: power varies within segment {seg}");
+                    }
+                }
+                last = Some((seg, p));
+            }
+        }
+        let sampled = SampledTrace::new(
+            "s",
+            Time::from_millis(1.0),
+            vec![Power::from_milli_watts(1.0), Power::from_milli_watts(2.0)],
+        );
+        assert_eq!(
+            sampled.segment_of(Time::from_millis(0.25)),
+            sampled.segment_of(Time::from_millis(0.75))
+        );
+        assert_ne!(
+            sampled.segment_of(Time::from_millis(0.25)),
+            sampled.segment_of(Time::from_millis(1.25))
+        );
+        let constant = ConstantSource::new(Power::from_milli_watts(1.0));
+        assert_eq!(constant.segment_of(Time::from_seconds(9.0)), Some(0));
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! must hold under any load/harvest schedule.
 
 use ehs_energy::{
-    Capacitor, CapacitorConfig, EnergySystem, EnergySystemConfig, MonitorState, SampledTrace,
-    SourceConfig, TracePreset, VoltageMonitor, VoltageThresholds,
+    BurstPlan, Capacitor, CapacitorConfig, EnergySystem, EnergySystemConfig, MonitorState,
+    SampledTrace, SourceConfig, StepEvent, TracePreset, VoltageMonitor, VoltageThresholds,
 };
-use ehs_units::{Energy, Power, Time, Voltage};
+use ehs_units::{Energy, Frequency, Power, Time, Voltage};
 use proptest::prelude::*;
 
 proptest! {
@@ -102,6 +102,113 @@ proptest! {
                 prop_assert!(pa >= Power::ZERO);
                 prop_assert_eq!(pa, b.power_at(time));
             }
+        }
+    }
+
+    #[test]
+    fn step_burst_is_bitwise_n_steps(
+        seed in 0u64..200,
+        load_mw in 0.5..25.0f64,
+        bursts in proptest::collection::vec(1u64..400, 1..20),
+    ) {
+        // step_burst(n) must be indistinguishable — to the last f64 bit —
+        // from n individual step() calls, including the overdraw (capacitor
+        // self-discharge) accumulator the simulator keeps alongside.
+        let config = EnergySystemConfig::paper_default();
+        let mk = || {
+            let source = SourceConfig::preset(TracePreset::RfHome).with_seed(seed).build();
+            EnergySystem::new(config.clone(), source).expect("valid")
+        };
+        let mut fast = mk();
+        let mut slow = mk();
+        let dt = Time::from_nanos(40.0);
+        let load = Power::from_milli_watts(load_mw) * dt;
+        let mut fast_overdraw = Energy::ZERO;
+        let mut slow_overdraw = Energy::ZERO;
+        for n in bursts {
+            let plan = BurstPlan {
+                max_cycles: n,
+                dt,
+                load,
+                frequency: Frequency::from_mega_hertz(25.0),
+                wake_at_cycle: None,
+                wake_below_voltage: None,
+            };
+            let (taken, event) = fast.step_burst(&plan, &mut fast_overdraw);
+            prop_assert!(taken >= 1 && taken <= n);
+            // An early exit is only ever caused by a non-Running event.
+            prop_assert!(taken == n || event != StepEvent::Running);
+            let mut slow_event = StepEvent::Running;
+            for _ in 0..taken {
+                let before = slow.stats().consumed;
+                slow_event = slow.step(dt, load);
+                let drawn = slow.stats().consumed - before;
+                slow_overdraw += drawn.saturating_sub(load);
+            }
+            prop_assert_eq!(event, slow_event);
+            prop_assert_eq!(
+                fast.now().as_seconds().to_bits(),
+                slow.now().as_seconds().to_bits()
+            );
+            prop_assert_eq!(
+                fast.voltage().as_volts().to_bits(),
+                slow.voltage().as_volts().to_bits()
+            );
+            prop_assert_eq!(fast.stored(), slow.stored());
+            prop_assert_eq!(fast.stats(), slow.stats());
+            prop_assert_eq!(fast_overdraw, slow_overdraw);
+            if event != StepEvent::Running {
+                let a = fast.power_off_and_recharge();
+                let b = slow.power_off_and_recharge();
+                prop_assert_eq!(a, b);
+                if !a.recovered {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_burst_wake_conditions_never_overshoot(
+        seed in 0u64..100,
+        wake_cycle in 1u64..2000,
+        guard_v in 3.30..3.49f64,
+    ) {
+        // With wake conditions armed, the burst must stop on exactly the
+        // first cycle that satisfies one (or an event fires), never later.
+        let config = EnergySystemConfig::paper_default();
+        let source = SourceConfig::preset(TracePreset::RfOffice).with_seed(seed).build();
+        let mut sys = EnergySystem::new(config, source).expect("valid");
+        let dt = Time::from_nanos(40.0);
+        let load = Power::from_milli_watts(20.0) * dt;
+        let freq = Frequency::from_mega_hertz(25.0);
+        let guard = Voltage::from_volts(guard_v);
+        let plan = BurstPlan {
+            max_cycles: u64::MAX,
+            dt,
+            load,
+            frequency: freq,
+            wake_at_cycle: Some(wake_cycle),
+            wake_below_voltage: Some(guard),
+        };
+        let mut overdraw = Energy::ZERO;
+        let (taken, event) = sys.step_burst(&plan, &mut overdraw);
+        prop_assert!(taken >= 1);
+        let cycle = (sys.now() * freq) as u64;
+        let stopped_by_wake = cycle >= wake_cycle || sys.voltage() < guard;
+        prop_assert!(stopped_by_wake || event != StepEvent::Running);
+        // No overshoot: replaying taken-1 cycles must satisfy *no* stop
+        // condition (otherwise the burst ran past a wakeup).
+        if taken > 1 {
+            let source = SourceConfig::preset(TracePreset::RfOffice).with_seed(seed).build();
+            let mut replay = EnergySystem::new(EnergySystemConfig::paper_default(), source)
+                .expect("valid");
+            for _ in 0..taken - 1 {
+                prop_assert_eq!(replay.step(dt, load), StepEvent::Running);
+            }
+            let replay_cycle = (replay.now() * freq) as u64;
+            prop_assert!(replay_cycle < wake_cycle);
+            prop_assert!(replay.voltage() >= guard);
         }
     }
 

@@ -12,6 +12,11 @@
 //! committed instructions per host wall-second, in millions — best of
 //! `REPS` suite repetitions. Each labelled run is one line in the `runs`
 //! array; re-running with an existing label replaces that line.
+//!
+//! Before timing anything, every case is also executed under
+//! `force_cycle_accurate` and compared with the burst-stepping result; any
+//! divergence aborts with a non-zero exit so CI fails rather than record a
+//! number produced by an unsound fast path.
 
 use ehs_sim::{run_app, Scheme, SystemConfig};
 use ehs_workloads::{AppId, Scale};
@@ -53,11 +58,43 @@ fn cases() -> Vec<Case> {
     cases
 }
 
+/// Runs every case in both stepping regimes and aborts the process if any
+/// [`ehs_sim::RunResult`] field (other than the wall-clock `sim_mips`, which
+/// is excluded from `PartialEq`) diverges. This is the CI-facing guard that
+/// the burst fast path being measured below is still bit-exact.
+fn check_burst_exactness(cases: &[Case]) {
+    let mut divergent = 0usize;
+    for case in cases {
+        let burst = run_app(&case.config, case.scheme, case.app, Scale::Small);
+        let mut exact_config = case.config.clone();
+        exact_config.force_cycle_accurate = true;
+        let exact = run_app(&exact_config, case.scheme, case.app, Scale::Small);
+        if burst != exact {
+            divergent += 1;
+            eprintln!(
+                "DIVERGENCE in {}: burst stepping and the cycle-accurate reference disagree",
+                case.name
+            );
+            eprintln!("  burst:          {burst:?}");
+            eprintln!("  cycle-accurate: {exact:?}");
+        }
+    }
+    if divergent > 0 {
+        eprintln!("{divergent} case(s) diverged; refusing to record a benchmark row");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "burst vs cycle-accurate: all {} cases bit-exact",
+        cases.len()
+    );
+}
+
 fn main() {
     let label = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "current".to_string());
     let cases = cases();
+    check_burst_exactness(&cases);
 
     let mut best_wall = f64::INFINITY;
     let mut committed = 0u64;

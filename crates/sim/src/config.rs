@@ -143,6 +143,15 @@ pub struct SystemConfig {
     /// Abort threshold: maximum committed instructions before declaring the
     /// run incomplete (guards against starved configurations).
     pub max_instructions: u64,
+    /// Disables the burst-stepping fast path (and its hint-based predictor
+    /// tick skipping), forcing the reference one-cycle-at-a-time loop.
+    ///
+    /// Burst stepping is bit-exact by construction — every [`crate::RunResult`]
+    /// field except the wall-clock `sim_mips` is identical either way — and
+    /// the differential test suite asserts exactly that by running both
+    /// settings. Leave this `false` outside such tests; it exists so the
+    /// reference semantics stay executable, not because results differ.
+    pub force_cycle_accurate: bool,
 }
 
 impl SystemConfig {
@@ -169,6 +178,7 @@ impl SystemConfig {
             predict_icache: false,
             zombie_sample_interval: None,
             max_instructions: 200_000_000,
+            force_cycle_accurate: false,
         }
     }
 

@@ -37,6 +37,7 @@
 
 mod config;
 pub mod experiments;
+mod fingerprint;
 mod memory_system;
 pub mod report;
 pub mod runner;
@@ -46,6 +47,7 @@ mod system;
 mod zombie;
 
 pub use config::{CheckpointCosts, SourceKind, SystemConfig};
+pub use fingerprint::config_fingerprint;
 pub use memory_system::MemorySystem;
 pub use scheme::Scheme;
 pub use stats::{EnergyBreakdown, RunResult};

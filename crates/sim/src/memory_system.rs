@@ -332,6 +332,13 @@ impl MemorySystem {
         }
     }
 
+    /// Block-aligned address currently held by the fetch buffer, if any.
+    /// Fetches inside it are guaranteed free (no I-cache access, no stall,
+    /// no predictor hooks) — the burst fast path keys off this.
+    pub fn buffered_block(&self) -> Option<u64> {
+        self.fetch_buffer
+    }
+
     /// Clears the volatile fetch buffer (power outage).
     pub fn reset_fetch_buffer(&mut self) {
         self.fetch_buffer = None;

@@ -23,11 +23,12 @@
 //! [`run_app`] remains uncached for callers that want a guaranteed fresh
 //! execution (e.g. throughput measurement).
 
-use crate::{run_app, run_baseline_with_trace, RunResult, Scheme, SystemConfig};
-use edbp_core::{FxBuildHasher, GenerationTrace};
+use crate::{
+    config_fingerprint, run_app, run_baseline_with_trace, RunResult, Scheme, SystemConfig,
+};
+use edbp_core::GenerationTrace;
 use ehs_workloads::{build, AppId, Scale};
 use std::collections::HashMap;
-use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -70,13 +71,6 @@ static BASELINE_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
 /// matrix runs the baseline exactly once per (app, config, seed)" property.
 pub fn baseline_executions() -> u64 {
     BASELINE_EXECUTIONS.load(Ordering::Relaxed)
-}
-
-/// Fingerprint of the full configuration. `Debug` formatting covers every
-/// field (it round-trips `f64`s exactly), and the Fx hash of that string is
-/// stable within a process — which is all a process-wide cache key needs.
-fn config_fingerprint(config: &SystemConfig) -> u64 {
-    FxBuildHasher::default().hash_one(format!("{config:?}"))
 }
 
 fn memo_slot(key: MemoKey) -> Slot {
@@ -249,26 +243,42 @@ pub fn mean_speedup_over_seeds(
     threads: usize,
 ) -> f64 {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let per_seed: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            let mut config = config.clone();
-            if let crate::SourceKind::Preset { preset, scale, .. } = config.source {
-                config.source = crate::SourceKind::Preset {
-                    preset,
-                    seed,
+    // One flat job list over every (seed, scheme, app) cell: a single
+    // [`run_jobs`] fan-out keeps all worker threads busy across seed
+    // boundaries instead of draining the pool at the end of each seed's
+    // matrix. Job order is [seed][Baseline|scheme][app], so the results
+    // regroup by fixed-size chunks.
+    let mut jobs = Vec::with_capacity(seeds.len() * 2 * apps.len());
+    for &seed in seeds {
+        let mut seeded = config.clone();
+        if let crate::SourceKind::Preset { preset, scale, .. } = seeded.source {
+            seeded.source = crate::SourceKind::Preset {
+                preset,
+                seed,
+                scale,
+            };
+        }
+        let seeded = Arc::new(seeded);
+        for job_scheme in [Scheme::Baseline, scheme] {
+            for &app in apps {
+                jobs.push(Job {
+                    config: Arc::clone(&seeded),
+                    scheme: job_scheme,
+                    app,
                     scale,
-                };
+                });
             }
-            let results = run_matrix(&config, &[Scheme::Baseline, scheme], apps, scale, threads);
-            geomean(
-                results[0]
-                    .iter()
-                    .zip(&results[1])
-                    .map(|(b, r)| b.total_time() / r.total_time()),
-            )
-        })
-        .collect();
+        }
+    }
+    let flat = run_jobs(&jobs, threads);
+    let per_seed = flat.chunks(2 * apps.len()).map(|chunk| {
+        let (base, tested) = chunk.split_at(apps.len());
+        geomean(
+            base.iter()
+                .zip(tested)
+                .map(|(b, r)| b.total_time() / r.total_time()),
+        )
+    });
     geomean(per_seed)
 }
 

@@ -4,13 +4,14 @@ use crate::{EnergyBreakdown, MemorySystem, RunResult, Scheme, SystemConfig};
 use edbp_core::{
     AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig, FxHashMap,
     GenerationTrace, LeakagePredictor, NullPredictor, OraclePredictor, OracleRecorder,
-    PredictionLedger, ReusePredictor, ReusePredictorConfig,
+    PredictionLedger, ReusePredictor, ReusePredictorConfig, WakeHint,
 };
 use ehs_cache::{AccessKind, Cache};
-use ehs_cpu::{Core, CoreState, Effect};
-use ehs_energy::{EnergySystem, StepEvent};
-use ehs_units::Time;
+use ehs_cpu::{Core, CoreState, Effect, INSTRUCTION_BYTES};
+use ehs_energy::{BurstPlan, EnergySystem, StepEvent};
+use ehs_units::{Energy, Power, Time};
 use ehs_workloads::{build, AppId, Scale, Workload};
+use std::sync::Arc;
 
 /// A pooled checkpoint shadow: the blocks saved across an outage, stored
 /// structure-of-arrays in buffers that are cleared and refilled at every
@@ -56,6 +57,71 @@ impl ShadowArena {
 
     fn block(&self, i: usize) -> &[u8] {
         &self.data[i * self.block_bytes..(i + 1) * self.block_bytes]
+    }
+}
+
+/// Per-cycle energy constants of the platform, hoisted out of the loop.
+struct LeakParams {
+    d_leak_full: Power,
+    i_leak_full: Power,
+    gated_frac: f64,
+    d_blocks: f64,
+    i_blocks: f64,
+    cycle_time: Time,
+    /// MCU dynamic energy of one unstalled cycle.
+    mcu_e_cycle: Energy,
+    /// Main-memory standby energy of one unstalled cycle.
+    standby_e_cycle: Energy,
+}
+
+/// Lazily recomputed leakage terms. The active/gated block counts only
+/// change on cache fills, evictions, predictor gatings and outages, so the
+/// per-cycle static-energy products are invalidated on those events and
+/// reused everywhere in between. Refreshing performs the identical f64
+/// operations the reference loop performs every cycle, so cached and fresh
+/// values are bit-equal (DESIGN.md §8).
+struct LeakCache {
+    dirty: bool,
+    /// Fraction of D-cache leakage currently drawn (active + gated blocks).
+    d_frac: f64,
+    /// Fraction of I-cache leakage currently drawn.
+    i_frac: f64,
+    /// D-cache static energy of one unstalled cycle.
+    d_static_cycle: Energy,
+    /// I-cache static energy of one unstalled cycle.
+    i_static_cycle: Energy,
+    /// Total load of one unstalled compute cycle (static + MCU + standby),
+    /// associated exactly as the reference loop sums it.
+    cycle_load: Energy,
+}
+
+impl LeakCache {
+    fn new() -> Self {
+        Self {
+            dirty: true,
+            d_frac: 0.0,
+            i_frac: 0.0,
+            d_static_cycle: Energy::ZERO,
+            i_static_cycle: Energy::ZERO,
+            cycle_load: Energy::ZERO,
+        }
+    }
+
+    fn refresh(&mut self, mem: &MemorySystem, p: &LeakParams) {
+        if !self.dirty {
+            return;
+        }
+        self.d_frac = (f64::from(mem.dcache.active_blocks())
+            + f64::from(mem.dcache.gated_blocks()) * p.gated_frac)
+            / p.d_blocks;
+        self.i_frac = (f64::from(mem.icache.active_blocks())
+            + f64::from(mem.icache.gated_blocks()) * p.gated_frac)
+            / p.i_blocks;
+        self.d_static_cycle = p.d_leak_full * self.d_frac * p.cycle_time;
+        self.i_static_cycle = p.i_leak_full * self.i_frac * p.cycle_time;
+        self.cycle_load =
+            self.d_static_cycle + self.i_static_cycle + p.mcu_e_cycle + p.standby_e_cycle;
+        self.dirty = false;
     }
 }
 
@@ -517,21 +583,60 @@ impl Simulation {
         (result, samples)
     }
 
+    /// Merged wake hint across the data- and instruction-cache predictors.
+    fn wake_hint(&self) -> WakeHint {
+        let mut hint = self.d_pred.next_wakeup();
+        if let Some(ip) = &self.i_pred {
+            hint = hint.merge(ip.next_wakeup());
+        }
+        hint
+    }
+
     /// The main simulation loop.
+    ///
+    /// Two regimes produce bit-identical [`RunResult`]s (the
+    /// `burst_exactness` differential suite asserts it for every scheme):
+    ///
+    /// * **Reference** ([`SystemConfig::force_cycle_accurate`]): one cycle
+    ///   per iteration, every predictor ticked every cycle, leakage
+    ///   fractions recomputed every cycle.
+    /// * **Burst** (default): a run of consecutive compute instructions
+    ///   whose fetches all hit the fetch buffer is handed to
+    ///   [`EnergySystem::step_burst`] as one [`BurstPlan`]; predictor ticks
+    ///   run only when the merged [`WakeHint`] is due, and leakage
+    ///   fractions come from a [`LeakCache`] invalidated on fills,
+    ///   evictions, gatings and outages.
+    ///
+    /// Exactness rests on the invariants documented in DESIGN.md §8: a
+    /// burst cycle replicates the reference loop's f64 operation sequence;
+    /// a tick whose hint is not due is a state-preserving no-op with an
+    /// empty outcome; and the burst stops at the first cycle where any stop
+    /// condition (energy event, hint voltage, hint cycle, run length)
+    /// holds, so the next tick runs on exactly the cycle the reference
+    /// loop would run it on.
     fn run_loop(&mut self) {
         let sim = self;
-        let program = sim.workload.program.clone();
+        let program = Arc::clone(&sim.workload.program);
         let cycle_time = sim.config.cycle_time();
+        let frequency = sim.config.frequency;
         let mcu_power = sim.config.mcu_power();
-        let d_leak_full =
-            sim.mem.dcache_characteristics().leakage * sim.config.dcache_leakage_scale;
-        let i_leak_full =
-            sim.mem.icache_characteristics().leakage * sim.config.icache_leakage_scale;
-        let gated_frac = sim.config.gated_leak_fraction;
         let standby = sim.mem.memory_standby();
-        let d_blocks = f64::from(sim.mem.dcache.blocks());
-        let i_blocks = f64::from(sim.mem.icache.blocks());
+        let params = LeakParams {
+            d_leak_full: sim.mem.dcache_characteristics().leakage * sim.config.dcache_leakage_scale,
+            i_leak_full: sim.mem.icache_characteristics().leakage * sim.config.icache_leakage_scale,
+            gated_frac: sim.config.gated_leak_fraction,
+            d_blocks: f64::from(sim.mem.dcache.blocks()),
+            i_blocks: f64::from(sim.mem.icache.blocks()),
+            cycle_time,
+            mcu_e_cycle: mcu_power * cycle_time,
+            standby_e_cycle: standby * cycle_time,
+        };
         let max_instructions = sim.config.max_instructions;
+        let i_block = u64::from(sim.mem.icache.block_bytes());
+        let cycle_accurate = sim.config.force_cycle_accurate;
+        let mut leak = LeakCache::new();
+        let mut hint = sim.wake_hint();
+        let mut hint_dirty = false;
 
         loop {
             if sim.core.halted() {
@@ -542,7 +647,94 @@ impl Simulation {
                 break;
             }
 
+            // ---- Burst fast path ----
+            // Eligibility: burst stepping enabled, no per-instruction
+            // zombie sampling (its samples are keyed to exact committed
+            // counts), the merged hint idle, the next fetch inside the
+            // fetch buffer, and at least one guaranteed compute step ahead.
+            if !cycle_accurate && sim.zombie.is_none() {
+                if hint_dirty {
+                    hint = sim.wake_hint();
+                    hint_dirty = false;
+                }
+                let fa = u64::from(sim.core.fetch_addr(&program));
+                if !hint.every_cycle && sim.mem.buffered_block() == Some(fa & !(i_block - 1)) {
+                    // Fetch slots left in the buffered block, from pc on.
+                    let slots = (i_block - (fa & (i_block - 1))) / u64::from(INSTRUCTION_BYTES);
+                    let cap = slots.min(max_instructions - sim.core.committed()) as u32;
+                    let run = sim.core.compute_run_len(&program, cap);
+                    if run >= 1 {
+                        leak.refresh(&sim.mem, &params);
+                        let plan = BurstPlan {
+                            max_cycles: u64::from(run),
+                            dt: cycle_time,
+                            load: leak.cycle_load,
+                            frequency,
+                            wake_at_cycle: hint.at_cycle,
+                            wake_below_voltage: hint.below_voltage,
+                        };
+                        let (taken, event) =
+                            sim.energy.step_burst(&plan, &mut sim.breakdown.capacitor);
+                        for _ in 0..taken {
+                            let effect = sim.core.step(&program);
+                            debug_assert_eq!(
+                                effect,
+                                Effect::Compute,
+                                "burst lookahead admitted a non-compute step"
+                            );
+                        }
+                        // Replay the per-cycle breakdown accumulation: the
+                        // same addend `taken` times in sequence, exactly as
+                        // the reference loop would have accumulated it.
+                        for _ in 0..taken {
+                            sim.breakdown.dcache_static += leak.d_static_cycle;
+                            sim.breakdown.icache_static += leak.i_static_cycle;
+                            sim.breakdown.mcu += params.mcu_e_cycle;
+                            sim.breakdown.memory += params.standby_e_cycle;
+                        }
+                        let cycle = (sim.energy.now() * frequency) as u64;
+                        let v = sim.energy.voltage();
+                        if hint.due(cycle, v) {
+                            // An executed tick may gate frames (including
+                            // invalid ones, which never appear in the
+                            // outcome), so it always invalidates the
+                            // leakage cache. Executed ticks are rare by
+                            // construction, so this costs nothing.
+                            let tick = sim.d_pred.tick(&mut sim.mem.dcache, v, cycle);
+                            sim.apply_tick(tick, true);
+                            if let Some(ip) = &mut sim.i_pred {
+                                let tick = ip.tick(&mut sim.mem.icache, v, cycle);
+                                sim.apply_tick(tick, false);
+                            }
+                            leak.dirty = true;
+                            hint_dirty = true;
+                        }
+                        match event {
+                            StepEvent::Running => {}
+                            StepEvent::CheckpointRequested => {
+                                if !sim.ride_out_outage(true) {
+                                    break;
+                                }
+                                leak.dirty = true;
+                                hint_dirty = true;
+                            }
+                            StepEvent::BrownOut => {
+                                sim.brownouts += 1;
+                                if !sim.ride_out_outage(false) {
+                                    break;
+                                }
+                                leak.dirty = true;
+                                hint_dirty = true;
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            // ---- Reference path: one cycle at a time ----
             let fetch = sim.mem.ifetch(sim.core.fetch_addr(&program));
+            leak.dirty |= !fetch.hit;
             if let Some(ip) = sim.i_pred.as_mut().filter(|_| !fetch.buffered) {
                 if fetch.hit {
                     ip.on_hit(&sim.mem.icache, fetch.frame, fetch.block_addr);
@@ -553,6 +745,7 @@ impl Simulation {
                     }
                     ip.on_fill(&sim.mem.icache, fetch.frame, fetch.block_addr);
                 }
+                hint_dirty = true;
             }
             let mut stall = fetch.stall;
             sim.breakdown.icache_dynamic += fetch.icache_energy;
@@ -569,7 +762,9 @@ impl Simulation {
                     load_energy += access.dcache_energy + access.memory_energy;
                     sim.breakdown.dcache_dynamic += access.dcache_energy;
                     sim.breakdown.memory += access.memory_energy;
+                    leak.dirty |= !access.hit;
                     sim.note_data_access(&access);
+                    hint_dirty = true;
                 }
                 Effect::Store { addr, value } => {
                     let access = sim.mem.data_access(addr, AccessKind::Write, value);
@@ -577,19 +772,20 @@ impl Simulation {
                     load_energy += access.dcache_energy + access.memory_energy;
                     sim.breakdown.dcache_dynamic += access.dcache_energy;
                     sim.breakdown.memory += access.memory_energy;
+                    leak.dirty |= !access.hit;
                     sim.note_data_access(&access);
+                    hint_dirty = true;
                 }
             }
 
             let dt = cycle_time + stall;
-            let d_active_frac = (f64::from(sim.mem.dcache.active_blocks())
-                + f64::from(sim.mem.dcache.gated_blocks()) * gated_frac)
-                / d_blocks;
-            let i_active_frac = (f64::from(sim.mem.icache.active_blocks())
-                + f64::from(sim.mem.icache.gated_blocks()) * gated_frac)
-                / i_blocks;
-            let d_static = d_leak_full * d_active_frac * dt;
-            let i_static = i_leak_full * i_active_frac * dt;
+            // In cycle-accurate mode the fractions are recomputed every
+            // cycle, keeping the reference loop independent of the
+            // LeakCache invalidation logic the differential suite checks.
+            leak.dirty |= cycle_accurate;
+            leak.refresh(&sim.mem, &params);
+            let d_static = params.d_leak_full * leak.d_frac * dt;
+            let i_static = params.i_leak_full * leak.i_frac * dt;
             let mcu_e = mcu_power * dt;
             let standby_e = standby * dt;
             sim.breakdown.dcache_static += d_static;
@@ -603,13 +799,24 @@ impl Simulation {
             let drawn = sim.energy.stats().consumed - consumed_before;
             sim.breakdown.capacitor += drawn.saturating_sub(load_energy);
 
-            let cycle = (sim.energy.now() * sim.config.frequency) as u64;
+            let cycle = (sim.energy.now() * frequency) as u64;
             let v = sim.energy.voltage();
-            let tick = sim.d_pred.tick(&mut sim.mem.dcache, v, cycle);
-            sim.apply_tick(tick, true);
-            if let Some(ip) = &mut sim.i_pred {
-                let tick = ip.tick(&mut sim.mem.icache, v, cycle);
-                sim.apply_tick(tick, false);
+            if !cycle_accurate && hint_dirty {
+                hint = sim.wake_hint();
+                hint_dirty = false;
+            }
+            if cycle_accurate || hint.due(cycle, v) {
+                // See the burst path: executed ticks can gate invalid
+                // frames without reporting them, so they unconditionally
+                // invalidate the leakage cache.
+                let tick = sim.d_pred.tick(&mut sim.mem.dcache, v, cycle);
+                sim.apply_tick(tick, true);
+                if let Some(ip) = &mut sim.i_pred {
+                    let tick = ip.tick(&mut sim.mem.icache, v, cycle);
+                    sim.apply_tick(tick, false);
+                }
+                leak.dirty = true;
+                hint_dirty = true;
             }
 
             if let Some(z) = &mut sim.zombie {
@@ -631,12 +838,16 @@ impl Simulation {
                     if !sim.ride_out_outage(true) {
                         break;
                     }
+                    leak.dirty = true;
+                    hint_dirty = true;
                 }
                 StepEvent::BrownOut => {
                     sim.brownouts += 1;
                     if !sim.ride_out_outage(false) {
                         break;
                     }
+                    leak.dirty = true;
+                    hint_dirty = true;
                 }
             }
         }
@@ -651,6 +862,10 @@ struct SourceBox(Box<dyn ehs_energy::EnergySource>);
 impl ehs_energy::EnergySource for SourceBox {
     fn power_at(&self, t: Time) -> ehs_units::Power {
         self.0.power_at(t)
+    }
+
+    fn segment_of(&self, t: Time) -> Option<u64> {
+        self.0.segment_of(t)
     }
 
     fn name(&self) -> &str {

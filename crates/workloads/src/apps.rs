@@ -6,6 +6,7 @@ use crate::kernels::{
 };
 use ehs_cpu::{Program, ProgramBuilder, Reg};
 use std::fmt;
+use std::sync::Arc;
 
 /// Byte address programs are fetched from (instruction-cache address space).
 const CODE_BASE: u32 = 0x0100_0000;
@@ -150,8 +151,9 @@ impl Scale {
 pub struct Workload {
     /// Which application this is.
     pub app: AppId,
-    /// The executable program.
-    pub program: Program,
+    /// The executable program, shared so cloning a workload (memoized
+    /// reruns, per-seed sweeps) never copies the instruction vector.
+    pub program: Arc<Program>,
     /// Bytes of data the program touches (cache-pressure indicator).
     pub data_footprint_bytes: u32,
 }
@@ -580,7 +582,7 @@ pub fn build(app: AppId, scale: Scale) -> Workload {
     };
     Workload {
         app,
-        program,
+        program: Arc::new(program),
         data_footprint_bytes: footprint,
     }
 }

@@ -42,7 +42,7 @@ fn build_program() -> Workload {
 
     Workload {
         app: AppId::Crc32, // closest stand-in label for reporting
-        program: b.build_at(0x0100_0000),
+        program: b.build_at(0x0100_0000).into(),
         data_footprint_bytes: 1024 + 256,
     }
 }

@@ -52,7 +52,7 @@ fn pattern_program() -> Workload {
 
     Workload {
         app: AppId::Sha,
-        program: b.build_at(0x0100_0000),
+        program: b.build_at(0x0100_0000).into(),
         data_footprint_bytes: WORDS * 8,
     }
 }
