@@ -60,7 +60,12 @@ impl fmt::Display for Reg {
 
 /// A mini-RISC instruction. All ALU operations take one cycle; loads and
 /// stores additionally pay the memory hierarchy's price.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` hashes the full structural content (opcode + operands), which the
+/// simulator's persistent result cache uses to fingerprint a program: two
+/// workloads hash alike exactly when their instruction streams are
+/// identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// `rd = imm`
     Li(Reg, u32),

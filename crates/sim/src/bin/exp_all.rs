@@ -1,0 +1,13 @@
+//! Regenerates every figure/table through one deduplicated planner pass.
+//!
+//! Collects all registered experiments' job requests, dedups them across
+//! experiments by effective configuration fingerprint, runs the unique set
+//! once on a shared worker pool (longest-estimated-first), and writes each
+//! figure to `results/<name>.txt` byte-identically to what the standalone
+//! binary prints. The persistent result cache under `results/.runcache/`
+//! makes warm re-runs near-instant; `--no-cache` disables it and
+//! `--expect-cached` fails the run if any simulation actually executed.
+
+fn main() {
+    ehs_sim::planner::suite_main();
+}

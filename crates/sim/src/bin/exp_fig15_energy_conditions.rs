@@ -1,27 +1,9 @@
-//! Regenerates Fig. 15 (energy-condition sensitivity) of the paper. See `EXPERIMENTS.md` for recorded
-//! paper-vs-measured results.
+//! Fig. 15 (energy-condition sensitivity) — thin wrapper over the registered experiment.
 //!
-//! Usage: `cargo run --release -p ehs-sim --bin exp_fig15_energy_conditions [tiny|small|full] [--csv]`
-
-use ehs_sim::experiments::{fig15_energy_conditions, ExperimentOptions};
+//! Planning and reporting live in the library (`ehs_sim::planner`); this
+//! binary only parses the unified CLI and prints the table. Run `exp_all`
+//! to regenerate every figure through one deduplicated planner pass.
 
 fn main() {
-    let mut opts = ExperimentOptions::default();
-    let mut csv = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "tiny" => opts.scale = ehs_workloads::Scale::Tiny,
-            "small" => opts.scale = ehs_workloads::Scale::Small,
-            "full" => opts.scale = ehs_workloads::Scale::Full,
-            "--csv" => csv = true,
-            other => eprintln!("ignoring unknown argument {other:?}"),
-        }
-    }
-    let table = fig15_energy_conditions(opts);
-    if csv {
-        print!("{}", table.to_csv());
-    } else {
-        println!("=== Fig. 15 (energy-condition sensitivity) ===");
-        println!("{}", table.render());
-    }
+    ehs_sim::planner::experiment_main("exp_fig15_energy_conditions");
 }

@@ -1,0 +1,175 @@
+//! Measures whole-suite regeneration time and records it in
+//! `BENCH_suite.json` at the repo root, so the planner's dedup and cache
+//! wins are tracked PR over PR. See DESIGN.md §8 for the methodology.
+//!
+//! Usage: `cargo run --release -p ehs-sim --bin exp_perf_suite [label] [scale]`
+//!
+//! Three configurations are timed, one full pass each (suite passes run for
+//! minutes, so unlike the hot-loop microbenchmark there is no best-of-N):
+//!
+//! 1. `serial` — every `exp_*` binary run one after another with
+//!    `--no-cache`, i.e. the pre-planner workflow: one process per figure,
+//!    no cross-experiment sharing, no persistent cache.
+//! 2. `cold` — `exp_all` with an empty `results/.runcache/`: one planner
+//!    pass that dedups jobs across experiments before simulating.
+//! 3. `warm` — `exp_all` again with the now-populated cache, with
+//!    `--expect-cached` so the run fails unless it is a pure replay.
+//!
+//! Before recording anything, the per-figure outputs of all three
+//! configurations are compared byte-for-byte; any divergence aborts with a
+//! non-zero exit so CI fails rather than record a speedup bought with a
+//! wrong figure.
+
+use ehs_sim::planner::{results_dir, REGISTRY};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+/// Directory holding the sibling experiment binaries.
+fn bin_dir() -> PathBuf {
+    std::env::current_exe()
+        .expect("locate current executable")
+        .parent()
+        .expect("executable has a parent directory")
+        .to_path_buf()
+}
+
+fn run_to_stdout(bin: &Path, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+    if !out.status.success() {
+        eprintln!(
+            "{} {} failed: {}",
+            bin.display(),
+            args.join(" "),
+            out.status
+        );
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        std::process::exit(1);
+    }
+    String::from_utf8(out.stdout).expect("experiment output is UTF-8")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let label = args.next().unwrap_or_else(|| "current".to_string());
+    let scale = args.next().unwrap_or_else(|| "small".to_string());
+    assert!(
+        matches!(scale.as_str(), "tiny" | "small" | "full"),
+        "scale must be tiny|small|full"
+    );
+    let bins = bin_dir();
+    let cache_dir = results_dir().join(".runcache");
+
+    // 1. Serial reference: the old one-process-per-figure workflow.
+    eprintln!("serial: {} binaries, --no-cache ...", REGISTRY.len());
+    let start = Instant::now();
+    let serial_outputs: Vec<String> = REGISTRY
+        .iter()
+        .map(|exp| run_to_stdout(&bins.join(exp.name), &[&scale, "--no-cache"]))
+        .collect();
+    let serial_s = start.elapsed().as_secs_f64();
+    eprintln!("serial: {serial_s:.1}s");
+
+    // 2. Cold planner pass: empty cache, one deduplicated run.
+    if cache_dir.exists() {
+        std::fs::remove_dir_all(&cache_dir).expect("clear result cache");
+    }
+    let start = Instant::now();
+    run_to_stdout(&bins.join("exp_all"), &[&scale]);
+    let cold_s = start.elapsed().as_secs_f64();
+    eprintln!("cold exp_all: {cold_s:.1}s");
+    let cold_outputs: Vec<String> = REGISTRY
+        .iter()
+        .map(|exp| {
+            std::fs::read_to_string(results_dir().join(format!("{}.txt", exp.name)))
+                .expect("read cold figure output")
+        })
+        .collect();
+
+    // 3. Warm replay: must execute zero simulations.
+    let start = Instant::now();
+    run_to_stdout(&bins.join("exp_all"), &[&scale, "--expect-cached"]);
+    let warm_s = start.elapsed().as_secs_f64();
+    eprintln!("warm exp_all: {warm_s:.1}s");
+
+    // Byte-identity across all three configurations, per figure.
+    let mut divergent = 0usize;
+    for (i, exp) in REGISTRY.iter().enumerate() {
+        let warm = std::fs::read_to_string(results_dir().join(format!("{}.txt", exp.name)))
+            .expect("read warm figure output");
+        if serial_outputs[i] != cold_outputs[i] {
+            divergent += 1;
+            eprintln!("DIVERGENCE in {}: serial stdout != cold exp_all", exp.name);
+        }
+        if cold_outputs[i] != warm {
+            divergent += 1;
+            eprintln!("DIVERGENCE in {}: cold exp_all != warm exp_all", exp.name);
+        }
+    }
+    if divergent > 0 {
+        eprintln!("{divergent} figure(s) diverged; refusing to record a benchmark row");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "serial vs cold vs warm: all {} figures byte-identical",
+        REGISTRY.len()
+    );
+
+    let mut line = String::new();
+    write!(
+        line,
+        "    {{\"label\": \"{label}\", \"scale\": \"{scale}\", \
+         \"serial_seconds\": {serial_s:.3}, \"cold_seconds\": {cold_s:.3}, \
+         \"warm_seconds\": {warm_s:.3}, \"cold_speedup\": {:.2}, \
+         \"warm_speedup\": {:.2}}}",
+        serial_s / cold_s,
+        cold_s / warm_s,
+    )
+    .expect("write to string");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
+    let kept: Vec<String> = std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| {
+            l.trim_start().starts_with("{\"label\":")
+                && !l.contains(&format!("\"label\": \"{label}\""))
+        })
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"full experiment-suite regeneration\",\n");
+    out.push_str(
+        "  \"metric\": \"wall seconds for all 20 figures: serial per-binary --no-cache loop vs one cold deduplicated exp_all pass vs a warm cache replay; one full pass each, per-figure outputs verified byte-identical across the three\",\n",
+    );
+    out.push_str(
+        "  \"suite\": \"every registered experiment (Table I, Figs. 1-18 sweeps, ablations, hw cost)\",\n",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    writeln!(
+        out,
+        "  \"machine\": \"{cores} logical core(s); with 1 core the shared worker pool degenerates to serial execution, so the cold speedup reflects cross-experiment dedup alone while multi-core machines add the pool's parallel speedup on top\",",
+    )
+    .expect("write to string");
+    out.push_str("  \"runs\": [\n");
+    for old in &kept {
+        out.push_str(old);
+        out.push_str(",\n");
+    }
+    out.push_str(&line);
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, &out).expect("write BENCH_suite.json");
+
+    println!(
+        "{label} @ {scale}: serial {serial_s:.1}s, cold {cold_s:.1}s ({:.2}x), warm {warm_s:.1}s ({:.2}x over cold)",
+        serial_s / cold_s,
+        cold_s / warm_s,
+    );
+    println!("recorded in BENCH_suite.json");
+}

@@ -1,24 +1,25 @@
 //! Headline experiments: Figs. 6–9 (true/false rates, energy breakdown,
 //! performance, absolute power).
 
-use super::ExperimentOptions;
+use super::{regroup, run_pair, ExperimentOptions};
 use crate::report::{factor, pct, Table};
-use crate::runner::{geomean, run_matrix};
+use crate::runner::{geomean, matrix_jobs, Job, JobOutput};
 use crate::{RunResult, Scheme, SystemConfig};
-use ehs_workloads::AppId;
+use ehs_workloads::{AppId, Scale};
 
-/// **Fig. 6** — zombie-aware prediction outcomes per application for Cache
-/// Decay, EDBP, and Cache Decay + EDBP: TP / FP / TN / FN(dead) / missed
-/// zombies as fractions of classified block generations, plus the paper's
-/// redefined coverage and accuracy (Eqs. 1–2).
-pub fn fig6_true_false_rates(opts: ExperimentOptions) -> Table {
+const FIG6_SCHEMES: [Scheme; 3] = [Scheme::Decay, Scheme::Edbp, Scheme::DecayEdbp];
+
+pub(crate) fn fig6_plan(scale: Scale) -> Vec<Job> {
     let config = SystemConfig::paper_default();
-    let schemes = [Scheme::Decay, Scheme::Edbp, Scheme::DecayEdbp];
-    let results = run_matrix(&config, &schemes, &AppId::ALL, opts.scale, opts.threads);
+    matrix_jobs(&config, &FIG6_SCHEMES, &AppId::ALL, scale)
+}
+
+pub(crate) fn fig6_report(outputs: &[JobOutput]) -> Table {
+    let results = regroup(outputs, AppId::ALL.len());
     let mut table = Table::new([
         "app", "scheme", "TP", "FP", "TN", "FN-dead", "missed-Z", "coverage", "accuracy",
     ]);
-    for (s, scheme) in schemes.iter().enumerate() {
+    for (s, scheme) in FIG6_SCHEMES.iter().enumerate() {
         for r in &results[s] {
             let f = r.prediction.fractions();
             table.row([
@@ -55,18 +56,21 @@ pub fn fig6_true_false_rates(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Fig. 7** — energy breakdown normalized to the NVSRAMCache baseline,
-/// split into the paper's categories (cache / memory / checkpoint+restore /
-/// others), plus the load/store fraction of committed instructions.
-pub fn fig7_energy_breakdown(opts: ExperimentOptions) -> Table {
+/// **Fig. 6** — zombie-aware prediction outcomes per application for Cache
+/// Decay, EDBP, and Cache Decay + EDBP: TP / FP / TN / FN(dead) / missed
+/// zombies as fractions of classified block generations, plus the paper's
+/// redefined coverage and accuracy (Eqs. 1–2).
+pub fn fig6_true_false_rates(opts: ExperimentOptions) -> Table {
+    run_pair(fig6_plan, fig6_report, opts)
+}
+
+pub(crate) fn fig7_plan(scale: Scale) -> Vec<Job> {
     let config = SystemConfig::paper_default();
-    let results = run_matrix(
-        &config,
-        &Scheme::HEADLINE,
-        &AppId::ALL,
-        opts.scale,
-        opts.threads,
-    );
+    matrix_jobs(&config, &Scheme::HEADLINE, &AppId::ALL, scale)
+}
+
+pub(crate) fn fig7_report(outputs: &[JobOutput]) -> Table {
+    let results = regroup(outputs, AppId::ALL.len());
     let mut table = Table::new([
         "app", "scheme", "total", "cache", "memory", "ckpt+rst", "others", "ld/st",
     ]);
@@ -109,6 +113,13 @@ pub fn fig7_energy_breakdown(opts: ExperimentOptions) -> Table {
     table
 }
 
+/// **Fig. 7** — energy breakdown normalized to the NVSRAMCache baseline,
+/// split into the paper's categories (cache / memory / checkpoint+restore /
+/// others), plus the load/store fraction of committed instructions.
+pub fn fig7_energy_breakdown(opts: ExperimentOptions) -> Table {
+    run_pair(fig7_plan, fig7_report, opts)
+}
+
 /// Builds the speedup-vs-baseline rows shared by Fig. 8 and the sweeps.
 pub(crate) fn speedups<'a>(
     baseline: &'a [RunResult],
@@ -120,18 +131,13 @@ pub(crate) fn speedups<'a>(
         .map(|(b, r)| b.total_time() / r.total_time())
 }
 
-/// **Fig. 8** — speedup over NVSRAMCache (top) and data-cache miss rate
-/// (bottom) for every scheme including the "80% Leakage Off" and Ideal
-/// bounds, per application and as the suite geomean.
-pub fn fig8_performance(opts: ExperimentOptions) -> Table {
+pub(crate) fn fig8_plan(scale: Scale) -> Vec<Job> {
     let config = SystemConfig::paper_default();
-    let results = run_matrix(
-        &config,
-        &Scheme::FIG8,
-        &AppId::ALL,
-        opts.scale,
-        opts.threads,
-    );
+    matrix_jobs(&config, &Scheme::FIG8, &AppId::ALL, scale)
+}
+
+pub(crate) fn fig8_report(outputs: &[JobOutput]) -> Table {
+    let results = regroup(outputs, AppId::ALL.len());
     let mut table = Table::new(["app", "scheme", "speedup", "d$ miss", "outages"]);
     for (a, app) in AppId::ALL.iter().enumerate() {
         for (s, scheme) in Scheme::FIG8.iter().enumerate() {
@@ -163,17 +169,20 @@ pub fn fig8_performance(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Fig. 9** — absolute average power (mW) and total consumed energy (µJ)
-/// of the NVSRAMCache baseline per application.
-pub fn fig9_absolute(opts: ExperimentOptions) -> Table {
+/// **Fig. 8** — speedup over NVSRAMCache (top) and data-cache miss rate
+/// (bottom) for every scheme including the "80% Leakage Off" and Ideal
+/// bounds, per application and as the suite geomean.
+pub fn fig8_performance(opts: ExperimentOptions) -> Table {
+    run_pair(fig8_plan, fig8_report, opts)
+}
+
+pub(crate) fn fig9_plan(scale: Scale) -> Vec<Job> {
     let config = SystemConfig::paper_default();
-    let results = run_matrix(
-        &config,
-        &[Scheme::Baseline],
-        &AppId::ALL,
-        opts.scale,
-        opts.threads,
-    );
+    matrix_jobs(&config, &[Scheme::Baseline], &AppId::ALL, scale)
+}
+
+pub(crate) fn fig9_report(outputs: &[JobOutput]) -> Table {
+    let results = regroup(outputs, AppId::ALL.len());
     let mut table = Table::new(["app", "avg power (mW)", "total energy (uJ)", "outages"]);
     let mut power_sum = 0.0;
     let mut energy_sum = 0.0;
@@ -195,4 +204,10 @@ pub fn fig9_absolute(opts: ExperimentOptions) -> Table {
         String::new(),
     ]);
     table
+}
+
+/// **Fig. 9** — absolute average power (mW) and total consumed energy (µJ)
+/// of the NVSRAMCache baseline per application.
+pub fn fig9_absolute(opts: ExperimentOptions) -> Table {
+    run_pair(fig9_plan, fig9_report, opts)
 }

@@ -9,10 +9,20 @@
 //! worker-thread count; [`ExperimentOptions::default`] uses `Scale::Small`
 //! and all-but-one hardware threads, which regenerates each figure in
 //! seconds-to-minutes.
+//!
+//! # Plan / report split
+//!
+//! Internally every experiment is a *plan* function (`Scale` → the flat,
+//! deterministically ordered list of [`Job`]s it needs) and a pure *report*
+//! function (the jobs' outputs, in plan order → the figure's `Table`). The
+//! public functions here glue one pair together through
+//! [`crate::runner::run_jobs_outputs`]; the suite planner
+//! ([`crate::planner`]) instead collects *every* experiment's plan, dedups
+//! across them, runs the union once, and feeds each report its own slice.
 
-mod headline;
-mod motivation;
-mod sensitivity;
+pub(crate) mod headline;
+pub(crate) mod motivation;
+pub(crate) mod sensitivity;
 
 pub use headline::{fig6_true_false_rates, fig7_energy_breakdown, fig8_performance, fig9_absolute};
 pub use motivation::{fig1_cache_size_motivation, fig4_zombie_ratio, table1_sram_leakage};
@@ -22,7 +32,9 @@ pub use sensitivity::{
     fig16_capacitor_size, fig17_sensitivity_summary, fig18_icache, hw_cost, other_predictors,
 };
 
-use crate::runner::default_threads;
+use crate::report::Table;
+use crate::runner::{default_threads, run_jobs_outputs, Job, JobOutput};
+use crate::RunResult;
 use ehs_workloads::Scale;
 
 /// Common knobs shared by every experiment runner.
@@ -51,4 +63,27 @@ impl ExperimentOptions {
             threads: 2,
         }
     }
+}
+
+/// Runs one experiment's plan/report pair standalone (the per-figure public
+/// functions and thin binaries go through here).
+pub(crate) fn run_pair(
+    plan: fn(Scale) -> Vec<Job>,
+    report: fn(&[JobOutput]) -> Table,
+    opts: ExperimentOptions,
+) -> Table {
+    let jobs = plan(opts.scale);
+    let outputs = run_jobs_outputs(&jobs, opts.threads);
+    report(&outputs)
+}
+
+/// Regroups a flat output slice into `[scheme][app]`-style rows of
+/// `columns` results each — the inverse of [`crate::runner::matrix_jobs`]'
+/// flattening.
+pub(crate) fn regroup(outputs: &[JobOutput], columns: usize) -> Vec<Vec<RunResult>> {
+    assert_eq!(outputs.len() % columns, 0, "outputs do not tile into rows");
+    outputs
+        .chunks(columns)
+        .map(|chunk| chunk.iter().map(|o| o.result.clone()).collect())
+        .collect()
 }

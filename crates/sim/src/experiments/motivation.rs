@@ -1,12 +1,13 @@
 //! Motivation experiments: Table I, Fig. 1 and Fig. 4.
 
-use super::ExperimentOptions;
+use super::{regroup, run_pair, ExperimentOptions};
 use crate::report::{pct, Table};
-use crate::runner::{geomean, run_matrix};
-use crate::{zombie_ratio_by_voltage, Scheme, Simulation, SystemConfig, ZombieSample};
+use crate::runner::{geomean, matrix_jobs, Job, JobOutput};
+use crate::{zombie_ratio_by_voltage, Scheme, SystemConfig, ZombieSample};
 use ehs_cache::CacheGeometry;
 use ehs_nvm::{CacheArrayModel, MemoryTechnology};
-use ehs_workloads::{build, AppId};
+use ehs_workloads::{AppId, Scale};
+use std::sync::Arc;
 
 /// Cache sizes swept by Table I, Fig. 1 and Fig. 11.
 pub(crate) const CACHE_SIZES: [u32; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
@@ -18,6 +19,39 @@ fn config_with_dcache_size(base: &SystemConfig, bytes: u32) -> SystemConfig {
     config
 }
 
+pub(crate) fn table1_plan(scale: Scale) -> Vec<Job> {
+    let base = SystemConfig::paper_default();
+    CACHE_SIZES
+        .iter()
+        .flat_map(|&bytes| {
+            matrix_jobs(
+                &config_with_dcache_size(&base, bytes),
+                &[Scheme::Baseline],
+                &AppId::ALL,
+                scale,
+            )
+        })
+        .collect()
+}
+
+pub(crate) fn table1_report(outputs: &[JobOutput]) -> Table {
+    let base = SystemConfig::paper_default();
+    let per_size = regroup(outputs, AppId::ALL.len());
+    let mut table = Table::new(["cache size", "leakage (mW)", "static ratio"]);
+    for (i, bytes) in CACHE_SIZES.into_iter().enumerate() {
+        let config = config_with_dcache_size(&base, bytes);
+        let model = CacheArrayModel::new(MemoryTechnology::Sram, config.dcache.geometry);
+        let leak = model.characteristics().leakage.as_milli_watts();
+        let ratio = per_size[i]
+            .iter()
+            .map(|r| r.energy.dcache_static_ratio())
+            .sum::<f64>()
+            / per_size[i].len() as f64;
+        table.row([format!("{bytes} B"), format!("{leak:.2}"), pct(ratio)]);
+    }
+    table
+}
+
 /// **Table I** — SRAM cache leakage power (mW) and the ratio of static
 /// energy to total SRAM data-cache energy, for 4-way caches of 256 B–16 kB.
 ///
@@ -25,51 +59,37 @@ fn config_with_dcache_size(base: &SystemConfig, bytes: u32) -> SystemConfig {
 /// published points); the static-energy ratio is measured on baseline runs
 /// averaged across all 20 applications.
 pub fn table1_sram_leakage(opts: ExperimentOptions) -> Table {
-    let base = SystemConfig::paper_default();
-    let mut table = Table::new(["cache size", "leakage (mW)", "static ratio"]);
-    for bytes in CACHE_SIZES {
-        let config = config_with_dcache_size(&base, bytes);
-        let model = CacheArrayModel::new(MemoryTechnology::Sram, config.dcache.geometry);
-        let leak = model.characteristics().leakage.as_milli_watts();
-        let results = run_matrix(
-            &config,
-            &[Scheme::Baseline],
-            &AppId::ALL,
-            opts.scale,
-            opts.threads,
-        );
-        let ratio = results[0]
-            .iter()
-            .map(|r| r.energy.dcache_static_ratio())
-            .sum::<f64>()
-            / results[0].len() as f64;
-        table.row([format!("{bytes} B"), format!("{leak:.2}"), pct(ratio)]);
-    }
-    table
+    run_pair(table1_plan, table1_report, opts)
 }
 
-/// **Fig. 1** — speedup across data-cache sizes, with real leakage vs the
-/// "80% Leakage Off" stress test. All speedups are normalized to the 4 kB
-/// 4-way baseline with real leakage (geomean over the 20 applications).
-pub fn fig1_cache_size_motivation(opts: ExperimentOptions) -> Table {
+pub(crate) fn fig1_plan(scale: Scale) -> Vec<Job> {
     let base = SystemConfig::paper_default();
-    let reference = run_matrix(
+    // Reference matrix first, then one [Baseline, LeakageOff80] matrix per
+    // swept size; the report consumes the sections in the same order.
+    let mut jobs = matrix_jobs(
         &config_with_dcache_size(&base, 4096),
         &[Scheme::Baseline],
         &AppId::ALL,
-        opts.scale,
-        opts.threads,
+        scale,
     );
-    let mut table = Table::new(["cache size", "real leakage", "80% leakage off"]);
     for bytes in CACHE_SIZES {
-        let config = config_with_dcache_size(&base, bytes);
-        let results = run_matrix(
-            &config,
+        jobs.extend(matrix_jobs(
+            &config_with_dcache_size(&base, bytes),
             &[Scheme::Baseline, Scheme::LeakageOff80],
             &AppId::ALL,
-            opts.scale,
-            opts.threads,
-        );
+            scale,
+        ));
+    }
+    jobs
+}
+
+pub(crate) fn fig1_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
+    let (reference, swept) = outputs.split_at(apps);
+    let reference = regroup(reference, apps);
+    let mut table = Table::new(["cache size", "real leakage", "80% leakage off"]);
+    for (i, bytes) in CACHE_SIZES.into_iter().enumerate() {
+        let results = regroup(&swept[i * 2 * apps..(i + 1) * 2 * apps], apps);
         let speedup = |scheme_idx: usize| {
             geomean(
                 reference[0]
@@ -87,16 +107,47 @@ pub fn fig1_cache_size_motivation(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// Collects Fig. 4 zombie samples for one app.
-fn zombie_samples_for(
-    config: &SystemConfig,
-    app: AppId,
-    opts: ExperimentOptions,
-) -> Vec<ZombieSample> {
-    let workload = build(app, opts.scale);
-    let sim = Simulation::new(config, Scheme::Baseline, workload, None);
-    let (_, samples) = sim.run_with_zombie_analysis();
-    samples
+/// **Fig. 1** — speedup across data-cache sizes, with real leakage vs the
+/// "80% Leakage Off" stress test. All speedups are normalized to the 4 kB
+/// 4-way baseline with real leakage (geomean over the 20 applications).
+pub fn fig1_cache_size_motivation(opts: ExperimentOptions) -> Table {
+    run_pair(fig1_plan, fig1_report, opts)
+}
+
+pub(crate) fn fig4_plan(scale: Scale) -> Vec<Job> {
+    let mut config = SystemConfig::paper_default();
+    config.zombie_sample_interval = Some(500);
+    let config = Arc::new(config);
+    // One zombie-instrumented baseline job per app; the report pools the
+    // sample vectors in this (deterministic) app order.
+    AppId::ALL
+        .iter()
+        .map(|&app| Job {
+            config: Arc::clone(&config),
+            scheme: Scheme::Baseline,
+            app,
+            scale,
+        })
+        .collect()
+}
+
+pub(crate) fn fig4_report(outputs: &[JobOutput]) -> Table {
+    let samples: Vec<ZombieSample> = outputs
+        .iter()
+        .flat_map(|o| {
+            o.zombie_samples
+                .as_deref()
+                .expect("fig. 4 jobs are zombie-instrumented")
+                .iter()
+                .copied()
+        })
+        .collect();
+    let rows = zombie_ratio_by_voltage(&samples, 3.2, 3.5, 6);
+    let mut table = Table::new(["voltage (V)", "zombie ratio", "samples"]);
+    for (centre, ratio, count) in rows {
+        table.row([format!("{centre:.3}"), pct(ratio), count.to_string()]);
+    }
+    table
 }
 
 /// **Fig. 4** — the fraction of resident data-cache blocks that are zombies
@@ -104,39 +155,7 @@ fn zombie_samples_for(
 /// by the capacitor voltage at the sampling instant. Baseline scheme,
 /// RFHome, samples pooled across all 20 applications.
 pub fn fig4_zombie_ratio(opts: ExperimentOptions) -> Table {
-    let mut config = SystemConfig::paper_default();
-    config.zombie_sample_interval = Some(500);
-
-    let samples: Vec<ZombieSample> = {
-        use std::sync::Mutex;
-        // One slot per app so thread interleaving cannot reorder the pool.
-        let slots: Vec<Mutex<Vec<ZombieSample>>> =
-            AppId::ALL.iter().map(|_| Mutex::new(Vec::new())).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..opts.threads.max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= AppId::ALL.len() {
-                        break;
-                    }
-                    let s = zombie_samples_for(&config, AppId::ALL[i], opts);
-                    *slots[i].lock().expect("zombie slot poisoned") = s;
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .flat_map(|m| m.into_inner().expect("zombie slot poisoned"))
-            .collect()
-    };
-
-    let rows = zombie_ratio_by_voltage(&samples, 3.2, 3.5, 6);
-    let mut table = Table::new(["voltage (V)", "zombie ratio", "samples"]);
-    for (centre, ratio, count) in rows {
-        table.row([format!("{centre:.3}"), pct(ratio), count.to_string()]);
-    }
-    table
+    run_pair(fig4_plan, fig4_report, opts)
 }
 
 #[cfg(test)]

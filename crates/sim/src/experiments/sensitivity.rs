@@ -3,16 +3,16 @@
 
 use super::headline::speedups;
 use super::motivation::CACHE_SIZES;
-use super::ExperimentOptions;
+use super::{regroup, run_pair, ExperimentOptions};
 use crate::report::{factor, pct, Table};
-use crate::runner::{geomean, run_matrix};
-use crate::{Scheme, SourceKind, SystemConfig};
+use crate::runner::{geomean, matrix_jobs, Job, JobOutput};
+use crate::{RunResult, Scheme, SourceKind, SystemConfig};
 use edbp_core::EdbpConfig;
 use ehs_cache::{Cache, CacheGeometry, ReplacementPolicy};
 use ehs_energy::TracePreset;
 use ehs_nvm::{AreaModel, CoreAreaBudget, MemoryTechnology};
 use ehs_units::Capacitance;
-use ehs_workloads::AppId;
+use ehs_workloads::{AppId, Scale};
 
 /// The three schemes most sweeps track, after the baseline.
 const SWEEP_SCHEMES: [Scheme; 4] = [
@@ -22,37 +22,62 @@ const SWEEP_SCHEMES: [Scheme; 4] = [
     Scheme::DecayEdbp,
 ];
 
-/// Runs one configuration and appends geomean speedup rows labelled `label`.
-fn sweep_point(
+fn sweep_jobs(config: &SystemConfig, scale: Scale) -> Vec<Job> {
+    matrix_jobs(config, &SWEEP_SCHEMES, &AppId::ALL, scale)
+}
+
+/// Appends one swept configuration's geomean speedup rows labelled `label`.
+/// `results` is the `[scheme][app]` matrix for [`SWEEP_SCHEMES`];
+/// `reference` overrides the normalization baseline (default: the matrix's
+/// own baseline row).
+fn sweep_rows(
     table: &mut Table,
     label: &str,
-    config: &SystemConfig,
-    reference: Option<&[crate::RunResult]>,
-    opts: ExperimentOptions,
-) -> Vec<crate::RunResult> {
-    let results = run_matrix(
-        config,
-        &SWEEP_SCHEMES,
-        &AppId::ALL,
-        opts.scale,
-        opts.threads,
-    );
-    let base: Vec<crate::RunResult> = match reference {
-        Some(r) => r.to_vec(),
-        None => results[0].clone(),
-    };
+    results: &[Vec<RunResult>],
+    reference: Option<&[RunResult]>,
+) {
+    let base = reference.unwrap_or(&results[0]);
     for (s, scheme) in SWEEP_SCHEMES.iter().enumerate() {
         table.row([
             label.to_owned(),
             scheme.name().to_owned(),
-            factor(geomean(speedups(&base, &results[s]))),
+            factor(geomean(speedups(base, &results[s]))),
         ]);
     }
-    results[0].clone()
 }
 
 fn sweep_header() -> Table {
     Table::new(["config", "scheme", "speedup"])
+}
+
+/// One full sweep section's width in jobs.
+fn sweep_width() -> usize {
+    SWEEP_SCHEMES.len() * AppId::ALL.len()
+}
+
+fn fig10_policies() -> [ReplacementPolicy; 2] {
+    [ReplacementPolicy::Lru, ReplacementPolicy::Drrip]
+}
+
+pub(crate) fn fig10_plan(scale: Scale) -> Vec<Job> {
+    fig10_policies()
+        .into_iter()
+        .flat_map(|policy| {
+            let mut config = SystemConfig::paper_default();
+            config.dcache.policy = policy;
+            sweep_jobs(&config, scale)
+        })
+        .collect()
+}
+
+pub(crate) fn fig10_report(outputs: &[JobOutput]) -> Table {
+    let mut table = sweep_header();
+    for (i, policy) in fig10_policies().into_iter().enumerate() {
+        let section = &outputs[i * sweep_width()..(i + 1) * sweep_width()];
+        let results = regroup(section, AppId::ALL.len());
+        sweep_rows(&mut table, policy.name(), &results, None);
+    }
+    table
 }
 
 /// **Fig. 10** — replacement-policy sensitivity: LRU (naive) vs DRRIP
@@ -60,11 +85,38 @@ fn sweep_header() -> Table {
 /// policy, as in the paper ("17.1% improvement over the baseline with
 /// DRRIP, compared to 6.91% with LRU").
 pub fn fig10_replacement_policy(opts: ExperimentOptions) -> Table {
+    run_pair(fig10_plan, fig10_report, opts)
+}
+
+fn dcache_size_config(bytes: u32) -> SystemConfig {
+    let mut config = SystemConfig::paper_default();
+    let assoc = config.dcache.geometry.associativity.min(bytes / 16);
+    config.dcache.geometry = CacheGeometry::new(bytes, assoc, 16).expect("swept geometry is valid");
+    config
+}
+
+pub(crate) fn fig11_plan(scale: Scale) -> Vec<Job> {
+    let base = SystemConfig::paper_default();
+    let mut jobs = matrix_jobs(&base, &[Scheme::Baseline], &AppId::ALL, scale);
+    for bytes in CACHE_SIZES {
+        jobs.extend(sweep_jobs(&dcache_size_config(bytes), scale));
+    }
+    jobs
+}
+
+pub(crate) fn fig11_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
+    let (reference, swept) = outputs.split_at(apps);
+    let reference = regroup(reference, apps);
     let mut table = sweep_header();
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Drrip] {
-        let mut config = SystemConfig::paper_default();
-        config.dcache.policy = policy;
-        sweep_point(&mut table, policy.name(), &config, None, opts);
+    for (i, bytes) in CACHE_SIZES.into_iter().enumerate() {
+        let results = regroup(&swept[i * sweep_width()..(i + 1) * sweep_width()], apps);
+        sweep_rows(
+            &mut table,
+            &format!("{bytes} B"),
+            &results,
+            Some(&reference[0]),
+        );
     }
     table
 }
@@ -72,26 +124,35 @@ pub fn fig10_replacement_policy(opts: ExperimentOptions) -> Table {
 /// **Fig. 11** — cache-size sensitivity, 256 B–16 kB, all schemes normalized
 /// to the 4 kB baseline.
 pub fn fig11_cache_size(opts: ExperimentOptions) -> Table {
+    run_pair(fig11_plan, fig11_report, opts)
+}
+
+const FIG12_WAYS: [u32; 4] = [1, 2, 4, 8];
+
+pub(crate) fn fig12_plan(scale: Scale) -> Vec<Job> {
     let base = SystemConfig::paper_default();
-    let reference = run_matrix(
-        &base,
-        &[Scheme::Baseline],
-        &AppId::ALL,
-        opts.scale,
-        opts.threads,
-    );
-    let mut table = sweep_header();
-    for bytes in CACHE_SIZES {
+    let mut jobs = matrix_jobs(&base, &[Scheme::Baseline], &AppId::ALL, scale);
+    for ways in FIG12_WAYS {
         let mut config = base.clone();
-        let assoc = config.dcache.geometry.associativity.min(bytes / 16);
         config.dcache.geometry =
-            CacheGeometry::new(bytes, assoc, 16).expect("swept geometry is valid");
-        sweep_point(
+            CacheGeometry::new(4096, ways, 16).expect("swept geometry is valid");
+        jobs.extend(sweep_jobs(&config, scale));
+    }
+    jobs
+}
+
+pub(crate) fn fig12_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
+    let (reference, swept) = outputs.split_at(apps);
+    let reference = regroup(reference, apps);
+    let mut table = sweep_header();
+    for (i, ways) in FIG12_WAYS.into_iter().enumerate() {
+        let results = regroup(&swept[i * sweep_width()..(i + 1) * sweep_width()], apps);
+        sweep_rows(
             &mut table,
-            &format!("{bytes} B"),
-            &config,
+            &format!("{ways}-way"),
+            &results,
             Some(&reference[0]),
-            opts,
         );
     }
     table
@@ -101,26 +162,27 @@ pub fn fig11_cache_size(opts: ExperimentOptions) -> Table {
 /// normalized to the 4-way baseline. Direct-mapped EDBP collapses to a
 /// single threshold that deactivates every block (Section VI-H3).
 pub fn fig12_associativity(opts: ExperimentOptions) -> Table {
-    let base = SystemConfig::paper_default();
-    let reference = run_matrix(
-        &base,
-        &[Scheme::Baseline],
-        &AppId::ALL,
-        opts.scale,
-        opts.threads,
-    );
+    run_pair(fig12_plan, fig12_report, opts)
+}
+
+pub(crate) fn fig13_plan(scale: Scale) -> Vec<Job> {
+    MemoryTechnology::NONVOLATILE
+        .into_iter()
+        .flat_map(|tech| {
+            let mut config = SystemConfig::paper_default();
+            config.icache_tech = tech;
+            config.memory_tech = tech;
+            sweep_jobs(&config, scale)
+        })
+        .collect()
+}
+
+pub(crate) fn fig13_report(outputs: &[JobOutput]) -> Table {
     let mut table = sweep_header();
-    for ways in [1u32, 2, 4, 8] {
-        let mut config = base.clone();
-        config.dcache.geometry =
-            CacheGeometry::new(4096, ways, 16).expect("swept geometry is valid");
-        sweep_point(
-            &mut table,
-            &format!("{ways}-way"),
-            &config,
-            Some(&reference[0]),
-            opts,
-        );
+    for (i, tech) in MemoryTechnology::NONVOLATILE.into_iter().enumerate() {
+        let section = &outputs[i * sweep_width()..(i + 1) * sweep_width()];
+        let results = regroup(section, AppId::ALL.len());
+        sweep_rows(&mut table, tech.name(), &results, None);
     }
     table
 }
@@ -129,12 +191,28 @@ pub fn fig12_associativity(opts: ExperimentOptions) -> Table {
 /// instruction cache and main memory. Speedups normalized to the same-tech
 /// baseline (the paper compares predictor gains per technology).
 pub fn fig13_nvm_technology(opts: ExperimentOptions) -> Table {
+    run_pair(fig13_plan, fig13_report, opts)
+}
+
+const FIG14_MB: [u64; 5] = [2, 4, 8, 16, 32];
+
+pub(crate) fn fig14_plan(scale: Scale) -> Vec<Job> {
+    FIG14_MB
+        .into_iter()
+        .flat_map(|mb| {
+            let mut config = SystemConfig::paper_default();
+            config.memory_bytes = mb * 1024 * 1024;
+            sweep_jobs(&config, scale)
+        })
+        .collect()
+}
+
+pub(crate) fn fig14_report(outputs: &[JobOutput]) -> Table {
     let mut table = sweep_header();
-    for tech in MemoryTechnology::NONVOLATILE {
-        let mut config = SystemConfig::paper_default();
-        config.icache_tech = tech;
-        config.memory_tech = tech;
-        sweep_point(&mut table, tech.name(), &config, None, opts);
+    for (i, mb) in FIG14_MB.into_iter().enumerate() {
+        let section = &outputs[i * sweep_width()..(i + 1) * sweep_width()];
+        let results = regroup(section, AppId::ALL.len());
+        sweep_rows(&mut table, &format!("{mb} MB"), &results, None);
     }
     table
 }
@@ -142,11 +220,30 @@ pub fn fig13_nvm_technology(opts: ExperimentOptions) -> Table {
 /// **Fig. 14** — memory-size sensitivity, 2–32 MB (larger memories amplify
 /// every miss penalty). Normalized to the same-size baseline.
 pub fn fig14_memory_size(opts: ExperimentOptions) -> Table {
+    run_pair(fig14_plan, fig14_report, opts)
+}
+
+pub(crate) fn fig15_plan(scale: Scale) -> Vec<Job> {
+    TracePreset::ALL
+        .into_iter()
+        .flat_map(|preset| {
+            let mut config = SystemConfig::paper_default();
+            config.source = SourceKind::Preset {
+                preset,
+                seed: 42,
+                scale: 1.0,
+            };
+            sweep_jobs(&config, scale)
+        })
+        .collect()
+}
+
+pub(crate) fn fig15_report(outputs: &[JobOutput]) -> Table {
     let mut table = sweep_header();
-    for mb in [2u64, 4, 8, 16, 32] {
-        let mut config = SystemConfig::paper_default();
-        config.memory_bytes = mb * 1024 * 1024;
-        sweep_point(&mut table, &format!("{mb} MB"), &config, None, opts);
+    for (i, preset) in TracePreset::ALL.into_iter().enumerate() {
+        let section = &outputs[i * sweep_width()..(i + 1) * sweep_width()];
+        let results = regroup(section, AppId::ALL.len());
+        sweep_rows(&mut table, preset.name(), &results, None);
     }
     table
 }
@@ -154,15 +251,34 @@ pub fn fig14_memory_size(opts: ExperimentOptions) -> Table {
 /// **Fig. 15** — energy-condition sensitivity across the four ambient
 /// environments. Normalized to the same-trace baseline.
 pub fn fig15_energy_conditions(opts: ExperimentOptions) -> Table {
+    run_pair(fig15_plan, fig15_report, opts)
+}
+
+const FIG16_CAPS: [(&str, f64); 5] = [
+    ("C0 (4.7uF)", 4.7),
+    ("2.1x C0", 10.0),
+    ("10x C0", 47.0),
+    ("21x C0", 100.0),
+    ("100x C0", 470.0),
+];
+
+pub(crate) fn fig16_plan(scale: Scale) -> Vec<Job> {
+    FIG16_CAPS
+        .into_iter()
+        .flat_map(|(_, uf)| {
+            let mut config = SystemConfig::paper_default();
+            config.energy.capacitor.capacitance = Capacitance::from_micro_farads(uf);
+            sweep_jobs(&config, scale)
+        })
+        .collect()
+}
+
+pub(crate) fn fig16_report(outputs: &[JobOutput]) -> Table {
     let mut table = sweep_header();
-    for preset in TracePreset::ALL {
-        let mut config = SystemConfig::paper_default();
-        config.source = SourceKind::Preset {
-            preset,
-            seed: 42,
-            scale: 1.0,
-        };
-        sweep_point(&mut table, preset.name(), &config, None, opts);
+    for (i, (label, _)) in FIG16_CAPS.into_iter().enumerate() {
+        let section = &outputs[i * sweep_width()..(i + 1) * sweep_width()];
+        let results = regroup(section, AppId::ALL.len());
+        sweep_rows(&mut table, label, &results, None);
     }
     table
 }
@@ -171,26 +287,11 @@ pub fn fig15_energy_conditions(opts: ExperimentOptions) -> Table {
 /// we sweep the same ×1 … ×200 ratios over our scaled default (see
 /// `DESIGN.md` §4). Normalized to the same-capacitor baseline.
 pub fn fig16_capacitor_size(opts: ExperimentOptions) -> Table {
-    let mut table = sweep_header();
-    for (label, uf) in [
-        ("C0 (4.7uF)", 4.7),
-        ("2.1x C0", 10.0),
-        ("10x C0", 47.0),
-        ("21x C0", 100.0),
-        ("100x C0", 470.0),
-    ] {
-        let mut config = SystemConfig::paper_default();
-        config.energy.capacitor.capacitance = Capacitance::from_micro_farads(uf);
-        sweep_point(&mut table, label, &config, None, opts);
-    }
-    table
+    run_pair(fig16_plan, fig16_report, opts)
 }
 
-/// **Fig. 17** — sensitivity summary: the geomean speedup of the combined
-/// scheme (Cache Decay + EDBP) at the default and at one representative
-/// point of every sensitivity axis, normalized to each point's own baseline.
-pub fn fig17_sensitivity_summary(opts: ExperimentOptions) -> Table {
-    let mut points: Vec<(&str, SystemConfig)> = Vec::new();
+fn fig17_points() -> Vec<(&'static str, SystemConfig)> {
+    let mut points: Vec<(&'static str, SystemConfig)> = Vec::new();
     points.push(("default", SystemConfig::paper_default()));
     {
         let mut c = SystemConfig::paper_default();
@@ -232,16 +333,28 @@ pub fn fig17_sensitivity_summary(opts: ExperimentOptions) -> Table {
         c.energy.capacitor.capacitance = Capacitance::from_micro_farads(470.0);
         points.push(("100x C0", c));
     }
+    points
+}
 
+pub(crate) fn fig17_plan(scale: Scale) -> Vec<Job> {
+    fig17_points()
+        .into_iter()
+        .flat_map(|(_, config)| {
+            matrix_jobs(
+                &config,
+                &[Scheme::Baseline, Scheme::DecayEdbp],
+                &AppId::ALL,
+                scale,
+            )
+        })
+        .collect()
+}
+
+pub(crate) fn fig17_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
     let mut table = Table::new(["config", "decay+edbp speedup"]);
-    for (label, config) in points {
-        let results = run_matrix(
-            &config,
-            &[Scheme::Baseline, Scheme::DecayEdbp],
-            &AppId::ALL,
-            opts.scale,
-            opts.threads,
-        );
+    for (i, (label, _)) in fig17_points().into_iter().enumerate() {
+        let results = regroup(&outputs[i * 2 * apps..(i + 1) * 2 * apps], apps);
         table.row([
             label.to_owned(),
             factor(geomean(speedups(&results[0], &results[1]))),
@@ -250,23 +363,38 @@ pub fn fig17_sensitivity_summary(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Fig. 18** — SRAM instruction cache: a new baseline with SRAM for both
-/// caches, comparing the predictors applied to the data cache only vs to
-/// both caches. Energy and speedup normalized to the new baseline.
-pub fn fig18_icache(opts: ExperimentOptions) -> Table {
+/// **Fig. 17** — sensitivity summary: the geomean speedup of the combined
+/// scheme (Cache Decay + EDBP) at the default and at one representative
+/// point of every sensitivity axis, normalized to each point's own baseline.
+pub fn fig17_sensitivity_summary(opts: ExperimentOptions) -> Table {
+    run_pair(fig17_plan, fig17_report, opts)
+}
+
+const FIG18_DESIGNS: [(&str, bool); 2] = [("d$ only", false), ("both caches", true)];
+
+fn fig18_config(predict_icache: bool) -> SystemConfig {
+    let mut config = SystemConfig::paper_default();
+    config.icache_tech = MemoryTechnology::Sram;
+    config.icache_energy_scale = 1.0; // SRAM I$ needs no ReRAM calibration
+    config.predict_icache = predict_icache;
+    config
+}
+
+pub(crate) fn fig18_plan(scale: Scale) -> Vec<Job> {
+    FIG18_DESIGNS
+        .into_iter()
+        .flat_map(|(_, both)| {
+            matrix_jobs(&fig18_config(both), &Scheme::HEADLINE, &AppId::ALL, scale)
+        })
+        .collect()
+}
+
+pub(crate) fn fig18_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
+    let width = Scheme::HEADLINE.len() * apps;
     let mut table = Table::new(["design", "scheme", "speedup", "energy", "cache energy"]);
-    for (label, both) in [("d$ only", false), ("both caches", true)] {
-        let mut config = SystemConfig::paper_default();
-        config.icache_tech = MemoryTechnology::Sram;
-        config.icache_energy_scale = 1.0; // SRAM I$ needs no ReRAM calibration
-        config.predict_icache = both;
-        let results = run_matrix(
-            &config,
-            &Scheme::HEADLINE,
-            &AppId::ALL,
-            opts.scale,
-            opts.threads,
-        );
+    for (i, (label, _)) in FIG18_DESIGNS.into_iter().enumerate() {
+        let results = regroup(&outputs[i * width..(i + 1) * width], apps);
         for (s, scheme) in Scheme::HEADLINE.iter().enumerate() {
             let speedup = geomean(speedups(&results[0], &results[s]));
             let energy = geomean(
@@ -293,21 +421,30 @@ pub fn fig18_icache(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Section VII-A** — EDBP composes with predictors other than Cache
-/// Decay: the same baseline-relative comparison with Adaptive Mode Control
-/// in Cache Decay's seat.
-pub fn other_predictors(opts: ExperimentOptions) -> Table {
+/// **Fig. 18** — SRAM instruction cache: a new baseline with SRAM for both
+/// caches, comparing the predictors applied to the data cache only vs to
+/// both caches. Energy and speedup normalized to the new baseline.
+pub fn fig18_icache(opts: ExperimentOptions) -> Table {
+    run_pair(fig18_plan, fig18_report, opts)
+}
+
+const OTHER_PREDICTOR_SCHEMES: [Scheme; 5] = [
+    Scheme::Baseline,
+    Scheme::Amc,
+    Scheme::Edbp,
+    Scheme::AmcEdbp,
+    Scheme::DecayEdbp,
+];
+
+pub(crate) fn other_predictors_plan(scale: Scale) -> Vec<Job> {
     let config = SystemConfig::paper_default();
-    let schemes = [
-        Scheme::Baseline,
-        Scheme::Amc,
-        Scheme::Edbp,
-        Scheme::AmcEdbp,
-        Scheme::DecayEdbp,
-    ];
-    let results = run_matrix(&config, &schemes, &AppId::ALL, opts.scale, opts.threads);
+    matrix_jobs(&config, &OTHER_PREDICTOR_SCHEMES, &AppId::ALL, scale)
+}
+
+pub(crate) fn other_predictors_report(outputs: &[JobOutput]) -> Table {
+    let results = regroup(outputs, AppId::ALL.len());
     let mut table = Table::new(["scheme", "speedup", "energy", "coverage"]);
-    for (s, scheme) in schemes.iter().enumerate() {
+    for (s, scheme) in OTHER_PREDICTOR_SCHEMES.iter().enumerate() {
         let energy = geomean(
             results[0]
                 .iter()
@@ -329,9 +466,18 @@ pub fn other_predictors(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Section VI-B** — hardware cost: EDBP's comparators, registers and
-/// deactivation buffer as a fraction of the core area.
-pub fn hw_cost(_opts: ExperimentOptions) -> Table {
+/// **Section VII-A** — EDBP composes with predictors other than Cache
+/// Decay: the same baseline-relative comparison with Adaptive Mode Control
+/// in Cache Decay's seat.
+pub fn other_predictors(opts: ExperimentOptions) -> Table {
+    run_pair(other_predictors_plan, other_predictors_report, opts)
+}
+
+pub(crate) fn hw_cost_plan(_scale: Scale) -> Vec<Job> {
+    Vec::new()
+}
+
+pub(crate) fn hw_cost_report(_outputs: &[JobOutput]) -> Table {
     let model = AreaModel::new(CoreAreaBudget::paper_default());
     let mut table = Table::new(["blocks", "comparators", "area (mm^2)", "core overhead"]);
     for blocks in [64u32, 128, 256, 512, 1024] {
@@ -347,23 +493,42 @@ pub fn hw_cost(_opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Ablation (Section V-B1)** — fixed vs adaptive EDBP thresholds: the
-/// adaptation loop is disabled by setting the reference FPR to 1.0 (never
-/// lowers, always resets), isolating the contribution of the feedback.
-pub fn ablation_adaptation(opts: ExperimentOptions) -> Table {
+/// **Section VI-B** — hardware cost: EDBP's comparators, registers and
+/// deactivation buffer as a fraction of the core area.
+pub fn hw_cost(opts: ExperimentOptions) -> Table {
+    run_pair(hw_cost_plan, hw_cost_report, opts)
+}
+
+const ADAPTATION_VARIANTS: [(&str, f64); 2] =
+    [("adaptive (paper)", 0.05), ("fixed thresholds", 1.0)];
+
+fn adaptation_config(reference_fpr: f64) -> SystemConfig {
+    let mut config = SystemConfig::paper_default();
+    let mut edbp = EdbpConfig::for_cache(&Cache::new(config.dcache));
+    edbp.reference_fpr = reference_fpr;
+    config.edbp = Some(edbp);
+    config
+}
+
+pub(crate) fn ablation_adaptation_plan(scale: Scale) -> Vec<Job> {
+    ADAPTATION_VARIANTS
+        .into_iter()
+        .flat_map(|(_, fpr)| {
+            matrix_jobs(
+                &adaptation_config(fpr),
+                &[Scheme::Baseline, Scheme::Edbp],
+                &AppId::ALL,
+                scale,
+            )
+        })
+        .collect()
+}
+
+pub(crate) fn ablation_adaptation_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
     let mut table = Table::new(["variant", "edbp speedup", "edbp FP rate"]);
-    for (label, reference_fpr) in [("adaptive (paper)", 0.05), ("fixed thresholds", 1.0)] {
-        let mut config = SystemConfig::paper_default();
-        let mut edbp = EdbpConfig::for_cache(&Cache::new(config.dcache));
-        edbp.reference_fpr = reference_fpr;
-        config.edbp = Some(edbp);
-        let results = run_matrix(
-            &config,
-            &[Scheme::Baseline, Scheme::Edbp],
-            &AppId::ALL,
-            opts.scale,
-            opts.threads,
-        );
+    for (i, (label, _)) in ADAPTATION_VARIANTS.into_iter().enumerate() {
+        let results = regroup(&outputs[i * 2 * apps..(i + 1) * 2 * apps], apps);
         let fp_rate = {
             let total = results[1]
                 .iter()
@@ -385,29 +550,44 @@ pub fn ablation_adaptation(opts: ExperimentOptions) -> Table {
     table
 }
 
-/// **Ablation (Section V-A)** — EDBP's two selection principles: disabling
-/// MRU protection and clean-first prioritization, one at a time.
-pub fn ablation_policy(opts: ExperimentOptions) -> Table {
-    let variants: [(&str, bool, bool); 4] = [
-        ("paper (mru+clean)", true, true),
-        ("no MRU protection", false, true),
-        ("no clean-first", true, false),
-        ("neither", false, false),
-    ];
+/// **Ablation (Section V-B1)** — fixed vs adaptive EDBP thresholds: the
+/// adaptation loop is disabled by setting the reference FPR to 1.0 (never
+/// lowers, always resets), isolating the contribution of the feedback.
+pub fn ablation_adaptation(opts: ExperimentOptions) -> Table {
+    run_pair(ablation_adaptation_plan, ablation_adaptation_report, opts)
+}
+
+const POLICY_VARIANTS: [(&str, bool, bool); 4] = [
+    ("paper (mru+clean)", true, true),
+    ("no MRU protection", false, true),
+    ("no clean-first", true, false),
+    ("neither", false, false),
+];
+
+pub(crate) fn ablation_policy_plan(scale: Scale) -> Vec<Job> {
+    POLICY_VARIANTS
+        .into_iter()
+        .flat_map(|(_, protect_mru, clean_first)| {
+            let mut config = SystemConfig::paper_default();
+            let mut edbp = EdbpConfig::for_cache(&Cache::new(config.dcache));
+            edbp.protect_mru = protect_mru;
+            edbp.clean_first = clean_first;
+            config.edbp = Some(edbp);
+            matrix_jobs(
+                &config,
+                &[Scheme::Baseline, Scheme::Edbp],
+                &AppId::ALL,
+                scale,
+            )
+        })
+        .collect()
+}
+
+pub(crate) fn ablation_policy_report(outputs: &[JobOutput]) -> Table {
+    let apps = AppId::ALL.len();
     let mut table = Table::new(["variant", "edbp speedup", "d$ miss"]);
-    for (label, protect_mru, clean_first) in variants {
-        let mut config = SystemConfig::paper_default();
-        let mut edbp = EdbpConfig::for_cache(&Cache::new(config.dcache));
-        edbp.protect_mru = protect_mru;
-        edbp.clean_first = clean_first;
-        config.edbp = Some(edbp);
-        let results = run_matrix(
-            &config,
-            &[Scheme::Baseline, Scheme::Edbp],
-            &AppId::ALL,
-            opts.scale,
-            opts.threads,
-        );
+    for (i, (label, _, _)) in POLICY_VARIANTS.into_iter().enumerate() {
+        let results = regroup(&outputs[i * 2 * apps..(i + 1) * 2 * apps], apps);
         let miss = results[1]
             .iter()
             .map(crate::RunResult::dcache_miss_rate)
@@ -420,4 +600,10 @@ pub fn ablation_policy(opts: ExperimentOptions) -> Table {
         ]);
     }
     table
+}
+
+/// **Ablation (Section V-A)** — EDBP's two selection principles: disabling
+/// MRU protection and clean-first prioritization, one at a time.
+pub fn ablation_policy(opts: ExperimentOptions) -> Table {
+    run_pair(ablation_policy_plan, ablation_policy_report, opts)
 }

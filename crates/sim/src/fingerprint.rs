@@ -1,4 +1,5 @@
-//! Structural fingerprinting of [`SystemConfig`] for the memoization table.
+//! Structural fingerprinting of [`SystemConfig`] for the memoization table
+//! and the persistent result cache.
 //!
 //! The fingerprint walks every field of the configuration and feeds its bit
 //! pattern into an `FxHasher` — `f64`s via [`f64::to_bits`], enums via their
@@ -7,6 +8,19 @@
 //! concatenation. Unlike the previous `Debug`-string hash, this costs no
 //! allocation, is immune to formatting changes, and makes the "distinct
 //! configurations get distinct keys" property testable field by field.
+//!
+//! # Cross-process stability
+//!
+//! `FxHasher` is seedless and fully deterministic, so the same build
+//! produces the same fingerprint in every process — which is what lets
+//! `results/.runcache/` address cached results by fingerprint across
+//! invocations. The fingerprint is **not** stable across code changes that
+//! touch [`SystemConfig`]'s shape or the feeding order (nor is
+//! `std::mem::discriminant` guaranteed stable across compiler versions);
+//! the cache's schema-version tag and workload fingerprint exist precisely
+//! so such drift invalidates entries instead of corrupting results. Bump
+//! [`crate::runcache::SCHEMA_VERSION`] whenever fingerprint semantics
+//! change in a way the hash itself would not catch.
 
 use crate::{CheckpointCosts, SourceKind, SystemConfig};
 use edbp_core::{DecayConfig, EdbpConfig, FxBuildHasher};

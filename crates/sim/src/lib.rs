@@ -35,11 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 mod config;
 pub mod experiments;
 mod fingerprint;
 mod memory_system;
+pub mod planner;
 pub mod report;
+pub mod runcache;
 pub mod runner;
 mod scheme;
 mod stats;
@@ -52,6 +55,6 @@ pub use memory_system::MemorySystem;
 pub use scheme::Scheme;
 pub use stats::{EnergyBreakdown, RunResult};
 pub use system::{
-    record_generation_trace, run_app, run_baseline_with_trace, run_workload, Simulation,
+    record_generation_trace, run_app, run_baseline_with_trace, run_workload, RunOutcome, Simulation,
 };
 pub use zombie::{zombie_ratio_by_voltage, ZombieAnalysis, ZombieSample};

@@ -1,0 +1,357 @@
+//! The suite planner: a registry of every experiment's plan/report pair,
+//! plus the global orchestrator behind the `exp_all` binary.
+//!
+//! A registered [`Experiment`] is the library form of one `exp_*` binary:
+//! `plan` maps a workload scale to the flat, deterministically ordered
+//! [`Job`] list the figure needs, and `report` turns those jobs' outputs
+//! (in plan order) back into the figure's table. The thin binaries call
+//! [`experiment_main`]; [`run_suite`] instead concatenates *every*
+//! experiment's plan, runs the union once on one shared worker pool —
+//! where the memoization layer collapses all cross-experiment duplicates
+//! (see [`crate::runner::effective_fingerprint`]) and the longest-first
+//! queue kills the straggler tail — and then dispatches each experiment's
+//! slice of the outputs to its reporter in registry order.
+//!
+//! Invariants (see `DESIGN.md` §8):
+//!
+//! * Reports are pure functions of their output slice, so per-figure tables
+//!   are byte-identical whether an experiment ran standalone, inside
+//!   `exp_all` cache-cold, or replayed cache-warm.
+//! * Dedup accounting is exact: a cache-cold `run_suite` executes exactly
+//!   [`crate::runner::count_unique`] simulations (asserted by a test).
+
+use crate::cli::{self, CliOptions};
+use crate::experiments::ExperimentOptions;
+use crate::experiments::{headline, motivation, sensitivity};
+use crate::report::Table;
+use crate::runcache;
+use crate::runner::{count_unique, run_jobs_outputs, simulations_executed, Job, JobOutput};
+use ehs_workloads::Scale;
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// One registered experiment: the library form of an `exp_*` binary.
+pub struct Experiment {
+    /// Binary / output-file stem, e.g. `exp_fig08_performance`.
+    pub name: &'static str,
+    /// Human title printed above the table, e.g.
+    /// `Fig. 8 (performance and cache miss rate)`.
+    pub title: &'static str,
+    /// The jobs this experiment needs, in deterministic order.
+    pub plan: fn(Scale) -> Vec<Job>,
+    /// Pure reporter over the planned jobs' outputs (same order).
+    pub report: fn(&[JobOutput]) -> Table,
+}
+
+/// Every experiment, in the order `run_all_experiments.sh` has always
+/// produced them.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "exp_hw_cost",
+        title: "Section VI-B (hardware cost analysis)",
+        plan: sensitivity::hw_cost_plan,
+        report: sensitivity::hw_cost_report,
+    },
+    Experiment {
+        name: "exp_fig09_absolute_power",
+        title: "Fig. 9 (absolute power and total energy)",
+        plan: headline::fig9_plan,
+        report: headline::fig9_report,
+    },
+    Experiment {
+        name: "exp_fig06_true_false_rates",
+        title: "Fig. 6 (true/false prediction rates)",
+        plan: headline::fig6_plan,
+        report: headline::fig6_report,
+    },
+    Experiment {
+        name: "exp_fig07_energy_breakdown",
+        title: "Fig. 7 (energy breakdown and load/store ratio)",
+        plan: headline::fig7_plan,
+        report: headline::fig7_report,
+    },
+    Experiment {
+        name: "exp_fig08_performance",
+        title: "Fig. 8 (performance and cache miss rate)",
+        plan: headline::fig8_plan,
+        report: headline::fig8_report,
+    },
+    Experiment {
+        name: "exp_fig04_zombie_ratio",
+        title: "Fig. 4 (zombie ratio vs capacitor voltage)",
+        plan: motivation::fig4_plan,
+        report: motivation::fig4_report,
+    },
+    Experiment {
+        name: "exp_table1",
+        title: "Table I (SRAM leakage and static-energy ratio)",
+        plan: motivation::table1_plan,
+        report: motivation::table1_report,
+    },
+    Experiment {
+        name: "exp_fig01_cache_size_motivation",
+        title: "Fig. 1 (performance across cache sizes)",
+        plan: motivation::fig1_plan,
+        report: motivation::fig1_report,
+    },
+    Experiment {
+        name: "exp_fig10_replacement_policy",
+        title: "Fig. 10 (replacement-policy sensitivity)",
+        plan: sensitivity::fig10_plan,
+        report: sensitivity::fig10_report,
+    },
+    Experiment {
+        name: "exp_fig11_cache_size",
+        title: "Fig. 11 (cache-size sensitivity)",
+        plan: sensitivity::fig11_plan,
+        report: sensitivity::fig11_report,
+    },
+    Experiment {
+        name: "exp_fig12_associativity",
+        title: "Fig. 12 (associativity sensitivity)",
+        plan: sensitivity::fig12_plan,
+        report: sensitivity::fig12_report,
+    },
+    Experiment {
+        name: "exp_fig13_nvm_technology",
+        title: "Fig. 13 (NVM-technology sensitivity)",
+        plan: sensitivity::fig13_plan,
+        report: sensitivity::fig13_report,
+    },
+    Experiment {
+        name: "exp_fig14_memory_size",
+        title: "Fig. 14 (memory-size sensitivity)",
+        plan: sensitivity::fig14_plan,
+        report: sensitivity::fig14_report,
+    },
+    Experiment {
+        name: "exp_fig15_energy_conditions",
+        title: "Fig. 15 (energy-condition sensitivity)",
+        plan: sensitivity::fig15_plan,
+        report: sensitivity::fig15_report,
+    },
+    Experiment {
+        name: "exp_fig16_capacitor_size",
+        title: "Fig. 16 (capacitor-size sensitivity)",
+        plan: sensitivity::fig16_plan,
+        report: sensitivity::fig16_report,
+    },
+    Experiment {
+        name: "exp_fig17_sensitivity_summary",
+        title: "Fig. 17 (sensitivity summary)",
+        plan: sensitivity::fig17_plan,
+        report: sensitivity::fig17_report,
+    },
+    Experiment {
+        name: "exp_fig18_icache",
+        title: "Fig. 18 (EDBP for the instruction cache)",
+        plan: sensitivity::fig18_plan,
+        report: sensitivity::fig18_report,
+    },
+    Experiment {
+        name: "exp_ablation_adaptation",
+        title: "Section V-B1 ablation (threshold adaptation)",
+        plan: sensitivity::ablation_adaptation_plan,
+        report: sensitivity::ablation_adaptation_report,
+    },
+    Experiment {
+        name: "exp_ablation_policy",
+        title: "Section V-A ablation (MRU protection / clean-first)",
+        plan: sensitivity::ablation_policy_plan,
+        report: sensitivity::ablation_policy_report,
+    },
+    Experiment {
+        name: "exp_other_predictors",
+        title: "Section VII-A (EDBP with other predictors: AMC)",
+        plan: sensitivity::other_predictors_plan,
+        report: sensitivity::other_predictors_report,
+    },
+];
+
+/// Looks an experiment up by binary name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// The rendered form the binaries have always printed: title banner, the
+/// table, and a trailing blank line.
+pub fn render_titled(title: &str, table: &Table) -> String {
+    format!("=== {title} ===\n{}\n", table.render())
+}
+
+/// The concatenated job list of every registered experiment, plus each
+/// experiment's slice of it (registry order).
+pub struct SuitePlan {
+    /// All requested jobs, in registry-then-plan order.
+    pub jobs: Vec<Job>,
+    /// `jobs[sections[i]]` belongs to `REGISTRY[i]`.
+    pub sections: Vec<Range<usize>>,
+}
+
+/// Collects every registered experiment's plan at `scale`.
+pub fn plan_suite(scale: Scale) -> SuitePlan {
+    let mut jobs = Vec::new();
+    let mut sections = Vec::with_capacity(REGISTRY.len());
+    for exp in REGISTRY {
+        let start = jobs.len();
+        jobs.extend((exp.plan)(scale));
+        sections.push(start..jobs.len());
+    }
+    SuitePlan { jobs, sections }
+}
+
+/// The outcome of one [`run_suite`] call.
+pub struct SuiteRun {
+    /// One table per registered experiment, in registry order.
+    pub tables: Vec<Table>,
+    /// Total jobs requested across all experiments (before dedup).
+    pub total_requested: usize,
+    /// Distinct simulations a cache-cold run needs (after dedup).
+    pub unique: usize,
+    /// Simulations actually executed by this call (0 on a warm replay).
+    pub executed: u64,
+}
+
+/// Plans, runs and reports every registered experiment on one shared pool.
+pub fn run_suite(opts: ExperimentOptions) -> SuiteRun {
+    let plan = plan_suite(opts.scale);
+    let executed_before = simulations_executed();
+    let outputs = run_jobs_outputs(&plan.jobs, opts.threads);
+    let executed = simulations_executed() - executed_before;
+    let tables = REGISTRY
+        .iter()
+        .zip(&plan.sections)
+        .map(|(exp, range)| (exp.report)(&outputs[range.clone()]))
+        .collect();
+    SuiteRun {
+        tables,
+        total_requested: plan.jobs.len(),
+        unique: count_unique(&plan.jobs),
+        executed,
+    }
+}
+
+/// `results/` at the repository root (binaries write there regardless of
+/// the working directory, like the shell script always did from the root).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+/// Entry point for the thin per-experiment binaries: parse the unified CLI,
+/// install the persistent cache (unless `--no-cache`), run this
+/// experiment's plan, print the reported table.
+pub fn experiment_main(name: &str) {
+    let exp = find(name).unwrap_or_else(|| panic!("{name} is not a registered experiment"));
+    let cli = cli::parse_or_exit(name);
+    if !cli.no_cache {
+        runcache::install_default();
+    }
+    let jobs = (exp.plan)(cli.scale);
+    let outputs = run_jobs_outputs(&jobs, cli.threads);
+    let table = (exp.report)(&outputs);
+    if cli.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", render_titled(exp.title, &table));
+    }
+}
+
+/// Entry point for `exp_all`: runs the whole registry through one planner
+/// pass and writes each figure to `results/<name>.txt` (and `.csv` when
+/// `--csv` is given), byte-identical to what the standalone binary prints.
+///
+/// Extra flag `--expect-cached` exits non-zero if any simulation actually
+/// executed — the CI hook asserting a warm re-run is a pure cache replay.
+pub fn suite_main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let expect_cached = {
+        let before = args.len();
+        args.retain(|a| a != "--expect-cached");
+        args.len() != before
+    };
+    let cli: CliOptions = match cli::parse(args) {
+        Ok(opts) => opts,
+        Err(cli::CliError::Help) => {
+            println!("{} [--expect-cached]", cli::usage("exp_all"));
+            return;
+        }
+        Err(cli::CliError::Invalid(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("{} [--expect-cached]", cli::usage("exp_all"));
+            std::process::exit(2);
+        }
+    };
+    if !cli.no_cache {
+        runcache::install_default();
+    }
+
+    let start = std::time::Instant::now();
+    let run = run_suite(cli.experiment_options());
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    for (exp, table) in REGISTRY.iter().zip(&run.tables) {
+        let path = dir.join(format!("{}.txt", exp.name));
+        std::fs::write(&path, render_titled(exp.title, table)).expect("write figure output");
+        if cli.csv {
+            let path = dir.join(format!("{}.csv", exp.name));
+            std::fs::write(&path, table.to_csv()).expect("write figure CSV");
+        }
+        println!("wrote results/{}.txt", exp.name);
+    }
+    println!(
+        "suite: {} experiments, {} runs requested, {} unique after dedup, {} simulated, {:.1}s",
+        REGISTRY.len(),
+        run.total_requested,
+        run.unique,
+        run.executed,
+        start.elapsed().as_secs_f64(),
+    );
+    if expect_cached && run.executed != 0 {
+        eprintln!(
+            "--expect-cached: expected a pure cache replay but {} simulation(s) executed",
+            run.executed
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_and_titles_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        let mut titles = std::collections::HashSet::new();
+        for exp in REGISTRY {
+            assert!(names.insert(exp.name), "duplicate name {}", exp.name);
+            assert!(titles.insert(exp.title), "duplicate title {}", exp.title);
+        }
+        assert_eq!(REGISTRY.len(), 20);
+    }
+
+    #[test]
+    fn suite_plan_sections_tile_the_job_list() {
+        let plan = plan_suite(Scale::Tiny);
+        let mut cursor = 0;
+        for range in &plan.sections {
+            assert_eq!(range.start, cursor);
+            cursor = range.end;
+        }
+        assert_eq!(cursor, plan.jobs.len());
+        // The whole point of the planner: the suite shares heavily.
+        assert!(
+            count_unique(&plan.jobs) < plan.jobs.len(),
+            "cross-experiment dedup must fold something"
+        );
+    }
+
+    #[test]
+    fn titled_rendering_matches_the_historical_binary_output() {
+        let mut table = Table::new(["a", "b"]);
+        table.row(["1", "2"]);
+        let s = render_titled("Fig. X (test)", &table);
+        assert!(s.starts_with("=== Fig. X (test) ===\n"));
+        assert!(s.ends_with("\n\n"), "banner + table + trailing blank line");
+    }
+}

@@ -1,0 +1,589 @@
+//! Persistent on-disk result cache for simulation runs.
+//!
+//! A cache entry is one completed [`RunResult`] (plus its Fig. 4 zombie
+//! samples, when the run was instrumented), content-addressed by the
+//! **effective** configuration fingerprint the memoization layer uses (see
+//! `runner`), the workload identity fingerprint ([`workload_fingerprint`]),
+//! and the `(scheme, app, scale)` triple. A second `exp_all` invocation — or
+//! a re-run after editing one experiment — replays cached results instead of
+//! re-simulating.
+//!
+//! # Format
+//!
+//! One little-endian binary file per entry under the cache directory
+//! (default `results/.runcache/` at the repository root):
+//!
+//! ```text
+//! magic (8) | schema version u32 | config_fp u64 | workload_fp u64 |
+//! scheme u8 | app u8 | scale u8 | flags u8 | payload_len u64 |
+//! payload … | checksum u64
+//! ```
+//!
+//! The payload is every [`RunResult`] field except the wall-clock
+//! `sim_mips` (a replayed result reports `0.0`, exactly like an in-process
+//! memo hit), in fixed field order, `f64`s as raw bits via
+//! [`f64::to_bits`]; dimensioned quantities round-trip through their SI
+//! base value. The checksum is the seedless Fx hash of every preceding
+//! byte. **Any** mismatch — magic, schema version, fingerprints, tags,
+//! length, checksum, or a short file — makes [`RunCache::load`] return
+//! `None` and the caller falls back to re-simulation; a corrupt cache can
+//! cost time, never correctness.
+//!
+//! Keys hash with the vendored seedless [`FxHasher`](edbp_core::FxHasher),
+//! so fingerprints are stable across processes (there is no per-process
+//! hasher seed to invalidate them) — which is what lets a *fresh* process
+//! reuse entries written by an earlier one.
+//!
+//! The oracle [`GenerationTrace`](edbp_core::GenerationTrace) is *not*
+//! persisted (it is far larger than the result); if a cached Baseline entry
+//! is replayed and a later Ideal run needs the trace, the runner re-records
+//! it (see `runner::baseline_trace`).
+//!
+//! # Invalidation
+//!
+//! Delete the cache directory (`rm -rf results/.runcache`), or bump
+//! [`SCHEMA_VERSION`] when the serialized layout or the meaning of any
+//! simulated quantity changes. Configuration and workload changes
+//! invalidate naturally through the fingerprints.
+
+use crate::{EnergyBreakdown, RunResult, Scheme, ZombieSample};
+use edbp_core::{FxBuildHasher, PredictionSummary};
+use ehs_cache::CacheStats;
+use ehs_units::{Energy, Time};
+use ehs_workloads::{AppId, Scale};
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Bump when the on-disk layout or the semantics of any stored field
+/// change; old entries are then rejected (and fall back to re-simulation)
+/// instead of being misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"EHSRUNC\0";
+
+/// Default cache directory: `results/.runcache/` at the repository root.
+pub const DEFAULT_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/.runcache");
+
+/// Seedless Fx hash of a byte slice — the integrity checksum appended to
+/// every cache entry. Public so tests can re-seal deliberately corrupted
+/// entries when probing a *specific* rejection path.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxBuildHasher::default().build_hasher();
+    h.write(bytes);
+    h.finish()
+}
+
+fn scheme_tag(scheme: Scheme) -> u8 {
+    match scheme {
+        Scheme::Baseline => 0,
+        Scheme::Sdbp => 1,
+        Scheme::Decay => 2,
+        Scheme::Edbp => 3,
+        Scheme::DecayEdbp => 4,
+        Scheme::Amc => 5,
+        Scheme::AmcEdbp => 6,
+        Scheme::Ideal => 7,
+        Scheme::LeakageOff80 => 8,
+    }
+}
+
+fn app_tag(app: AppId) -> u8 {
+    AppId::ALL
+        .iter()
+        .position(|&a| a == app)
+        .expect("AppId::ALL is exhaustive") as u8
+}
+
+fn scale_tag(scale: Scale) -> u8 {
+    match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Structural fingerprint of a workload: the program name, the full
+/// instruction stream (via the `Hash` impl on
+/// [`Instruction`](ehs_cpu::Instruction)), the code base address, the data
+/// footprint and the scale tag. Two workloads fingerprint alike exactly
+/// when they run the same instructions over the same data layout — the
+/// cache's defence against a cached result outliving a workload-generator
+/// change. Memoized per `(app, scale)`; the build cost is paid once.
+pub fn workload_fingerprint(app: AppId, scale: Scale) -> u64 {
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<(u8, u8), u64>>> = OnceLock::new();
+    let table = CACHE.get_or_init(Mutex::default);
+    let key = (app_tag(app), scale_tag(scale));
+    if let Some(&fp) = table.lock().expect("workload fp table poisoned").get(&key) {
+        return fp;
+    }
+    let w = crate::runner::cached_workload(app, scale);
+    let mut h = FxBuildHasher::default().build_hasher();
+    h.write(w.program.name().as_bytes());
+    h.write_u8(0xff); // terminator: name can never bleed into the stream
+    w.program.instructions().hash(&mut h);
+    h.write_u32(w.program.fetch_addr(0));
+    h.write_u32(w.data_footprint_bytes);
+    h.write_u8(scale_tag(scale));
+    let fp = h.finish();
+    table
+        .lock()
+        .expect("workload fp table poisoned")
+        .insert(key, fp);
+    fp
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+/// Strict little-endian reader; every accessor returns `None` past the end.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn push_cache_stats(out: &mut Vec<u8>, s: &CacheStats) {
+    push_u64(out, s.hits);
+    push_u64(out, s.misses);
+    push_u64(out, s.fills);
+    push_u64(out, s.evictions);
+    push_u64(out, s.writebacks);
+    push_u64(out, s.gates);
+    push_u64(out, s.ungates);
+    push_u64(out, s.power_failures);
+}
+
+fn read_cache_stats(r: &mut Reader<'_>) -> Option<CacheStats> {
+    Some(CacheStats {
+        hits: r.u64()?,
+        misses: r.u64()?,
+        fills: r.u64()?,
+        evictions: r.u64()?,
+        writebacks: r.u64()?,
+        gates: r.u64()?,
+        ungates: r.u64()?,
+        power_failures: r.u64()?,
+    })
+}
+
+fn push_result(out: &mut Vec<u8>, result: &RunResult) {
+    push_u8_bool(out, result.completed);
+    push_u64(out, result.committed);
+    push_u64(out, result.loads);
+    push_u64(out, result.stores);
+    push_f64(out, result.on_time.base());
+    push_f64(out, result.off_time.base());
+    push_u64(out, result.outages);
+    push_u64(out, result.brownouts);
+    let e = &result.energy;
+    for v in [
+        e.dcache_dynamic,
+        e.dcache_static,
+        e.icache_dynamic,
+        e.icache_static,
+        e.memory,
+        e.checkpoint,
+        e.restore,
+        e.mcu,
+        e.capacitor,
+    ] {
+        push_f64(out, v.base());
+    }
+    push_cache_stats(out, &result.dcache);
+    push_cache_stats(out, &result.icache);
+    let p = &result.prediction;
+    for v in [
+        p.true_positives,
+        p.false_positives,
+        p.true_negatives,
+        p.false_negatives_dead,
+        p.missed_zombies,
+    ] {
+        push_u64(out, v);
+    }
+}
+
+fn push_u8_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn read_result(r: &mut Reader<'_>, app: AppId, scheme: Scheme) -> Option<RunResult> {
+    let completed = r.bool()?;
+    let committed = r.u64()?;
+    let loads = r.u64()?;
+    let stores = r.u64()?;
+    let on_time = Time::from_base(r.f64()?);
+    let off_time = Time::from_base(r.f64()?);
+    let outages = r.u64()?;
+    let brownouts = r.u64()?;
+    let mut e = [Energy::ZERO; 9];
+    for slot in &mut e {
+        *slot = Energy::from_base(r.f64()?);
+    }
+    let energy = EnergyBreakdown {
+        dcache_dynamic: e[0],
+        dcache_static: e[1],
+        icache_dynamic: e[2],
+        icache_static: e[3],
+        memory: e[4],
+        checkpoint: e[5],
+        restore: e[6],
+        mcu: e[7],
+        capacitor: e[8],
+    };
+    let dcache = read_cache_stats(r)?;
+    let icache = read_cache_stats(r)?;
+    let prediction = PredictionSummary {
+        true_positives: r.u64()?,
+        false_positives: r.u64()?,
+        true_negatives: r.u64()?,
+        false_negatives_dead: r.u64()?,
+        missed_zombies: r.u64()?,
+    };
+    Some(RunResult {
+        app,
+        scheme,
+        completed,
+        committed,
+        loads,
+        stores,
+        on_time,
+        off_time,
+        outages,
+        brownouts,
+        energy,
+        dcache,
+        icache,
+        prediction,
+        sim_mips: 0.0,
+    })
+}
+
+const FLAG_ZOMBIES: u8 = 1;
+
+/// A result replayed from disk.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// The stored result (`sim_mips` is `0.0`, as for any cache hit).
+    pub result: RunResult,
+    /// Stored zombie samples; `Some` exactly when the original run was
+    /// instrumented (`Some(vec![])` is a valid instrumented-but-empty pool).
+    pub zombie_samples: Option<Vec<ZombieSample>>,
+}
+
+fn encode(
+    config_fp: u64,
+    workload_fp: u64,
+    scheme: Scheme,
+    app: AppId,
+    scale: Scale,
+    result: &RunResult,
+    zombies: Option<&[ZombieSample]>,
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(512);
+    push_result(&mut payload, result);
+    if let Some(samples) = zombies {
+        push_u64(&mut payload, samples.len() as u64);
+        for s in samples {
+            push_f64(&mut payload, s.voltage);
+            push_u8_bool(&mut payload, s.zombie);
+        }
+    }
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(MAGIC);
+    push_u32(&mut out, SCHEMA_VERSION);
+    push_u64(&mut out, config_fp);
+    push_u64(&mut out, workload_fp);
+    out.push(scheme_tag(scheme));
+    out.push(app_tag(app));
+    out.push(scale_tag(scale));
+    out.push(if zombies.is_some() { FLAG_ZOMBIES } else { 0 });
+    push_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    let sum = checksum(&out);
+    push_u64(&mut out, sum);
+    out
+}
+
+fn decode(
+    bytes: &[u8],
+    config_fp: u64,
+    workload_fp: u64,
+    scheme: Scheme,
+    app: AppId,
+    scale: Scale,
+) -> Option<CachedRun> {
+    let body_len = bytes.len().checked_sub(8)?;
+    let stored_sum = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    if checksum(&bytes[..body_len]) != stored_sum {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[..body_len]);
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return None;
+    }
+    if r.u32()? != SCHEMA_VERSION {
+        return None;
+    }
+    if r.u64()? != config_fp || r.u64()? != workload_fp {
+        return None;
+    }
+    if r.u8()? != scheme_tag(scheme) || r.u8()? != app_tag(app) || r.u8()? != scale_tag(scale) {
+        return None;
+    }
+    let flags = r.u8()?;
+    if flags & !FLAG_ZOMBIES != 0 {
+        return None;
+    }
+    let payload_len = r.u64()?;
+    if body_len - r.pos != usize::try_from(payload_len).ok()? {
+        return None;
+    }
+    let result = read_result(&mut r, app, scheme)?;
+    let zombie_samples = if flags & FLAG_ZOMBIES != 0 {
+        let n = usize::try_from(r.u64()?).ok()?;
+        // Cap a corrupt count before it becomes an allocation bomb: each
+        // sample is 9 bytes, so `n` cannot exceed the remaining payload.
+        if n > body_len - r.pos {
+            return None;
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(ZombieSample {
+                voltage: r.f64()?,
+                zombie: r.bool()?,
+            });
+        }
+        Some(samples)
+    } else {
+        None
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(CachedRun {
+        result,
+        zombie_samples,
+    })
+}
+
+/// A directory of cached run results.
+#[derive(Debug)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl RunCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) -> PathBuf {
+        self.dir.join(format!(
+            "{config_fp:016x}-{}-{}-{}.run",
+            scheme.name(),
+            app.name(),
+            scale_name(scale)
+        ))
+    }
+
+    /// Loads one entry; `None` on any miss, mismatch or corruption (the
+    /// caller re-simulates).
+    pub fn load(
+        &self,
+        config_fp: u64,
+        scheme: Scheme,
+        app: AppId,
+        scale: Scale,
+    ) -> Option<CachedRun> {
+        let bytes = std::fs::read(self.entry_path(config_fp, scheme, app, scale)).ok()?;
+        decode(
+            &bytes,
+            config_fp,
+            workload_fingerprint(app, scale),
+            scheme,
+            app,
+            scale,
+        )
+    }
+
+    /// Stores one entry atomically (temp file + rename), best-effort: I/O
+    /// errors cost future cache hits, never correctness, so they are
+    /// swallowed.
+    pub fn store(
+        &self,
+        config_fp: u64,
+        scheme: Scheme,
+        app: AppId,
+        scale: Scale,
+        result: &RunResult,
+        zombies: Option<&[ZombieSample]>,
+    ) {
+        let bytes = encode(
+            config_fp,
+            workload_fingerprint(app, scale),
+            scheme,
+            app,
+            scale,
+            result,
+            zombies,
+        );
+        let path = self.entry_path(config_fp, scheme, app, scale);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+static ACTIVE: OnceLock<Option<RunCache>> = OnceLock::new();
+
+/// Installs the process-wide cache used by the run memoization layer.
+///
+/// The first call wins for the whole process; later calls (any directory)
+/// are no-ops. If the directory cannot be created the cache stays disabled.
+/// **Nothing is installed by default** — library users and the test suite
+/// run purely in-process unless a binary opts in (`--no-cache` simply skips
+/// this call). Returns `true` when this call performed the installation.
+pub fn install(dir: impl Into<PathBuf>) -> bool {
+    let mut installed_here = false;
+    ACTIVE.get_or_init(|| {
+        installed_here = true;
+        RunCache::new(dir.into()).ok()
+    });
+    installed_here
+}
+
+/// [`install`] at [`DEFAULT_DIR`] (`results/.runcache/` at the repo root).
+pub fn install_default() -> bool {
+    install(DEFAULT_DIR)
+}
+
+/// The installed process-wide cache, if any.
+pub(crate) fn active() -> Option<&'static RunCache> {
+    ACTIVE.get().and_then(Option::as_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_dense_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for scheme in [
+            Scheme::Baseline,
+            Scheme::Sdbp,
+            Scheme::Decay,
+            Scheme::Edbp,
+            Scheme::DecayEdbp,
+            Scheme::Amc,
+            Scheme::AmcEdbp,
+            Scheme::Ideal,
+            Scheme::LeakageOff80,
+        ] {
+            assert!(seen.insert(scheme_tag(scheme)));
+        }
+        for (i, &app) in AppId::ALL.iter().enumerate() {
+            assert_eq!(usize::from(app_tag(app)), i);
+        }
+        assert_eq!(scale_tag(Scale::Tiny), 0);
+        assert_eq!(scale_tag(Scale::Full), 2);
+    }
+
+    #[test]
+    fn workload_fingerprint_separates_apps_and_scales() {
+        let a = workload_fingerprint(AppId::Crc32, Scale::Tiny);
+        assert_eq!(
+            a,
+            workload_fingerprint(AppId::Crc32, Scale::Tiny),
+            "memoized + stable"
+        );
+        assert_ne!(a, workload_fingerprint(AppId::Sha, Scale::Tiny));
+        assert_ne!(a, workload_fingerprint(AppId::Crc32, Scale::Small));
+    }
+
+    #[test]
+    fn checksum_is_seedless() {
+        // The same bytes must hash identically in any process; this pins
+        // the in-process half of that contract (cross-process stability
+        // follows from FxHasher having no seed).
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
+    }
+}

@@ -1,35 +1,51 @@
 //! Deterministic parallel fan-out of simulation runs, with process-wide
-//! memoization.
+//! memoization, cost-aware scheduling and an optional persistent result
+//! cache.
 //!
 //! # Memoization
 //!
 //! Experiment drivers repeat identical runs constantly: every figure's
 //! matrix re-runs the baseline column, `mean_speedup_over_seeds` shares its
-//! baseline runs with the headline matrix, and the Ideal scheme's oracle
-//! pass *is* a baseline run. [`run_jobs`] therefore caches results in a
-//! process-wide table keyed by (config fingerprint, scheme, app, scale):
+//! baseline runs with the headline matrix, the sensitivity sweeps
+//! (Figs. 10–17) all contain the paper-default point, and the Ideal
+//! scheme's oracle pass *is* a baseline run. [`run_jobs`] therefore caches
+//! results in a process-wide table keyed by the **effective** configuration
+//! fingerprint (see [`effective_fingerprint`]) plus (scheme, app, scale):
 //!
 //! * A `Baseline` job always runs with a passive generation recorder
 //!   attached and stores both the result and the trace — so the Ideal
 //!   scheme's oracle pass and the baseline column of the same matrix are
-//!   **one** execution (`baseline_executions` counts them).
+//!   **one** execution ([`baseline_executions`] counts them).
 //! * Concurrent requests for the same key block on one `OnceLock`; the
 //!   duplicate is never executed.
 //! * A cache hit returns the stored result with [`RunResult::sim_mips`]
 //!   zeroed (wall-clock throughput is meaningless for a lookup); `sim_mips`
 //!   is excluded from `PartialEq`, so memoized and fresh results compare
 //!   equal — the determinism tests rely on exactly that.
+//! * When a binary has installed the persistent cache
+//!   ([`crate::runcache::install`]), a first-touch key is looked up on disk
+//!   before simulating, and a fresh execution is stored back — so a second
+//!   process replays instead of re-simulating. The library default is
+//!   *no* disk cache; tests and library callers run purely in-process.
 //!
 //! [`run_app`] remains uncached for callers that want a guaranteed fresh
 //! execution (e.g. throughput measurement).
+//!
+//! # Scheduling
+//!
+//! [`run_jobs`] executes its internal work queue longest-estimated-first
+//! (see [`Job::estimated_cost`]) so a `Full`-scale straggler cannot land
+//! last on an otherwise-drained pool, while results are still returned in
+//! input order — scheduling never changes the output.
 
 use crate::{
-    config_fingerprint, run_app, run_baseline_with_trace, RunResult, Scheme, SystemConfig,
+    config_fingerprint, runcache, RunResult, Scheme, Simulation, SystemConfig, ZombieSample,
 };
-use edbp_core::GenerationTrace;
-use ehs_workloads::{build, AppId, Scale};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use edbp_core::{EdbpConfig, GenerationTrace};
+use ehs_cache::Cache;
+use ehs_workloads::{build, AppId, Scale, Workload};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One run request. The configuration is shared by `Arc`, so fanning a
@@ -46,6 +62,115 @@ pub struct Job {
     pub scale: Scale,
 }
 
+impl Job {
+    /// Estimated relative cost of this job, for longest-first scheduling.
+    ///
+    /// The model is `committed-instructions(app at Tiny) × scale ×
+    /// scheme × stepping` where the per-app term is the committed count
+    /// *measured* at `Tiny` scale (the `BENCH_hotloop.json` instrumentation
+    /// runs), the scale term follows the pass ratio (Tiny 1, Small 8,
+    /// Full 80), the scheme term reflects predictor bookkeeping (and the
+    /// Ideal scheme's extra oracle pass), and zombie-instrumented or
+    /// forced-cycle-accurate configs pay the ~6× cost of not burst-stepping.
+    /// Only the *ordering* of estimates matters; absolute values are
+    /// unitless.
+    pub fn estimated_cost(&self) -> f64 {
+        let stepping =
+            if self.config.zombie_sample_interval.is_some() || self.config.force_cycle_accurate {
+                6.0
+            } else {
+                1.0
+            };
+        app_cost_weight(self.app)
+            * scale_cost_weight(self.scale)
+            * scheme_cost_weight(self.scheme)
+            * stepping
+    }
+}
+
+/// Committed instructions per app at `Tiny` scale, measured on the
+/// paper-default configuration (the per-app term of the cost model).
+fn app_cost_weight(app: AppId) -> f64 {
+    let committed: u64 = match app {
+        AppId::AdpcmEnc => 9_998,
+        AppId::AdpcmDec => 4_878,
+        AppId::Crc32 => 11_278,
+        AppId::Sha => 21_266,
+        AppId::Dijkstra => 52_244,
+        AppId::Patricia => 63_376,
+        AppId::StringSearch => 7_182,
+        AppId::Bitcount => 94_222,
+        AppId::BasicMath => 87_826,
+        AppId::Qsort => 49_172,
+        AppId::SusanSmoothing => 17_876,
+        AppId::SusanEdges => 19_988,
+        AppId::SusanCorners => 23_828,
+        AppId::Fft => 13_308,
+        AppId::Ifft => 13_308,
+        AppId::JpegEnc => 60_468,
+        AppId::JpegDec => 43_046,
+        AppId::GsmEnc => 48_438,
+        AppId::GsmDec => 25_638,
+        AppId::Mpeg2Dec => 47_906,
+    };
+    committed as f64
+}
+
+fn scale_cost_weight(scale: Scale) -> f64 {
+    match scale {
+        Scale::Tiny => 1.0,
+        Scale::Small => 8.0,
+        Scale::Full => 80.0,
+    }
+}
+
+fn scheme_cost_weight(scheme: Scheme) -> f64 {
+    match scheme {
+        Scheme::Ideal => 2.05,
+        Scheme::DecayEdbp | Scheme::AmcEdbp => 1.25,
+        Scheme::Edbp => 1.2,
+        Scheme::Sdbp => 1.15,
+        Scheme::Decay | Scheme::Amc => 1.1,
+        Scheme::Baseline | Scheme::LeakageOff80 => 1.0,
+    }
+}
+
+/// The memoization (and persistent-cache) fingerprint of `config` *as
+/// observed by* `scheme`.
+///
+/// Two configurations that cannot change the simulated outcome under the
+/// given scheme must share a key, or cross-experiment dedup misses real
+/// sharing. The raw [`config_fingerprint`] hashes every field, so this
+/// canonicalizes the one field with scheme-dependent reach before hashing:
+///
+/// * `config.edbp` is cleared for schemes that build no EDBP predictor
+///   (`!scheme.uses_edbp()`): nothing in such a simulation reads it.
+/// * An explicit `Some(cfg)` equal to the derived default
+///   ([`EdbpConfig::for_cache`] of the data cache) is cleared too — the
+///   simulator's fallback produces exactly that value — **unless** an
+///   instruction-cache predictor is also built (`predict_icache` on an SRAM
+///   icache), because the icache predictor's own fallback derives from the
+///   *icache* geometry, so the explicit value is observable there.
+///
+/// The equivalence is pinned by a differential test
+/// (`explicit_default_edbp_config_is_equivalent`).
+pub fn effective_fingerprint(config: &SystemConfig, scheme: Scheme) -> u64 {
+    if let Some(explicit) = &config.edbp {
+        let drop = if scheme.uses_edbp() {
+            let icache_predictor = config.predict_icache && !config.icache_tech.is_nonvolatile();
+            !icache_predictor && *explicit == EdbpConfig::for_cache(&Cache::new(config.dcache))
+        } else {
+            true
+        };
+        if drop {
+            let mut canonical = config.clone();
+            canonical.edbp = None;
+            return config_fingerprint(&canonical);
+        }
+    }
+    config_fingerprint(config)
+}
+
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct MemoKey {
     config_fp: u64,
@@ -56,21 +181,43 @@ struct MemoKey {
 
 struct MemoEntry {
     result: RunResult,
-    /// Generation trace, recorded on every memoized Baseline run so the
-    /// Ideal scheme can reuse the same execution.
-    trace: Option<Arc<GenerationTrace>>,
+    /// Generation trace, recorded on every *executed* Baseline run so the
+    /// Ideal scheme can reuse the same execution. Empty when the entry was
+    /// replayed from the persistent cache (the trace is not persisted);
+    /// refilled lazily by [`baseline_trace`] if an Ideal run needs it.
+    trace: OnceLock<Arc<GenerationTrace>>,
+    /// Zombie samples; `Some` exactly when the config was instrumented
+    /// ([`SystemConfig::zombie_sample_interval`]).
+    zombies: Option<Arc<Vec<ZombieSample>>>,
 }
 
 type Slot = Arc<OnceLock<MemoEntry>>;
 
 static MEMO: OnceLock<Mutex<HashMap<MemoKey, Slot>>> = OnceLock::new();
+/// Baseline keys whose generation trace some planned Ideal job will consume.
+/// Registered by [`run_jobs_outputs`] before any job runs, so the one
+/// baseline execution doubles as the oracle pass. Baselines outside this set
+/// skip the recorder entirely — recording is passive but not free, and
+/// retaining hundreds of unneeded traces for the whole suite run costs real
+/// memory. A late, unregistered Ideal request is still correct: it refills
+/// the trace lazily via [`baseline_trace`] at the price of one extra run.
+static TRACE_WANTED: OnceLock<Mutex<HashSet<MemoKey>>> = OnceLock::new();
 static BASELINE_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+static SIM_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of actual (non-memoized) baseline simulations executed by the
 /// memoization layer since process start. Test hook for the "an Ideal
 /// matrix runs the baseline exactly once per (app, config, seed)" property.
 pub fn baseline_executions() -> u64 {
     BASELINE_EXECUTIONS.load(Ordering::Relaxed)
+}
+
+/// Number of actual simulations (any scheme, including oracle-trace
+/// refills) executed by the memoization layer since process start. Memo
+/// hits and persistent-cache replays do not count — which is exactly what
+/// the planner's dedup accounting and the warm-cache CI check measure.
+pub fn simulations_executed() -> u64 {
+    SIM_EXECUTIONS.load(Ordering::Relaxed)
 }
 
 fn memo_slot(key: MemoKey) -> Slot {
@@ -82,98 +229,200 @@ fn memo_slot(key: MemoKey) -> Slot {
         .clone()
 }
 
-/// Runs (or recalls) one job through the memoization table. Returns the
-/// entry's result plus whether this call performed the execution.
-fn run_cached(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> RunResult {
+/// Built workloads, one per (app, scale). Synthesizing an instruction trace
+/// is pure but not free; across a deduplicated suite pass every simulation
+/// shares the one build (a [`Workload`] clone only bumps the program's
+/// refcount).
+static WORKLOADS: OnceLock<Mutex<HashMap<(AppId, Scale), Workload>>> = OnceLock::new();
+
+/// The memoized build of `app` at `scale`.
+pub(crate) fn cached_workload(app: AppId, scale: Scale) -> Workload {
+    WORKLOADS
+        .get_or_init(Mutex::default)
+        .lock()
+        .expect("workload table poisoned")
+        .entry((app, scale))
+        .or_insert_with(|| build(app, scale))
+        .clone()
+}
+
+fn baseline_key(config: &SystemConfig, app: AppId, scale: Scale) -> MemoKey {
+    MemoKey {
+        config_fp: effective_fingerprint(config, Scheme::Baseline),
+        scheme: Scheme::Baseline,
+        app,
+        scale,
+    }
+}
+
+/// Marks the baseline runs whose traces the given jobs' Ideal runs consume.
+fn register_trace_demands(jobs: &[Job]) {
+    let wanted: Vec<MemoKey> = jobs
+        .iter()
+        .filter(|j| j.scheme.needs_oracle_trace())
+        .map(|j| baseline_key(&j.config, j.app, j.scale))
+        .collect();
+    if !wanted.is_empty() {
+        TRACE_WANTED
+            .get_or_init(Mutex::default)
+            .lock()
+            .expect("trace-demand table poisoned")
+            .extend(wanted);
+    }
+}
+
+fn trace_wanted(key: &MemoKey) -> bool {
+    TRACE_WANTED.get().is_some_and(|set| {
+        set.lock()
+            .expect("trace-demand table poisoned")
+            .contains(key)
+    })
+}
+
+/// Performs one real simulation for the memo table (never consults it).
+fn execute(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> MemoEntry {
+    SIM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+    let workload = cached_workload(app, scale);
+    let sim = match scheme {
+        Scheme::Baseline => {
+            BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+            // Record the generation trace iff some planned Ideal job consumes
+            // it (the recorder is passive — bit-identical result — so the
+            // execution doubles as the oracle pass). Unwanted traces are
+            // skipped: recording and retaining them for every baseline in
+            // the suite costs time and memory for nothing.
+            let sim = Simulation::new(config, scheme, workload, None);
+            if trace_wanted(&baseline_key(config, app, scale)) {
+                sim.with_recorder()
+            } else {
+                sim
+            }
+        }
+        Scheme::Ideal => {
+            // The oracle pass is a baseline run — share it through the
+            // cache instead of executing a private one.
+            let trace = baseline_trace(config, app, scale);
+            Simulation::new(config, scheme, workload, Some((*trace).clone()))
+        }
+        _ => Simulation::new(config, scheme, workload, None),
+    };
+    let outcome = sim.run_collecting();
+    MemoEntry {
+        result: outcome.result,
+        trace: match outcome.trace {
+            Some(t) => OnceLock::from(Arc::new(t)),
+            None => OnceLock::new(),
+        },
+        zombies: config
+            .zombie_sample_interval
+            .is_some()
+            .then(|| Arc::new(outcome.zombie_samples)),
+    }
+}
+
+/// Resolves one key: memo table first, then the persistent cache (if one
+/// is installed), then a real execution (stored back to the persistent
+/// cache). Returns the initialized slot plus whether *this call* simulated.
+fn resolve(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> (Slot, bool) {
+    let config_fp = effective_fingerprint(config, scheme);
     let slot = memo_slot(MemoKey {
-        config_fp: config_fingerprint(config),
+        config_fp,
         scheme,
         app,
         scale,
     });
     let mut ran_here = false;
-    let entry = slot.get_or_init(|| {
-        ran_here = true;
-        match scheme {
-            Scheme::Baseline => {
-                BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
-                let (result, trace) = run_baseline_with_trace(config, build(app, scale));
-                MemoEntry {
-                    result,
-                    trace: Some(Arc::new(trace)),
-                }
-            }
-            Scheme::Ideal => {
-                // The oracle pass is a baseline run — share it through the
-                // cache instead of executing a private one.
-                let trace = baseline_trace(config, app, scale);
-                let sim = crate::Simulation::new(
-                    config,
-                    Scheme::Ideal,
-                    build(app, scale),
-                    Some((*trace).clone()),
-                );
-                let (result, _) = sim.run();
-                MemoEntry {
-                    result,
-                    trace: None,
-                }
-            }
-            _ => MemoEntry {
-                result: run_app(config, scheme, app, scale),
-                trace: None,
-            },
+    slot.get_or_init(|| {
+        if let Some(hit) = runcache::active().and_then(|c| c.load(config_fp, scheme, app, scale)) {
+            return MemoEntry {
+                result: hit.result,
+                trace: OnceLock::new(),
+                zombies: hit.zombie_samples.map(Arc::new),
+            };
         }
+        ran_here = true;
+        let entry = execute(config, scheme, app, scale);
+        if let Some(cache) = runcache::active() {
+            cache.store(
+                config_fp,
+                scheme,
+                app,
+                scale,
+                &entry.result,
+                entry.zombies.as_deref().map(Vec::as_slice),
+            );
+        }
+        entry
     });
+    (slot, ran_here)
+}
+
+/// Runs (or recalls) one job through the memoization table.
+fn run_cached(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> JobOutput {
+    let (slot, ran_here) = resolve(config, scheme, app, scale);
+    let entry = slot.get().expect("slot was just resolved");
     let mut result = entry.result.clone();
     if !ran_here {
         result.sim_mips = 0.0;
     }
-    result
+    JobOutput {
+        result,
+        zombie_samples: entry.zombies.clone(),
+    }
 }
 
 /// The recorded trace of the memoized baseline run for this key (executing
-/// the baseline if it has not run yet).
+/// the baseline if it has not run yet). If the baseline entry was replayed
+/// from the persistent cache — which does not carry traces — the baseline
+/// is re-executed once with a recorder to refill it; that re-execution
+/// counts in both execution counters.
 fn baseline_trace(config: &SystemConfig, app: AppId, scale: Scale) -> Arc<GenerationTrace> {
-    let slot = memo_slot(MemoKey {
-        config_fp: config_fingerprint(config),
-        scheme: Scheme::Baseline,
-        app,
-        scale,
-    });
-    let entry = slot.get_or_init(|| {
-        BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
-        let (result, trace) = run_baseline_with_trace(config, build(app, scale));
-        MemoEntry {
-            result,
-            trace: Some(Arc::new(trace)),
-        }
-    });
+    let (slot, _) = resolve(config, Scheme::Baseline, app, scale);
+    let entry = slot.get().expect("slot was just resolved");
     entry
         .trace
-        .as_ref()
-        .expect("baseline entries always carry a trace")
+        .get_or_init(|| {
+            SIM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+            BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+            let (_, trace) = crate::run_baseline_with_trace(config, cached_workload(app, scale));
+            Arc::new(trace)
+        })
         .clone()
 }
 
-/// Runs all jobs, fanning out across `threads` scoped OS threads, and
-/// returns results in the same order as the input — parallelism never
-/// changes the output. Identical jobs (same config, scheme, app, scale) are
-/// executed once per process and recalled from the memoization table.
-pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<RunResult> {
+/// Everything one job's run produced.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The run's aggregate statistics.
+    pub result: RunResult,
+    /// Zombie samples, shared across requesters; `Some` exactly when the
+    /// job's config set [`SystemConfig::zombie_sample_interval`].
+    pub zombie_samples: Option<Arc<Vec<ZombieSample>>>,
+}
+
+/// [`run_jobs`], but returning each job's full [`JobOutput`] (Fig. 4 needs
+/// the zombie samples, not just the aggregate result).
+pub fn run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<JobOutput> {
     assert!(threads >= 1, "need at least one thread");
-    let results: Vec<Mutex<Option<RunResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Longest-estimated-first work queue (stable index tie-break) so a big
+    // job cannot land last on a drained pool. Results still fill their
+    // input-order slots, so the ordering is invisible to callers.
+    register_trace_demands(jobs);
+    let costs: Vec<f64> = jobs.iter().map(Job::estimated_cost).collect();
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    let results: Vec<Mutex<Option<JobOutput>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
+                let rank = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = order.get(rank) else {
                     break;
-                }
+                };
                 let job = &jobs[i];
-                let result = run_cached(&job.config, job.scheme, job.app, job.scale);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
+                let output = run_cached(&job.config, job.scheme, job.app, job.scale);
+                *results[i].lock().expect("result slot poisoned") = Some(output);
             });
         }
     });
@@ -187,17 +436,27 @@ pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<RunResult> {
         .collect()
 }
 
-/// Convenience: runs every app of the paper's suite under each scheme and
-/// returns results indexed `[scheme][app]` in input order.
-pub fn run_matrix(
+/// Runs all jobs, fanning out across `threads` scoped OS threads, and
+/// returns results in the same order as the input — parallelism never
+/// changes the output. Identical jobs (same effective config, scheme, app,
+/// scale) are executed once per process and recalled from the memoization
+/// table.
+pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<RunResult> {
+    run_jobs_outputs(jobs, threads)
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
+}
+
+/// The flat job list of a scheme × app matrix, in `[scheme][app]` order.
+pub fn matrix_jobs(
     config: &SystemConfig,
     schemes: &[Scheme],
     apps: &[AppId],
     scale: Scale,
-    threads: usize,
-) -> Vec<Vec<RunResult>> {
+) -> Vec<Job> {
     let config = Arc::new(config.clone());
-    let jobs: Vec<Job> = schemes
+    schemes
         .iter()
         .flat_map(|&scheme| {
             let config = &config;
@@ -208,9 +467,46 @@ pub fn run_matrix(
                 scale,
             })
         })
-        .collect();
-    let flat = run_jobs(&jobs, threads);
+        .collect()
+}
+
+/// Convenience: runs every app of the paper's suite under each scheme and
+/// returns results indexed `[scheme][app]` in input order.
+pub fn run_matrix(
+    config: &SystemConfig,
+    schemes: &[Scheme],
+    apps: &[AppId],
+    scale: Scale,
+    threads: usize,
+) -> Vec<Vec<RunResult>> {
+    let flat = run_jobs(&matrix_jobs(config, schemes, apps, scale), threads);
     flat.chunks(apps.len()).map(<[RunResult]>::to_vec).collect()
+}
+
+/// Number of distinct simulations a cache-cold run of `jobs` executes:
+/// distinct effective memo keys, plus the implicit baseline execution
+/// behind any `Ideal` key whose baseline is not itself requested. The
+/// planner's dedup accounting asserts `simulations_executed()` lands
+/// exactly here.
+pub fn count_unique(jobs: &[Job]) -> usize {
+    let mut keys = std::collections::HashSet::new();
+    for job in jobs {
+        if job.scheme == Scheme::Ideal {
+            keys.insert(MemoKey {
+                config_fp: effective_fingerprint(&job.config, Scheme::Baseline),
+                scheme: Scheme::Baseline,
+                app: job.app,
+                scale: job.scale,
+            });
+        }
+        keys.insert(MemoKey {
+            config_fp: effective_fingerprint(&job.config, job.scheme),
+            scheme: job.scheme,
+            app: job.app,
+            scale: job.scale,
+        });
+    }
+    keys.len()
 }
 
 /// Geometric mean of an iterator of positive factors (the paper reports
@@ -243,11 +539,33 @@ pub fn mean_speedup_over_seeds(
     threads: usize,
 ) -> f64 {
     assert!(!seeds.is_empty(), "need at least one seed");
-    // One flat job list over every (seed, scheme, app) cell: a single
-    // [`run_jobs`] fan-out keeps all worker threads busy across seed
-    // boundaries instead of draining the pool at the end of each seed's
-    // matrix. Job order is [seed][Baseline|scheme][app], so the results
-    // regroup by fixed-size chunks.
+    let flat = run_jobs(
+        &seed_sweep_jobs(config, scheme, apps, scale, seeds),
+        threads,
+    );
+    let per_seed = flat.chunks(2 * apps.len()).map(|chunk| {
+        let (base, tested) = chunk.split_at(apps.len());
+        geomean(
+            base.iter()
+                .zip(tested)
+                .map(|(b, r)| b.total_time() / r.total_time()),
+        )
+    });
+    geomean(per_seed)
+}
+
+/// The flat job list behind [`mean_speedup_over_seeds`]: one entry per
+/// (seed, Baseline | `scheme`, app) cell, in `[seed][scheme][app]` order, so
+/// a single [`run_jobs`] fan-out keeps all worker threads busy across seed
+/// boundaries instead of draining the pool at the end of each seed's
+/// matrix. Public so the suite planner can pre-register these runs.
+pub fn seed_sweep_jobs(
+    config: &SystemConfig,
+    scheme: Scheme,
+    apps: &[AppId],
+    scale: Scale,
+    seeds: &[u64],
+) -> Vec<Job> {
     let mut jobs = Vec::with_capacity(seeds.len() * 2 * apps.len());
     for &seed in seeds {
         let mut seeded = config.clone();
@@ -270,16 +588,7 @@ pub fn mean_speedup_over_seeds(
             }
         }
     }
-    let flat = run_jobs(&jobs, threads);
-    let per_seed = flat.chunks(2 * apps.len()).map(|chunk| {
-        let (base, tested) = chunk.split_at(apps.len());
-        geomean(
-            base.iter()
-                .zip(tested)
-                .map(|(b, r)| b.total_time() / r.total_time()),
-        )
-    });
-    geomean(per_seed)
+    jobs
 }
 
 /// Default worker-thread count: all but one hardware thread.
@@ -292,6 +601,7 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_app;
 
     #[test]
     fn geomean_of_identity_is_one() {
@@ -341,5 +651,107 @@ mod tests {
             2,
         );
         assert!((0.5..2.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn cost_model_orders_scale_scheme_and_stepping() {
+        let config = Arc::new(SystemConfig::paper_default());
+        let job = |scheme, scale, config: &Arc<SystemConfig>| Job {
+            config: Arc::clone(config),
+            scheme,
+            app: AppId::Crc32,
+            scale,
+        };
+        let tiny = job(Scheme::Baseline, Scale::Tiny, &config);
+        let full = job(Scheme::Baseline, Scale::Full, &config);
+        assert!(full.estimated_cost() > tiny.estimated_cost());
+        let edbp = job(Scheme::Edbp, Scale::Tiny, &config);
+        assert!(edbp.estimated_cost() > tiny.estimated_cost());
+        let mut instrumented = SystemConfig::paper_default();
+        instrumented.zombie_sample_interval = Some(500);
+        let zombie = job(Scheme::Baseline, Scale::Tiny, &Arc::new(instrumented));
+        assert!(zombie.estimated_cost() > 5.0 * tiny.estimated_cost());
+    }
+
+    #[test]
+    fn effective_fingerprint_canonicalizes_default_edbp() {
+        let plain = SystemConfig::paper_default();
+        assert!(plain.edbp.is_none(), "paper default leaves edbp derived");
+        let mut explicit_default = plain.clone();
+        explicit_default.edbp = Some(EdbpConfig::for_cache(&Cache::new(plain.dcache)));
+        let mut explicit_custom = plain.clone();
+        explicit_custom.edbp = Some({
+            let mut c = EdbpConfig::for_cache(&Cache::new(plain.dcache));
+            c.reference_fpr = 1.0;
+            c
+        });
+
+        for scheme in [Scheme::Edbp, Scheme::DecayEdbp, Scheme::AmcEdbp] {
+            assert_eq!(
+                effective_fingerprint(&plain, scheme),
+                effective_fingerprint(&explicit_default, scheme),
+                "explicit default == derived default for {scheme}"
+            );
+            assert_ne!(
+                effective_fingerprint(&plain, scheme),
+                effective_fingerprint(&explicit_custom, scheme),
+                "non-default edbp config must stay distinct for {scheme}"
+            );
+        }
+        // Schemes without an EDBP predictor never observe the field at all.
+        for scheme in [Scheme::Baseline, Scheme::Sdbp, Scheme::Decay, Scheme::Ideal] {
+            assert_eq!(
+                effective_fingerprint(&plain, scheme),
+                effective_fingerprint(&explicit_custom, scheme),
+                "edbp field is invisible to {scheme}"
+            );
+        }
+        // With an icache predictor built, the explicit value is observable
+        // (the icache fallback derives from the icache geometry): no
+        // canonicalization.
+        let mut icache_pred = explicit_default.clone();
+        icache_pred.predict_icache = true;
+        icache_pred.icache_tech = ehs_nvm::MemoryTechnology::Sram;
+        let mut icache_plain = plain.clone();
+        icache_plain.predict_icache = true;
+        icache_plain.icache_tech = ehs_nvm::MemoryTechnology::Sram;
+        assert_ne!(
+            effective_fingerprint(&icache_pred, Scheme::Edbp),
+            effective_fingerprint(&icache_plain, Scheme::Edbp)
+        );
+    }
+
+    #[test]
+    fn explicit_default_edbp_config_is_equivalent() {
+        // The differential pin for the canonicalization rule: an explicit
+        // edbp config equal to the derived default simulates identically.
+        let plain = SystemConfig::paper_default();
+        let mut explicit = plain.clone();
+        explicit.edbp = Some(EdbpConfig::for_cache(&Cache::new(plain.dcache)));
+        let a = run_app(&plain, Scheme::Edbp, AppId::Crc32, Scale::Tiny);
+        let b = run_app(&explicit, Scheme::Edbp, AppId::Crc32, Scale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_unique_folds_duplicates_and_oracle_baselines() {
+        let config = Arc::new(SystemConfig::paper_default());
+        let job = |scheme| Job {
+            config: Arc::clone(&config),
+            scheme,
+            app: AppId::Crc32,
+            scale: Scale::Tiny,
+        };
+        // Duplicate Edbp folds; Ideal implies a Baseline that is already
+        // requested, so it adds only itself.
+        let jobs = [
+            job(Scheme::Baseline),
+            job(Scheme::Edbp),
+            job(Scheme::Edbp),
+            job(Scheme::Ideal),
+        ];
+        assert_eq!(count_unique(&jobs), 3);
+        // Ideal alone still needs its oracle baseline.
+        assert_eq!(count_unique(&[job(Scheme::Ideal)]), 2);
     }
 }

@@ -125,6 +125,22 @@ impl LeakCache {
     }
 }
 
+/// Everything one simulator execution can produce, returned by
+/// [`Simulation::run_collecting`]. The memoized run layer stores the whole
+/// outcome so a single execution can serve as a figure's result row, the
+/// Ideal scheme's oracle pass (`trace`) and the Fig. 4 zombie sample pool at
+/// the same time.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The run's aggregate statistics.
+    pub result: RunResult,
+    /// Recorded oracle trace, present when a recorder was attached.
+    pub trace: Option<GenerationTrace>,
+    /// Resolved zombie samples; empty unless
+    /// [`SystemConfig::zombie_sample_interval`] was set.
+    pub zombie_samples: Vec<crate::ZombieSample>,
+}
+
 /// One in-flight simulation. Most users want [`run_app`]; construct a
 /// `Simulation` directly to customize the workload or inject an oracle
 /// trace.
@@ -265,15 +281,35 @@ impl Simulation {
 
     /// Runs to completion (or abort) and returns the results, plus the
     /// recorded oracle trace if a recorder was attached.
-    pub fn run(mut self) -> (RunResult, Option<GenerationTrace>) {
+    pub fn run(self) -> (RunResult, Option<GenerationTrace>) {
+        let outcome = self.run_collecting();
+        (outcome.result, outcome.trace)
+    }
+
+    /// Runs to completion and returns everything a single execution can
+    /// produce: the result, the recorded oracle trace (when a recorder was
+    /// attached), and the resolved zombie samples (when
+    /// [`SystemConfig::zombie_sample_interval`] is set). The memoized run
+    /// layer uses this so one execution can serve the baseline column, the
+    /// Ideal scheme's oracle pass and the Fig. 4 sample pool at once.
+    pub fn run_collecting(mut self) -> RunOutcome {
         let wall_start = std::time::Instant::now();
         self.run_loop();
         let wall = wall_start.elapsed().as_secs_f64();
+        let zombie_samples = self
+            .zombie
+            .take()
+            .map(crate::ZombieAnalysis::finish)
+            .unwrap_or_default();
         let (mut result, trace) = self.finish();
         if wall > 0.0 {
             result.sim_mips = result.committed as f64 / wall / 1e6;
         }
-        (result, trace)
+        RunOutcome {
+            result,
+            trace,
+            zombie_samples,
+        }
     }
 
     /// Runs to completion and additionally returns the architectural value
@@ -568,19 +604,13 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if [`SystemConfig::zombie_sample_interval`] was not set.
-    pub fn run_with_zombie_analysis(mut self) -> (RunResult, Vec<crate::ZombieSample>) {
+    pub fn run_with_zombie_analysis(self) -> (RunResult, Vec<crate::ZombieSample>) {
         assert!(
             self.zombie.is_some(),
             "enable SystemConfig::zombie_sample_interval before requesting zombie analysis"
         );
-        self.run_loop();
-        let samples = self
-            .zombie
-            .take()
-            .map(crate::ZombieAnalysis::finish)
-            .unwrap_or_default();
-        let (result, _) = self.finish();
-        (result, samples)
+        let outcome = self.run_collecting();
+        (outcome.result, outcome.zombie_samples)
     }
 
     /// Merged wake hint across the data- and instruction-cache predictors.

@@ -1,16 +1,15 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
-set -u
+#
+# Delegates to the exp_all suite planner: one process collects every
+# experiment's job requests, dedups identical simulations across figures,
+# runs the unique set once (longest-estimated-job-first) and writes each
+# figure to results/<binary-name>.txt — byte-identical to what the
+# standalone binary prints. Results persist in results/.runcache/, so
+# re-running after a partial edit replays everything still valid instead of
+# re-simulating. Pass --no-cache to force a fully fresh pass.
+set -eu
 cd "$(dirname "$0")"
-BINS="exp_hw_cost exp_fig09_absolute_power exp_fig06_true_false_rates \
-exp_fig07_energy_breakdown exp_fig08_performance exp_fig04_zombie_ratio \
-exp_table1 exp_fig01_cache_size_motivation exp_fig10_replacement_policy \
-exp_fig11_cache_size exp_fig12_associativity exp_fig13_nvm_technology \
-exp_fig14_memory_size exp_fig15_energy_conditions exp_fig16_capacitor_size \
-exp_fig17_sensitivity_summary exp_fig18_icache exp_ablation_adaptation \
-exp_ablation_policy exp_other_predictors"
-for b in $BINS; do
-  echo "=== running $b ==="
-  ./target/release/$b "${1:-small}" > results/$b.txt 2>&1 || echo "$b FAILED"
-done
+mkdir -p results
+./target/release/exp_all "${1:-small}" "${@:2}"
 echo "all experiments done"
