@@ -21,6 +21,7 @@
 //! wrong figure.
 
 use ehs_sim::planner::{results_dir, REGISTRY};
+use ehs_sim::runcache;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -62,7 +63,7 @@ fn main() {
         "scale must be tiny|small|full"
     );
     let bins = bin_dir();
-    let cache_dir = results_dir().join(".runcache");
+    let cache_dir = runcache::default_dir();
 
     // 1. Serial reference: the old one-process-per-figure workflow.
     eprintln!("serial: {} binaries, --no-cache ...", REGISTRY.len());

@@ -38,6 +38,7 @@
 pub mod cli;
 mod config;
 pub mod experiments;
+pub mod fault;
 mod fingerprint;
 mod memory_system;
 pub mod planner;

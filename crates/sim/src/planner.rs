@@ -23,12 +23,17 @@
 use crate::cli::{self, CliOptions};
 use crate::experiments::ExperimentOptions;
 use crate::experiments::{headline, motivation, sensitivity};
+use crate::fault;
 use crate::report::Table;
 use crate::runcache;
-use crate::runner::{count_unique, run_jobs_outputs, simulations_executed, Job, JobOutput};
+use crate::runner::{
+    count_unique, executed_entry_stems, simulations_executed, try_run_jobs_outputs, Job, JobError,
+    JobOutput,
+};
 use ehs_workloads::Scale;
+use std::collections::HashSet;
 use std::ops::Range;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// One registered experiment: the library form of an `exp_*` binary.
 pub struct Experiment {
@@ -202,8 +207,11 @@ pub fn plan_suite(scale: Scale) -> SuitePlan {
 
 /// The outcome of one [`run_suite`] call.
 pub struct SuiteRun {
-    /// One table per registered experiment, in registry order.
-    pub tables: Vec<Table>,
+    /// One outcome per registered experiment, in registry order: the
+    /// figure's table, or the (deduplicated) failures of the jobs it
+    /// needed. A failed job only fails the experiments whose plans contain
+    /// it — every unaffected experiment still gets its table.
+    pub tables: Vec<Result<Table, Vec<JobError>>>,
     /// Total jobs requested across all experiments (before dedup).
     pub total_requested: usize,
     /// Distinct simulations a cache-cold run needs (after dedup).
@@ -212,16 +220,56 @@ pub struct SuiteRun {
     pub executed: u64,
 }
 
+impl SuiteRun {
+    /// The structured failure summary: `(experiment name, its failed
+    /// jobs)`, registry order, empty exactly when every figure reported.
+    pub fn failures(&self) -> Vec<(&'static str, &[JobError])> {
+        REGISTRY
+            .iter()
+            .zip(&self.tables)
+            .filter_map(|(exp, t)| t.as_ref().err().map(|errs| (exp.name, errs.as_slice())))
+            .collect()
+    }
+}
+
 /// Plans, runs and reports every registered experiment on one shared pool.
+///
+/// Worker panics are contained per job (see
+/// [`crate::runner::try_run_jobs_outputs`]): an experiment whose slice has
+/// a failed job yields `Err` with those failures, while every other
+/// experiment's reporter runs normally — a single panicking job can never
+/// abort the suite mid-pass.
 pub fn run_suite(opts: ExperimentOptions) -> SuiteRun {
     let plan = plan_suite(opts.scale);
     let executed_before = simulations_executed();
-    let outputs = run_jobs_outputs(&plan.jobs, opts.threads);
+    let outputs = try_run_jobs_outputs(&plan.jobs, opts.threads);
     let executed = simulations_executed() - executed_before;
     let tables = REGISTRY
         .iter()
         .zip(&plan.sections)
-        .map(|(exp, range)| (exp.report)(&outputs[range.clone()]))
+        .map(|(exp, range)| {
+            let slice = &outputs[range.clone()];
+            let mut errors: Vec<JobError> = Vec::new();
+            let mut seen = HashSet::new();
+            for r in slice {
+                if let Err(e) = r {
+                    // Duplicate requests for one failed key fail together;
+                    // report the key once.
+                    if seen.insert((e.config_fp, e.scheme, e.app, e.scale)) {
+                        errors.push(e.clone());
+                    }
+                }
+            }
+            if errors.is_empty() {
+                let ok: Vec<JobOutput> = slice
+                    .iter()
+                    .map(|r| r.as_ref().expect("no errors in slice").clone())
+                    .collect();
+                Ok((exp.report)(&ok))
+            } else {
+                Err(errors)
+            }
+        })
         .collect();
     SuiteRun {
         tables,
@@ -231,24 +279,68 @@ pub fn run_suite(opts: ExperimentOptions) -> SuiteRun {
     }
 }
 
+/// Environment override for the results directory (tests and concurrent
+/// harness processes point it at private directories).
+pub const RESULTS_ENV_VAR: &str = "EHS_RESULTS_DIR";
+
 /// `results/` at the repository root (binaries write there regardless of
-/// the working directory, like the shell script always did from the root).
+/// the working directory, like the shell script always did from the root),
+/// unless overridden via [`RESULTS_ENV_VAR`].
 pub fn results_dir() -> PathBuf {
-    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+    match std::env::var_os(RESULTS_ENV_VAR) {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")),
+    }
+}
+
+/// Arms the fault-injection harness from `$EHS_FAILPLAN`; a malformed plan
+/// is a hard error (exit 2) — a fault campaign must never silently run
+/// fault-free.
+fn arm_fault_plan_or_exit() {
+    if let Err(msg) = fault::install_from_env() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling temp file + atomic rename, so a
+/// killed process never leaves a torn figure on disk.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Entry point for the thin per-experiment binaries: parse the unified CLI,
 /// install the persistent cache (unless `--no-cache`), run this
-/// experiment's plan, print the reported table.
+/// experiment's plan, print the reported table. A failed job prints a
+/// structured failure summary and exits 1 instead of unwinding.
 pub fn experiment_main(name: &str) {
     let exp = find(name).unwrap_or_else(|| panic!("{name} is not a registered experiment"));
     let cli = cli::parse_or_exit(name);
+    arm_fault_plan_or_exit();
     if !cli.no_cache {
         runcache::install_default();
     }
     let jobs = (exp.plan)(cli.scale);
-    let outputs = run_jobs_outputs(&jobs, cli.threads);
-    let table = (exp.report)(&outputs);
+    let outputs = try_run_jobs_outputs(&jobs, cli.threads);
+    let errors: Vec<&JobError> = outputs.iter().filter_map(|r| r.as_ref().err()).collect();
+    if !errors.is_empty() {
+        eprintln!("{name}: {} job(s) failed:", errors.len());
+        for e in errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    let ok: Vec<JobOutput> = outputs
+        .into_iter()
+        .map(|r| r.expect("checked above"))
+        .collect();
+    let table = (exp.report)(&ok);
     if cli.csv {
         print!("{}", table.to_csv());
     } else {
@@ -260,58 +352,142 @@ pub fn experiment_main(name: &str) {
 /// pass and writes each figure to `results/<name>.txt` (and `.csv` when
 /// `--csv` is given), byte-identical to what the standalone binary prints.
 ///
-/// Extra flag `--expect-cached` exits non-zero if any simulation actually
-/// executed — the CI hook asserting a warm re-run is a pure cache replay.
+/// Fault tolerance: a panicking job fails only the experiments whose plans
+/// contain it — every other figure is still written (atomically, so a
+/// killed process never leaves a torn figure) — and the run exits 1 with a
+/// structured per-figure failure summary on stderr. A killed run resumes
+/// on re-invocation through the persistent cache plus the suite journal.
+///
+/// Extra flags:
+///
+/// * `--expect-cached` exits non-zero if any simulation actually executed —
+///   the CI hook asserting a warm re-run is a pure cache replay.
+/// * `--expect-resumable` exits non-zero if any job recorded in the suite
+///   journal (i.e. completed *and persisted* by an earlier, possibly
+///   killed, run) was re-simulated — the explicit resume contract.
 pub fn suite_main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let expect_cached = {
+    let mut take_flag = |flag: &str| {
         let before = args.len();
-        args.retain(|a| a != "--expect-cached");
+        args.retain(|a| a != flag);
         args.len() != before
     };
+    let expect_cached = take_flag("--expect-cached");
+    let expect_resumable = take_flag("--expect-resumable");
+    let extra_usage = " [--expect-cached] [--expect-resumable]";
     let cli: CliOptions = match cli::parse(args) {
         Ok(opts) => opts,
         Err(cli::CliError::Help) => {
-            println!("{} [--expect-cached]", cli::usage("exp_all"));
+            println!("{}{extra_usage}", cli::usage("exp_all"));
             return;
         }
         Err(cli::CliError::Invalid(msg)) => {
             eprintln!("{msg}");
-            eprintln!("{} [--expect-cached]", cli::usage("exp_all"));
+            eprintln!("{}{extra_usage}", cli::usage("exp_all"));
             std::process::exit(2);
         }
     };
+    arm_fault_plan_or_exit();
     if !cli.no_cache {
         runcache::install_default();
+    }
+
+    // Snapshot the journal before running: these jobs were completed and
+    // persisted by an earlier run (possibly one that was killed mid-suite),
+    // so this run must replay — not re-simulate — them.
+    let journaled_before: HashSet<String> = runcache::active()
+        .map(|c| c.journal_entries())
+        .unwrap_or_default();
+    if !journaled_before.is_empty() {
+        println!(
+            "resume: {} job(s) journaled by earlier runs will replay from cache",
+            journaled_before.len()
+        );
     }
 
     let start = std::time::Instant::now();
     let run = run_suite(cli.experiment_options());
     let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results directory");
-    for (exp, table) in REGISTRY.iter().zip(&run.tables) {
-        let path = dir.join(format!("{}.txt", exp.name));
-        std::fs::write(&path, render_titled(exp.title, table)).expect("write figure output");
-        if cli.csv {
-            let path = dir.join(format!("{}.csv", exp.name));
-            std::fs::write(&path, table.to_csv()).expect("write figure CSV");
-        }
-        println!("wrote results/{}.txt", exp.name);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "error: cannot create results directory {} ({e}); \
+             set {RESULTS_ENV_VAR} to a writable location",
+            dir.display()
+        );
+        std::process::exit(1);
     }
+    for (exp, table) in REGISTRY.iter().zip(&run.tables) {
+        let Ok(table) = table else {
+            continue; // summarized below; unaffected figures still land
+        };
+        let path = dir.join(format!("{}.txt", exp.name));
+        let mut wrote = write_atomic(&path, render_titled(exp.title, table).as_bytes());
+        if cli.csv && wrote.is_ok() {
+            let path = dir.join(format!("{}.csv", exp.name));
+            wrote = write_atomic(&path, table.to_csv().as_bytes());
+        }
+        if let Err(e) = wrote {
+            eprintln!(
+                "error: cannot write figure {} ({e}); \
+                 set {RESULTS_ENV_VAR} to a writable location",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    let failures = run.failures();
+    let failed_jobs: usize = failures.iter().map(|(_, errs)| errs.len()).sum();
     println!(
-        "suite: {} experiments, {} runs requested, {} unique after dedup, {} simulated, {:.1}s",
+        "suite: {} experiments, {} runs requested, {} unique after dedup, {} simulated, \
+         {} failed, {:.1}s",
         REGISTRY.len(),
         run.total_requested,
         run.unique,
         run.executed,
+        failed_jobs,
         start.elapsed().as_secs_f64(),
     );
+
+    let mut exit_code = 0;
+    if !failures.is_empty() {
+        exit_code = 1;
+        eprintln!(
+            "failure summary ({} figure(s) not written):",
+            failures.len()
+        );
+        for (name, errs) in &failures {
+            eprintln!("  {name}: {} failed job(s)", errs.len());
+            for e in *errs {
+                eprintln!("    {e}");
+            }
+        }
+    }
     if expect_cached && run.executed != 0 {
         eprintln!(
             "--expect-cached: expected a pure cache replay but {} simulation(s) executed",
             run.executed
         );
-        std::process::exit(1);
+        exit_code = 1;
+    }
+    if expect_resumable {
+        let re_simulated: Vec<String> = executed_entry_stems()
+            .into_iter()
+            .filter(|stem| journaled_before.contains(stem))
+            .collect();
+        if !re_simulated.is_empty() {
+            eprintln!(
+                "--expect-resumable: {} journaled job(s) were re-simulated instead of replayed:",
+                re_simulated.len()
+            );
+            for stem in re_simulated {
+                eprintln!("  {stem}");
+            }
+            exit_code = 1;
+        }
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }
 

@@ -45,16 +45,43 @@
 //! [`SCHEMA_VERSION`] when the serialized layout or the meaning of any
 //! simulated quantity changes. Configuration and workload changes
 //! invalidate naturally through the fingerprints.
+//!
+//! # Crash atomicity and sharing
+//!
+//! The cache is held to the same fault model as the simulated hardware:
+//! a process may die (SIGKILL, power cut) at **any** instruction and the
+//! directory must still only ever contain absent or complete entries.
+//!
+//! * [`RunCache::store`] writes to a process-private temp file, fsyncs,
+//!   then atomically renames over the final path (plus a best-effort
+//!   directory fsync) — a reader never observes a torn entry, and the
+//!   trailing checksum rejects anything a weaker writer left behind.
+//! * Concurrent processes share a directory safely: renames are atomic and
+//!   idempotent (identical bytes for identical keys), and advisory
+//!   per-entry `.claim` files ([`RunCache::claim`]) let a second process
+//!   briefly wait for an in-flight entry instead of duplicating the work.
+//!   Claims from dead processes go stale and are broken on sight.
+//! * `journal.log` ([`RunCache::journal_append`]) records each persisted
+//!   entry as one appended line, so a killed `exp_all` can be re-invoked
+//!   and *prove* it resumed (`--expect-resumable`) rather than re-simulate.
+//!
+//! The deterministic fault-injection harness ([`crate::fault`]) drives
+//! kills, torn writes and I/O errors through these paths in tests and CI.
 
+use crate::fault::{self, FaultKind};
+use crate::runner::lock_unpoisoned;
 use crate::{EnergyBreakdown, RunResult, Scheme, ZombieSample};
 use edbp_core::{FxBuildHasher, PredictionSummary};
 use ehs_cache::CacheStats;
 use ehs_units::{Energy, Time};
 use ehs_workloads::{AppId, Scale};
+use std::collections::HashSet;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
 
 /// Bump when the on-disk layout or the semantics of any stored field
 /// change; old entries are then rejected (and fall back to re-simulation)
@@ -63,8 +90,19 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 const MAGIC: &[u8; 8] = b"EHSRUNC\0";
 
-/// Default cache directory: `results/.runcache/` at the repository root.
-pub const DEFAULT_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/.runcache");
+/// Environment override for the cache directory (tests and concurrent
+/// harness processes point it at private or shared directories).
+pub const DIR_ENV_VAR: &str = "EHS_RUNCACHE_DIR";
+
+/// The default cache directory: `$EHS_RUNCACHE_DIR` if set, otherwise
+/// `.runcache/` under the results directory (which itself honours
+/// `$EHS_RESULTS_DIR` — see [`crate::planner::results_dir`]).
+pub fn default_dir() -> PathBuf {
+    match std::env::var_os(DIR_ENV_VAR) {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => crate::planner::results_dir().join(".runcache"),
+    }
+}
 
 /// Seedless Fx hash of a byte slice — the integrity checksum appended to
 /// every cache entry. Public so tests can re-seal deliberately corrupted
@@ -123,7 +161,7 @@ pub fn workload_fingerprint(app: AppId, scale: Scale) -> u64 {
     static CACHE: OnceLock<Mutex<std::collections::HashMap<(u8, u8), u64>>> = OnceLock::new();
     let table = CACHE.get_or_init(Mutex::default);
     let key = (app_tag(app), scale_tag(scale));
-    if let Some(&fp) = table.lock().expect("workload fp table poisoned").get(&key) {
+    if let Some(&fp) = lock_unpoisoned(table).get(&key) {
         return fp;
     }
     let w = crate::runner::cached_workload(app, scale);
@@ -135,10 +173,7 @@ pub fn workload_fingerprint(app: AppId, scale: Scale) -> u64 {
     h.write_u32(w.data_footprint_bytes);
     h.write_u8(scale_tag(scale));
     let fp = h.finish();
-    table
-        .lock()
-        .expect("workload fp table poisoned")
-        .insert(key, fp);
+    lock_unpoisoned(table).insert(key, fp);
     fp
 }
 
@@ -428,6 +463,18 @@ fn decode(
     })
 }
 
+/// The file-name stem of one cache entry, also the line format of the
+/// suite journal and the job identifier in failure summaries:
+/// `<config_fp hex>-<scheme>-<app>-<scale>`.
+pub fn entry_stem(config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) -> String {
+    format!(
+        "{config_fp:016x}-{}-{}-{}",
+        scheme.name(),
+        app.name(),
+        scale_name(scale)
+    )
+}
+
 /// A directory of cached run results.
 #[derive(Debug)]
 pub struct RunCache {
@@ -436,12 +483,86 @@ pub struct RunCache {
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// One warning per process when cache writes start failing (read-only
+/// directory, disk full, …): the run degrades to cacheless, it never aborts.
+static STORE_WARNED: AtomicBool = AtomicBool::new(false);
+
+fn warn_store_failure(path: &Path, err: &std::io::Error) {
+    if !STORE_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: cannot write run cache entry {} ({err}); \
+             continuing without persisting results (re-runs will re-simulate)",
+            path.display()
+        );
+    }
+}
+
+/// Age beyond which a `.claim` file is presumed to belong to a dead
+/// process and is broken. Claims are advisory — breaking one can only cost
+/// duplicate work, never correctness.
+const CLAIM_STALE: Duration = Duration::from_secs(60);
+
+/// An advisory per-entry claim: while it exists, other harness processes
+/// briefly wait for the entry instead of duplicating the simulation.
+/// Dropped (removing the file) after the store, succeed or fail.
+#[derive(Debug)]
+pub struct ClaimGuard {
+    path: PathBuf,
+}
+
+/// Result of [`RunCache::claim`].
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// This process holds the claim; simulate, store, then drop the guard.
+    Held(ClaimGuard),
+    /// Another live process holds a fresh claim — the entry is probably in
+    /// flight; waiting briefly beats duplicating the simulation.
+    Busy,
+    /// Claims cannot be taken here (unwritable directory, …); proceed
+    /// unclaimed — duplicate work is safe, stalling is not.
+    Unavailable,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 impl RunCache {
     /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// Leftover temp files and claims from crashed processes older than an
+    /// hour are swept (fresh ones may belong to a live concurrent process
+    /// and are left alone; they are harmless either way).
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let cache = Self { dir };
+        cache.sweep_debris();
+        Ok(cache)
+    }
+
+    fn sweep_debris(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !(name.starts_with(".tmp-") || name.ends_with(".claim")) {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > Duration::from_secs(3600));
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The cache directory.
@@ -450,12 +571,8 @@ impl RunCache {
     }
 
     fn entry_path(&self, config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) -> PathBuf {
-        self.dir.join(format!(
-            "{config_fp:016x}-{}-{}-{}.run",
-            scheme.name(),
-            app.name(),
-            scale_name(scale)
-        ))
+        self.dir
+            .join(format!("{}.run", entry_stem(config_fp, scheme, app, scale)))
     }
 
     /// Loads one entry; `None` on any miss, mismatch or corruption (the
@@ -478,9 +595,14 @@ impl RunCache {
         )
     }
 
-    /// Stores one entry atomically (temp file + rename), best-effort: I/O
-    /// errors cost future cache hits, never correctness, so they are
-    /// swallowed.
+    /// Stores one entry crash-atomically: the bytes are written to a
+    /// process-private temp file, fsynced, and renamed over the final path
+    /// (with a best-effort directory fsync), so a reader — concurrent or
+    /// after a mid-write kill — observes either no entry or a complete one,
+    /// never a torn file. Best-effort on I/O error: a failed store costs
+    /// future cache hits, never correctness, so it warns once and degrades
+    /// to cacheless instead of aborting. Returns `true` exactly when the
+    /// entry is durably in place — the condition for journaling it.
     pub fn store(
         &self,
         config_fp: u64,
@@ -489,7 +611,7 @@ impl RunCache {
         scale: Scale,
         result: &RunResult,
         zombies: Option<&[ZombieSample]>,
-    ) {
+    ) -> bool {
         let bytes = encode(
             config_fp,
             workload_fingerprint(app, scale),
@@ -500,14 +622,161 @@ impl RunCache {
             zombies,
         );
         let path = self.entry_path(config_fp, scheme, app, scale);
+        let injected = fault::on_store();
+        match injected {
+            Some(FaultKind::IoError) => {
+                // Simulated EIO: the entry is simply not persisted.
+                warn_store_failure(&path, &std::io::Error::other("injected I/O error"));
+                return false;
+            }
+            Some(FaultKind::ShortWrite) => {
+                // Simulated torn write: a truncated entry lands at the
+                // *final* path, bypassing the temp-file dance — the file a
+                // pre-atomic writer (or a filesystem losing tail bytes on
+                // power cut) would leave. Loaders must reject it.
+                let torn = &bytes[..bytes.len() - bytes.len() / 3];
+                let _ = std::fs::write(&path, torn);
+                return false;
+            }
+            _ => {}
+        }
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        let written = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes).and_then(|()| f.sync_all()));
+        if let Err(e) = written {
+            warn_store_failure(&tmp, &e);
             let _ = std::fs::remove_file(&tmp);
+            return false;
         }
+        if injected == Some(FaultKind::Kill) {
+            // The worst crash point: the temp file is durable but the
+            // rename never happens — the entry must simply be missing on
+            // the next run, and the orphan temp file must be inert.
+            eprintln!("fault injection: kill between cache write and rename");
+            std::process::exit(137);
+        }
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => {
+                // Make the rename itself durable (POSIX: fsync the parent
+                // directory). Failure here only weakens durability of this
+                // one entry, so it is best-effort.
+                if let Ok(d) = std::fs::File::open(&self.dir) {
+                    let _ = d.sync_all();
+                }
+                true
+            }
+            Err(e) => {
+                warn_store_failure(&path, &e);
+                let _ = std::fs::remove_file(&tmp);
+                false
+            }
+        }
+    }
+
+    /// Tries to claim an entry before simulating it, so concurrent harness
+    /// processes sharing this cache avoid duplicating the work. Advisory
+    /// only — correctness never depends on claims: a lost or broken claim
+    /// at worst duplicates a simulation whose stores are idempotent
+    /// (identical bytes, atomic rename, last writer wins). A stale claim
+    /// left by a dead process is broken on sight.
+    pub fn claim(&self, config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) -> ClaimOutcome {
+        let path = self.dir.join(format!(
+            "{}.claim",
+            entry_stem(config_fp, scheme, app, scale)
+        ));
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return ClaimOutcome::Held(ClaimGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_none_or(|age| age > CLAIM_STALE);
+                    if !stale {
+                        return ClaimOutcome::Busy;
+                    }
+                    // Dead claimant: break the claim and retry once.
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(_) => return ClaimOutcome::Unavailable,
+            }
+        }
+        ClaimOutcome::Busy
+    }
+
+    /// Polls for an entry another process has claimed, up to `timeout`.
+    /// Returns the entry if it appears (and validates) in time; `None`
+    /// tells the caller to simulate it itself after all.
+    pub fn wait_for_entry(
+        &self,
+        config_fp: u64,
+        scheme: Scheme,
+        app: AppId,
+        scale: Scale,
+        timeout: Duration,
+    ) -> Option<CachedRun> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(hit) = self.load(config_fp, scheme, app, scale) {
+                return Some(hit);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// The suite journal: an append-only log of completed (simulated *and
+    /// persisted*) entry stems, one per line, shared by every process using
+    /// this cache directory.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.log")
+    }
+
+    /// Appends one completed entry stem to the journal. A single `O_APPEND`
+    /// write of one short line is atomic on POSIX, so concurrent appenders
+    /// interleave whole lines; a mid-write kill at worst leaves one torn
+    /// final line, which [`Self::journal_entries`] skips. Best-effort: the
+    /// journal is an accounting aid, losing a line only weakens the
+    /// `--expect-resumable` assertion, never a result.
+    pub fn journal_append(&self, stem: &str) {
+        let line = format!("{stem}\n");
+        let _ = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.journal_path())
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+    }
+
+    /// Every complete line of the journal (deduplicated). A torn final line
+    /// — no trailing newline, the signature of a mid-append kill — is
+    /// ignored, as is a missing journal.
+    pub fn journal_entries(&self) -> HashSet<String> {
+        let Ok(text) = std::fs::read_to_string(self.journal_path()) else {
+            return HashSet::new();
+        };
+        let complete = match text.rfind('\n') {
+            Some(last) => &text[..=last],
+            None => return HashSet::new(),
+        };
+        complete
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()
     }
 }
 
@@ -516,22 +785,36 @@ static ACTIVE: OnceLock<Option<RunCache>> = OnceLock::new();
 /// Installs the process-wide cache used by the run memoization layer.
 ///
 /// The first call wins for the whole process; later calls (any directory)
-/// are no-ops. If the directory cannot be created the cache stays disabled.
+/// are no-ops. If the directory cannot be created (read-only checkout,
+/// permission trouble) the run **warns and degrades to cacheless** instead
+/// of aborting — a missing cache costs time, never results.
 /// **Nothing is installed by default** — library users and the test suite
 /// run purely in-process unless a binary opts in (`--no-cache` simply skips
 /// this call). Returns `true` when this call performed the installation.
 pub fn install(dir: impl Into<PathBuf>) -> bool {
+    let dir = dir.into();
     let mut installed_here = false;
     ACTIVE.get_or_init(|| {
         installed_here = true;
-        RunCache::new(dir.into()).ok()
+        match RunCache::new(&dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open run cache at {} ({e}); \
+                     running without a persistent cache",
+                    dir.display()
+                );
+                None
+            }
+        }
     });
     installed_here
 }
 
-/// [`install`] at [`DEFAULT_DIR`] (`results/.runcache/` at the repo root).
+/// [`install`] at [`default_dir`] (`results/.runcache/` at the repo root
+/// unless overridden by environment).
 pub fn install_default() -> bool {
-    install(DEFAULT_DIR)
+    install(default_dir())
 }
 
 /// The installed process-wide cache, if any.

@@ -37,16 +37,38 @@
 //! (see [`Job::estimated_cost`]) so a `Full`-scale straggler cannot land
 //! last on an otherwise-drained pool, while results are still returned in
 //! input order — scheduling never changes the output.
+//!
+//! # Fault containment
+//!
+//! A panicking job is a *result*, not a process event: workers catch the
+//! unwind and [`try_run_jobs_outputs`] returns a [`JobError`] in that job's
+//! slot while every other job completes normally. No table in this module
+//! can stay poisoned (see `lock_unpoisoned`), and an abandoned memo slot is
+//! retried by the next request for the same key. The deterministic
+//! fault-injection harness ([`crate::fault`]) exercises these paths.
 
 use crate::{
-    config_fingerprint, runcache, RunResult, Scheme, Simulation, SystemConfig, ZombieSample,
+    config_fingerprint, fault, runcache, RunResult, Scheme, Simulation, SystemConfig, ZombieSample,
 };
 use edbp_core::{EdbpConfig, GenerationTrace};
 use ehs_cache::Cache;
 use ehs_workloads::{build, AppId, Scale, Workload};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks `m`, recovering the data if a previous holder panicked.
+///
+/// Every table in this module is a grow-only map (or an append-only vec)
+/// whose entries are only ever *inserted whole*: a panic while the lock is
+/// held can at worst lose the insertion in flight, never leave a partial
+/// entry. Recovering is therefore always sound — and mandatory, because a
+/// single panicking job must not wedge every later suite in the process
+/// behind a poisoned mutex (the pre-fault-tolerance latency bomb).
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One run request. The configuration is shared by `Arc`, so fanning a
 /// matrix out over hundreds of jobs clones a pointer, not the config.
@@ -221,9 +243,7 @@ pub fn simulations_executed() -> u64 {
 }
 
 fn memo_slot(key: MemoKey) -> Slot {
-    MEMO.get_or_init(Mutex::default)
-        .lock()
-        .expect("memo table poisoned")
+    lock_unpoisoned(MEMO.get_or_init(Mutex::default))
         .entry(key)
         .or_default()
         .clone()
@@ -237,10 +257,7 @@ static WORKLOADS: OnceLock<Mutex<HashMap<(AppId, Scale), Workload>>> = OnceLock:
 
 /// The memoized build of `app` at `scale`.
 pub(crate) fn cached_workload(app: AppId, scale: Scale) -> Workload {
-    WORKLOADS
-        .get_or_init(Mutex::default)
-        .lock()
-        .expect("workload table poisoned")
+    lock_unpoisoned(WORKLOADS.get_or_init(Mutex::default))
         .entry((app, scale))
         .or_insert_with(|| build(app, scale))
         .clone()
@@ -263,24 +280,40 @@ fn register_trace_demands(jobs: &[Job]) {
         .map(|j| baseline_key(&j.config, j.app, j.scale))
         .collect();
     if !wanted.is_empty() {
-        TRACE_WANTED
-            .get_or_init(Mutex::default)
-            .lock()
-            .expect("trace-demand table poisoned")
-            .extend(wanted);
+        lock_unpoisoned(TRACE_WANTED.get_or_init(Mutex::default)).extend(wanted);
     }
 }
 
 fn trace_wanted(key: &MemoKey) -> bool {
-    TRACE_WANTED.get().is_some_and(|set| {
-        set.lock()
-            .expect("trace-demand table poisoned")
-            .contains(key)
-    })
+    TRACE_WANTED
+        .get()
+        .is_some_and(|set| lock_unpoisoned(set).contains(key))
+}
+
+/// Entry stems (see [`runcache::entry_stem`]) of every simulation this
+/// process actually executed, for the planner's resume accounting.
+static EXECUTED_STEMS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+
+/// The cache-entry stems of every simulation executed (not memo- or
+/// cache-replayed) by this process, in completion order. The planner's
+/// `--expect-resumable` check cross-references these against the suite
+/// journal: a journaled job that shows up here was lost and re-simulated —
+/// a broken resume contract.
+pub fn executed_entry_stems() -> Vec<String> {
+    EXECUTED_STEMS
+        .get()
+        .map(|v| lock_unpoisoned(v).clone())
+        .unwrap_or_default()
+}
+
+fn record_executed(config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) {
+    lock_unpoisoned(EXECUTED_STEMS.get_or_init(Mutex::default))
+        .push(runcache::entry_stem(config_fp, scheme, app, scale));
 }
 
 /// Performs one real simulation for the memo table (never consults it).
 fn execute(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> MemoEntry {
+    fault::on_execute(config.zombie_sample_interval.is_some());
     SIM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
     let workload = cached_workload(app, scale);
     let sim = match scheme {
@@ -320,9 +353,27 @@ fn execute(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> M
     }
 }
 
+/// How long to wait for another process's claimed entry to land before
+/// simulating it ourselves anyway. Sized for the short jobs that dominate
+/// shared-cache suites; a longer job simply gets (safely) duplicated.
+const CLAIM_WAIT: std::time::Duration = std::time::Duration::from_secs(5);
+
+fn entry_from_hit(hit: runcache::CachedRun) -> MemoEntry {
+    MemoEntry {
+        result: hit.result,
+        trace: OnceLock::new(),
+        zombies: hit.zombie_samples.map(Arc::new),
+    }
+}
+
 /// Resolves one key: memo table first, then the persistent cache (if one
 /// is installed), then a real execution (stored back to the persistent
 /// cache). Returns the initialized slot plus whether *this call* simulated.
+///
+/// With a persistent cache installed, an advisory per-entry claim
+/// coordinates concurrent harness *processes*: a first-touch miss claims
+/// the entry before simulating; finding someone else's fresh claim waits
+/// briefly for their store to land instead of duplicating the run.
 fn resolve(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> (Slot, bool) {
     let config_fp = effective_fingerprint(config, scheme);
     let slot = memo_slot(MemoKey {
@@ -333,17 +384,28 @@ fn resolve(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> (
     });
     let mut ran_here = false;
     slot.get_or_init(|| {
-        if let Some(hit) = runcache::active().and_then(|c| c.load(config_fp, scheme, app, scale)) {
-            return MemoEntry {
-                result: hit.result,
-                trace: OnceLock::new(),
-                zombies: hit.zombie_samples.map(Arc::new),
-            };
+        let mut claim = None;
+        if let Some(cache) = runcache::active() {
+            if let Some(hit) = cache.load(config_fp, scheme, app, scale) {
+                return entry_from_hit(hit);
+            }
+            match cache.claim(config_fp, scheme, app, scale) {
+                runcache::ClaimOutcome::Held(guard) => claim = Some(guard),
+                runcache::ClaimOutcome::Busy => {
+                    if let Some(hit) =
+                        cache.wait_for_entry(config_fp, scheme, app, scale, CLAIM_WAIT)
+                    {
+                        return entry_from_hit(hit);
+                    }
+                }
+                runcache::ClaimOutcome::Unavailable => {}
+            }
         }
         ran_here = true;
         let entry = execute(config, scheme, app, scale);
+        record_executed(config_fp, scheme, app, scale);
         if let Some(cache) = runcache::active() {
-            cache.store(
+            let stored = cache.store(
                 config_fp,
                 scheme,
                 app,
@@ -351,7 +413,14 @@ fn resolve(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> (
                 &entry.result,
                 entry.zombies.as_deref().map(Vec::as_slice),
             );
+            // Journal only durable entries: the resume contract promises a
+            // journaled job replays from disk, so a failed store must not
+            // be journaled.
+            if stored {
+                cache.journal_append(&runcache::entry_stem(config_fp, scheme, app, scale));
+            }
         }
+        drop(claim);
         entry
     });
     (slot, ran_here)
@@ -382,6 +451,7 @@ fn baseline_trace(config: &SystemConfig, app: AppId, scale: Scale) -> Arc<Genera
     entry
         .trace
         .get_or_init(|| {
+            fault::on_execute(config.zombie_sample_interval.is_some());
             SIM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
             BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
             let (_, trace) = crate::run_baseline_with_trace(config, cached_workload(app, scale));
@@ -400,9 +470,56 @@ pub struct JobOutput {
     pub zombie_samples: Option<Arc<Vec<ZombieSample>>>,
 }
 
-/// [`run_jobs`], but returning each job's full [`JobOutput`] (Fig. 4 needs
-/// the zombie samples, not just the aggregate result).
-pub fn run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<JobOutput> {
+/// One job's failure, carried out of the worker pool instead of unwinding
+/// through it. The config is identified by its effective fingerprint (the
+/// memo/cache key) so the failure is attributable in a structured summary.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Effective configuration fingerprint of the failed job.
+    pub config_fp: u64,
+    /// Scheme of the failed job.
+    pub scheme: Scheme,
+    /// Application of the failed job.
+    pub app: AppId,
+    /// Workload scale of the failed job.
+    pub scale: Scale,
+    /// The panic payload (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{:016x}]: {}",
+            runcache::entry_stem(self.config_fp, self.scheme, self.app, self.scale),
+            self.config_fp,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// [`run_jobs_outputs`], but a panicking job is contained to its own
+/// result slot instead of taking the whole pool (and every sibling
+/// experiment) down: the worker catches the unwind, records a [`JobError`]
+/// and moves on to the next job. All unaffected jobs always complete.
+///
+/// A failed job leaves its memo slot uninitialized, so a later request for
+/// the same key retries the execution — a transient fault costs one retry,
+/// it does not poison the key for the rest of the process.
+pub fn try_run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<Result<JobOutput, JobError>> {
     assert!(threads >= 1, "need at least one thread");
     // Longest-estimated-first work queue (stable index tie-break) so a big
     // job cannot land last on a drained pool. Results still fill their
@@ -411,7 +528,8 @@ pub fn run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<JobOutput> {
     let costs: Vec<f64> = jobs.iter().map(Job::estimated_cost).collect();
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
-    let results: Vec<Mutex<Option<JobOutput>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<JobOutput, JobError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
@@ -421,18 +539,53 @@ pub fn run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<JobOutput> {
                     break;
                 };
                 let job = &jobs[i];
-                let output = run_cached(&job.config, job.scheme, job.app, job.scale);
-                *results[i].lock().expect("result slot poisoned") = Some(output);
+                // Unwind safety: `run_cached` only touches the process-wide
+                // tables in this module, all of which are insert-whole maps
+                // behind `lock_unpoisoned` (see its contract) or `OnceLock`
+                // slots whose abandoned initialization is simply retried.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_cached(&job.config, job.scheme, job.app, job.scale)
+                }))
+                .map_err(|payload| JobError {
+                    config_fp: effective_fingerprint(&job.config, job.scheme),
+                    scheme: job.scheme,
+                    app: job.app,
+                    scale: job.scale,
+                    message: panic_message(payload),
+                });
+                *lock_unpoisoned(&results[i]) = Some(outcome);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(i, m)| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job ran")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    // Unreachable in practice (workers always store), kept
+                    // as a contained error rather than a fresh panic source.
+                    Err(JobError {
+                        config_fp: effective_fingerprint(&jobs[i].config, jobs[i].scheme),
+                        scheme: jobs[i].scheme,
+                        app: jobs[i].app,
+                        scale: jobs[i].scale,
+                        message: "job was never executed (worker lost)".into(),
+                    })
+                })
         })
+        .collect()
+}
+
+/// [`run_jobs`], but returning each job's full [`JobOutput`] (Fig. 4 needs
+/// the zombie samples, not just the aggregate result). Panics if any job
+/// panicked — callers that must survive individual job failures use
+/// [`try_run_jobs_outputs`] (the suite planner does).
+pub fn run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<JobOutput> {
+    try_run_jobs_outputs(jobs, threads)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("job failed: {e}")))
         .collect()
 }
 

@@ -8,7 +8,7 @@ use edbp_core::{
 };
 use ehs_cache::{AccessKind, Cache};
 use ehs_cpu::{Core, CoreState, Effect, INSTRUCTION_BYTES};
-use ehs_energy::{BurstPlan, EnergySystem, StepEvent};
+use ehs_energy::{BurstPlan, EnergyConfigError, EnergySystem, StepEvent};
 use ehs_units::{Energy, Power, Time};
 use ehs_workloads::{build, AppId, Scale, Workload};
 use std::sync::Arc;
@@ -217,14 +217,30 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if the energy configuration is invalid or the Ideal scheme is
-    /// requested without a trace.
+    /// Panics if the energy configuration is invalid (use [`Self::try_new`]
+    /// where an invalid user-supplied configuration must be reported
+    /// instead of aborting) or the Ideal scheme is requested without a
+    /// trace.
     pub fn new(
         config: &SystemConfig,
         scheme: Scheme,
         workload: Workload,
         oracle_trace: Option<GenerationTrace>,
     ) -> Self {
+        Self::try_new(config, scheme, workload, oracle_trace)
+            .unwrap_or_else(|e| panic!("invalid energy configuration: {e}"))
+    }
+
+    /// [`Self::new`], but an inconsistent energy configuration is returned
+    /// as a typed [`EnergyConfigError`] rather than a panic — the harness
+    /// turns it into an actionable per-job failure instead of aborting a
+    /// whole suite.
+    pub fn try_new(
+        config: &SystemConfig,
+        scheme: Scheme,
+        workload: Workload,
+        oracle_trace: Option<GenerationTrace>,
+    ) -> Result<Self, EnergyConfigError> {
         let mut config = config.clone();
         if scheme == Scheme::LeakageOff80 {
             config.dcache_leakage_scale = 0.2;
@@ -242,15 +258,14 @@ impl Simulation {
                 None
             };
         let core = Core::new(&workload.program);
-        let energy = EnergySystem::new(config.energy.clone(), SourceBox(config.source.build()))
-            .expect("energy configuration must be valid");
+        let energy = EnergySystem::new(config.energy.clone(), SourceBox(config.source.build()))?;
         let reuse =
             (scheme == Scheme::Sdbp).then(|| ReusePredictor::new(ReusePredictorConfig::default()));
         let zombie = config
             .zombie_sample_interval
             .map(crate::ZombieAnalysis::new);
         let block_bytes = config.dcache.geometry.block_bytes as usize;
-        Self {
+        Ok(Self {
             scheme,
             mem,
             core,
@@ -270,7 +285,7 @@ impl Simulation {
             completed: false,
             workload,
             config,
-        }
+        })
     }
 
     /// Attaches an oracle recorder (pass 1 of the Ideal scheme).

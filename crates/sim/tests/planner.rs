@@ -55,11 +55,31 @@ fn suite_dedup_accounting_is_exact() {
         "cold suite must simulate exactly the unique request set"
     );
 
+    // A fault-free pass has an empty structured failure summary.
+    assert!(cold.failures().is_empty(), "no failures without faults");
+
+    // Every simulated-and-stored job was journaled (the resume contract's
+    // write half): executed stems ⊆ journal, and the counts line up with
+    // the dedup arithmetic.
+    let cache = runcache::RunCache::new(&dir).expect("reopen cache dir");
+    let journal = cache.journal_entries();
+    assert_eq!(
+        journal.len(),
+        unique,
+        "every unique simulation must be journaled once"
+    );
+    let executed_stems = ehs_sim::runner::executed_entry_stems();
+    assert_eq!(executed_stems.len(), unique);
+    for stem in &executed_stems {
+        assert!(journal.contains(stem), "executed {stem} missing in journal");
+    }
+
     // The in-process memo makes a second pass in the same process free;
     // its reports must match the cold pass exactly.
     let warm = run_suite(opts);
     assert_eq!(warm.executed, 0, "second pass is a pure memo replay");
     for (c, w) in cold.tables.iter().zip(&warm.tables) {
+        let (c, w) = (c.as_ref().expect("cold table"), w.as_ref().expect("warm"));
         assert_eq!(c.render(), w.render(), "replayed table diverged");
     }
 

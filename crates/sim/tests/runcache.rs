@@ -7,7 +7,7 @@
 //! (a rejected entry triggering re-simulation inside the planner) is
 //! covered by `tests/planner.rs`.
 
-use ehs_sim::runcache::{checksum, RunCache, SCHEMA_VERSION};
+use ehs_sim::runcache::{checksum, ClaimOutcome, RunCache, SCHEMA_VERSION};
 use ehs_sim::runner::effective_fingerprint;
 use ehs_sim::{run_app, Scheme, SystemConfig, ZombieSample};
 use ehs_workloads::{AppId, Scale};
@@ -181,4 +181,71 @@ fn garbage_file_is_rejected() {
     assert!(cache
         .load(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny)
         .is_none());
+}
+
+/// Advisory claims exclude a second claimant while held, and release on
+/// drop — the cross-process dedup protocol, exercised through two handles
+/// on one directory (exactly what two concurrent `exp_all`s look like).
+#[test]
+fn claims_exclude_second_claimant_until_dropped() {
+    let cache = tmp_cache("claims");
+    let other = RunCache::new(cache.dir()).expect("second handle");
+    let config = SystemConfig::paper_default();
+    let fp = effective_fingerprint(&config, Scheme::Baseline);
+    let claim = |c: &RunCache| c.claim(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny);
+
+    let ClaimOutcome::Held(guard) = claim(&cache) else {
+        panic!("first claim on a fresh entry must be held");
+    };
+    assert!(
+        matches!(claim(&other), ClaimOutcome::Busy),
+        "a held claim must read as busy to a second claimant"
+    );
+    drop(guard);
+    assert!(
+        matches!(claim(&other), ClaimOutcome::Held(_)),
+        "a released claim must be claimable again"
+    );
+}
+
+/// `wait_for_entry` returns the entry as soon as it lands (the concurrent
+/// claimant's fast path), and `None` after the timeout when it never does.
+#[test]
+fn wait_for_entry_sees_a_store_and_times_out_without_one() {
+    let cache = tmp_cache("wait");
+    let config = SystemConfig::paper_default();
+    let fp = effective_fingerprint(&config, Scheme::Baseline);
+    let timeout = std::time::Duration::from_millis(300);
+    assert!(cache
+        .wait_for_entry(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny, timeout)
+        .is_none());
+    seed_one_entry(&cache);
+    assert!(cache
+        .wait_for_entry(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny, timeout)
+        .is_some());
+}
+
+/// The journal deduplicates complete lines and skips a torn final line —
+/// the exact artifact of a process killed mid-append.
+#[test]
+fn journal_skips_a_torn_final_line() {
+    let cache = tmp_cache("journal");
+    cache.journal_append("aaaa-edbp-crc32-tiny");
+    cache.journal_append("bbbb-edbp-sha-tiny");
+    cache.journal_append("aaaa-edbp-crc32-tiny"); // duplicate: folded
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(cache.journal_path())
+        .expect("open journal")
+        .write_all(b"cccc-torn-mid-app")
+        .expect("append torn line");
+    let entries = cache.journal_entries();
+    assert_eq!(entries.len(), 2);
+    assert!(entries.contains("aaaa-edbp-crc32-tiny"));
+    assert!(entries.contains("bbbb-edbp-sha-tiny"));
+    assert!(
+        !entries.iter().any(|e| e.starts_with("cccc")),
+        "a torn (newline-less) final line must be ignored"
+    );
 }

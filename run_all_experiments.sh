@@ -6,8 +6,9 @@
 # runs the unique set once (longest-estimated-job-first) and writes each
 # figure to results/<binary-name>.txt — byte-identical to what the
 # standalone binary prints. Results persist in results/.runcache/, so
-# re-running after a partial edit replays everything still valid instead of
-# re-simulating. Pass --no-cache to force a fully fresh pass.
+# re-running after a partial edit — or after an interruption, even kill -9;
+# completed work is journaled and replayed — only simulates what is missing.
+# Pass --no-cache to force a fully fresh pass.
 set -eu
 cd "$(dirname "$0")"
 mkdir -p results

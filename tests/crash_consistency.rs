@@ -150,3 +150,65 @@ fn failure_free_run_matches_golden_too() {
     assert_eq!(result.outages, 0, "100 mW never fails");
     assert_eq!(words, golden_out_words());
 }
+
+/// The harness is held to the same crash-consistency bar as the simulated
+/// caches: a torn run-cache write (injected via the deterministic fault
+/// harness) must never surface as a wrong result — the torn entry is
+/// rejected on load, stays out of the resume journal, and the result that
+/// reached the caller is the fault-free one.
+#[test]
+fn torn_runcache_write_never_corrupts_a_result() {
+    use edbp_repro::sim::fault::{self, FailPlan};
+    use edbp_repro::sim::run_app;
+    use edbp_repro::sim::runcache::{self, entry_stem, RunCache};
+    use edbp_repro::sim::runner::{effective_fingerprint, run_jobs, Job};
+    use edbp_repro::workloads::{AppId, Scale};
+    use std::sync::Arc;
+
+    // Process-wide installs: no other test in this binary touches the
+    // runner's cached path, so first-install-wins cannot race.
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("torn-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(fault::install(FailPlan::parse("short@store=1").unwrap()));
+    assert!(runcache::install(&dir));
+
+    let config = Arc::new(SystemConfig::paper_default());
+    let job = Job {
+        config: Arc::clone(&config),
+        scheme: Scheme::Edbp,
+        app: AppId::Crc32,
+        scale: Scale::Tiny,
+    };
+    let results = run_jobs(std::slice::from_ref(&job), 1);
+
+    // The caller's result is the fault-free one: the tear happened strictly
+    // after the simulation, on the persistence path.
+    let fresh = run_app(&config, Scheme::Edbp, AppId::Crc32, Scale::Tiny);
+    assert_eq!(results[0], fresh, "torn store leaked into the result");
+
+    // The torn bytes landed at the final path (the injected fault bypasses
+    // the atomic rename on purpose), yet a fresh handle rejects them and
+    // the journal never promised the entry was replayable.
+    let fp = effective_fingerprint(&config, Scheme::Edbp);
+    let stem = entry_stem(fp, Scheme::Edbp, AppId::Crc32, Scale::Tiny);
+    let cache = RunCache::new(&dir).expect("reopen cache dir");
+    assert!(
+        dir.join(format!("{stem}.run")).exists(),
+        "the fault must leave a torn file to reject"
+    );
+    assert!(
+        cache
+            .load(fp, Scheme::Edbp, AppId::Crc32, Scale::Tiny)
+            .is_none(),
+        "torn entry must be rejected on load"
+    );
+    assert!(!cache.journal_entries().contains(&stem));
+
+    // Recovery: a healthy store (the one-shot fault is spent) overwrites
+    // the torn file and round-trips exactly.
+    assert!(cache.store(fp, Scheme::Edbp, AppId::Crc32, Scale::Tiny, &fresh, None));
+    let replayed = cache
+        .load(fp, Scheme::Edbp, AppId::Crc32, Scale::Tiny)
+        .expect("repaired entry loads");
+    assert_eq!(replayed.result, fresh);
+}
