@@ -1,6 +1,6 @@
 //! The set-associative cache mechanism.
 
-use crate::policy::{SetPolicyState, SharedPolicyState};
+use crate::policy::{SetPolicyState, SharedPolicyState, MAX_WAYS};
 use crate::{CacheStats, ReplacementPolicy};
 use ehs_nvm::CacheGeometry;
 
@@ -70,6 +70,55 @@ impl LookupOutcome {
     }
 }
 
+/// Details of a miss as reported by [`Cache::lookup_with`]: like
+/// [`MissInfo`] but without owning the victim's dirty data — that went to
+/// the caller's write-back sink instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissResult {
+    /// The frame freed for the incoming block.
+    pub victim: BlockId,
+    /// Block-aligned address of the valid block that was evicted, if the
+    /// victim frame held one (clean or dirty).
+    pub evicted: Option<u64>,
+    /// Whether the victim was dirty (its content was passed to the sink).
+    pub wrote_back: bool,
+}
+
+/// Result of [`Cache::lookup_with`] — the allocation-free counterpart of
+/// [`LookupOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The block was present and powered.
+    Hit(HitInfo),
+    /// The block was absent (or its frame was gated).
+    Miss(MissResult),
+}
+
+impl LookupResult {
+    /// True for [`LookupResult::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LookupResult::Hit(_))
+    }
+}
+
+/// Result of [`Cache::gate_with`] — the allocation-free counterpart of
+/// [`GateOutcome`]: dirty content goes to the caller's sink instead of an
+/// owned [`Writeback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateResult {
+    /// The frame was already gated; nothing happened.
+    AlreadyGated,
+    /// The frame held no valid block; it is now gated and leak-free.
+    GatedInvalid,
+    /// A valid block was deactivated.
+    GatedValid {
+        /// Block-aligned address of the deactivated block.
+        addr: u64,
+        /// Whether it was dirty (its content was passed to the sink).
+        dirty: bool,
+    },
+}
+
 /// Result of power-gating a block via [`Cache::gate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GateOutcome {
@@ -103,6 +152,21 @@ pub struct WayView {
     pub addr: u64,
     /// Eviction rank: 0 = most protected, `ways-1` = next victim.
     pub rank: u8,
+}
+
+impl Default for WayView {
+    /// An invalid, powered, unranked frame — the placeholder value for
+    /// fixed [`MAX_WAYS`]-sized view buffers (see [`Cache::set_view_into`]).
+    fn default() -> Self {
+        Self {
+            block: BlockId { set: 0, way: 0 },
+            valid: false,
+            dirty: false,
+            gated: false,
+            addr: 0,
+            rank: 0,
+        }
+    }
 }
 
 /// Cache configuration: geometry plus replacement policy.
@@ -187,8 +251,17 @@ pub struct Cache {
 
 impl Cache {
     /// Creates a cold cache: every frame invalid but powered (leaking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's associativity exceeds [`MAX_WAYS`] (the
+    /// packed per-set policy state holds one 4-bit rank lane per way).
     pub fn new(config: CacheConfig) -> Self {
         let g = config.geometry;
+        assert!(
+            g.associativity as usize <= MAX_WAYS,
+            "packed policy state caps associativity at {MAX_WAYS} ways"
+        );
         let sets = (0..g.sets())
             .map(|_| Set {
                 ways: (0..g.associativity).map(|_| Way::new()).collect(),
@@ -302,7 +375,36 @@ impl Cache {
     /// Performs an access. On a miss, the victim frame is evicted
     /// immediately (its dirty content returned for write-back) and the
     /// caller is expected to [`Cache::fill`] the requested block next.
+    ///
+    /// Thin wrapper over [`Cache::lookup_with`] that materialises the dirty
+    /// victim as an owned [`Writeback`]; hot paths use the sink variant.
     pub fn lookup(&mut self, addr: u64, kind: AccessKind) -> LookupOutcome {
+        let mut writeback = None;
+        match self.lookup_with(addr, kind, |wb_addr, data| {
+            writeback = Some(Writeback {
+                addr: wb_addr,
+                data: data.to_vec(),
+            });
+        }) {
+            LookupResult::Hit(hit) => LookupOutcome::Hit(hit),
+            LookupResult::Miss(miss) => LookupOutcome::Miss(MissInfo {
+                victim: miss.victim,
+                evicted: miss.evicted,
+                writeback,
+            }),
+        }
+    }
+
+    /// Performs an access without allocating: if the miss victim was dirty,
+    /// its (address, data) is handed to `wb_sink` instead of being copied
+    /// into an owned [`Writeback`]. Identical state transitions and
+    /// statistics to [`Cache::lookup`] (which wraps it).
+    pub fn lookup_with(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        wb_sink: impl FnOnce(u64, &[u8]),
+    ) -> LookupResult {
         let (set_idx, tag) = self.split(addr);
         let set = &mut self.sets[set_idx as usize];
 
@@ -313,7 +415,7 @@ impl Cache {
             }
             set.policy.on_hit(way_idx as u8);
             self.stats.hits += 1;
-            return LookupOutcome::Hit(HitInfo {
+            return LookupResult::Hit(HitInfo {
                 block: BlockId {
                     set: set_idx,
                     way: way_idx as u8,
@@ -349,27 +451,25 @@ impl Cache {
         };
         let victim_dirty = victim.dirty;
         victim.invalidate();
-        let writeback = match evicted {
-            Some(addr) if victim_dirty => {
+        let wrote_back = match evicted {
+            Some(wb_addr) if victim_dirty => {
                 self.stats.writebacks += 1;
-                Some(Writeback {
-                    addr,
-                    data: self.frame_data(set_idx, victim_way).to_vec(),
-                })
+                wb_sink(wb_addr, self.frame_data(set_idx, victim_way));
+                true
             }
-            _ => None,
+            _ => false,
         };
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
 
-        LookupOutcome::Miss(MissInfo {
+        LookupResult::Miss(MissResult {
             victim: BlockId {
                 set: set_idx,
                 way: victim_way,
             },
             evicted,
-            writeback,
+            wrote_back,
         })
     }
 
@@ -449,32 +549,51 @@ impl Cache {
 
     /// Power-gates a frame (gate-Vdd). Content is lost; dirty content is
     /// returned so the caller can write it back *first*.
+    ///
+    /// Thin wrapper over [`Cache::gate_with`] that materialises the dirty
+    /// content as an owned [`Writeback`]; hot paths use the sink variant.
     pub fn gate(&mut self, block: BlockId) -> GateOutcome {
+        let mut writeback = None;
+        match self.gate_with(block, |addr, data| {
+            writeback = Some(Writeback {
+                addr,
+                data: data.to_vec(),
+            });
+        }) {
+            GateResult::AlreadyGated => GateOutcome::AlreadyGated,
+            GateResult::GatedInvalid => GateOutcome::GatedInvalid,
+            GateResult::GatedValid { addr, .. } => GateOutcome::GatedValid { addr, writeback },
+        }
+    }
+
+    /// Power-gates a frame without allocating: dirty content is handed to
+    /// `wb_sink` as a borrowed slice instead of being copied into an owned
+    /// [`Writeback`]. Identical state transitions and statistics to
+    /// [`Cache::gate`] (which wraps it).
+    pub fn gate_with(&mut self, block: BlockId, wb_sink: impl FnOnce(u64, &[u8])) -> GateResult {
         let set_idx = block.set;
         let way = &mut self.sets[set_idx as usize].ways[block.way as usize];
         if way.gated {
-            return GateOutcome::AlreadyGated;
+            return GateResult::AlreadyGated;
         }
         way.gated = true;
         self.gated_count += 1;
         self.stats.gates += 1;
         match way.tag.take() {
-            None => GateOutcome::GatedInvalid,
+            None => GateResult::GatedInvalid,
             Some(tag) => {
                 let addr = (tag * u64::from(self.config.geometry.sets()) + u64::from(set_idx))
                     * u64::from(self.config.geometry.block_bytes);
                 let was_dirty = way.dirty;
                 way.dirty = false;
-                let writeback = if was_dirty {
+                if was_dirty {
                     self.stats.writebacks += 1;
-                    Some(Writeback {
-                        addr,
-                        data: self.frame_data(set_idx, block.way).to_vec(),
-                    })
-                } else {
-                    None
-                };
-                GateOutcome::GatedValid { addr, writeback }
+                    wb_sink(addr, self.frame_data(set_idx, block.way));
+                }
+                GateResult::GatedValid {
+                    addr,
+                    dirty: was_dirty,
+                }
             }
         }
     }
@@ -582,23 +701,34 @@ impl Cache {
         out
     }
 
-    /// Views of every way in a set, annotated with eviction ranks — the
-    /// interface predictors use to pick gating victims.
-    pub fn set_view(&self, set: u32) -> Vec<WayView> {
+    /// Views of every way in a set, annotated with eviction ranks, written
+    /// into the low slots of a caller-provided buffer — the allocation-free
+    /// interface predictors use to pick gating victims. Returns the number
+    /// of slots written (the way count).
+    pub fn set_view_into(&self, set: u32, out: &mut [WayView; MAX_WAYS]) -> usize {
         let s = &self.sets[set as usize];
-        let ranks = s.policy.ranks(self.ways());
-        s.ways
-            .iter()
-            .enumerate()
-            .map(|(w, way)| WayView {
+        let mut ranks = [0u8; MAX_WAYS];
+        s.policy.ranks_into(self.ways(), &mut ranks);
+        for (w, way) in s.ways.iter().enumerate() {
+            out[w] = WayView {
                 block: BlockId { set, way: w as u8 },
                 valid: way.tag.is_some() && !way.gated,
                 dirty: way.dirty,
                 gated: way.gated,
                 addr: way.tag.map(|t| self.block_addr(set, t)).unwrap_or(0),
                 rank: ranks[w],
-            })
-            .collect()
+            };
+        }
+        usize::from(self.ways())
+    }
+
+    /// Views of every way in a set, annotated with eviction ranks — a thin
+    /// allocating wrapper over [`Cache::set_view_into`] for tests and cold
+    /// paths.
+    pub fn set_view(&self, set: u32) -> Vec<WayView> {
+        let mut buf = [WayView::default(); MAX_WAYS];
+        let n = self.set_view_into(set, &mut buf);
+        buf[..n].to_vec()
     }
 
     /// Collects the addresses of all valid powered blocks.

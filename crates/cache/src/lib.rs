@@ -47,10 +47,10 @@ mod policy;
 mod stats;
 
 pub use cache::{
-    AccessKind, BlockId, Cache, CacheConfig, GateOutcome, HitInfo, LookupOutcome, MissInfo,
-    Writeback,
+    AccessKind, BlockId, Cache, CacheConfig, GateOutcome, GateResult, HitInfo, LookupOutcome,
+    LookupResult, MissInfo, MissResult, WayView, Writeback,
 };
-pub use policy::ReplacementPolicy;
+pub use policy::{ReplacementPolicy, MAX_WAYS};
 pub use stats::CacheStats;
 
 pub use ehs_nvm::{CacheGeometry, GeometryError};

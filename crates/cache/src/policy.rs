@@ -1,9 +1,32 @@
 //! Replacement policies and their per-set state.
 //!
 //! Policies do double duty in this workspace: besides choosing victims they
-//! expose a per-way *eviction rank* ([`PolicyState::ranks`]) — 0 for the most
-//! protected (MRU-like) block up to `ways - 1` for the next victim — which is
-//! exactly the recency information EDBP piggybacks on (paper Section V-A).
+//! expose a per-way *eviction rank* ([`SetPolicyState::ranks`]) — 0 for the
+//! most protected (MRU-like) block up to `ways - 1` for the next victim —
+//! which is exactly the recency information EDBP piggybacks on (paper
+//! Section V-A).
+//!
+//! # Packed representation
+//!
+//! Per-set state is fixed-width and inline — no heap allocation per set, and
+//! no sort on the read path:
+//!
+//! * Every policy maintains a **rank word**: a `u64` holding one 4-bit rank
+//!   per way (way `w` in bits `4w..4w+4`), so `ranks_into` is a shift/mask
+//!   read and recency updates are branchless SWAR kernels
+//!   ([`promote_word`], [`find_rank`]). Nibbles at or above the way count
+//!   hold values `>= ways`, which keeps them inert: promotions only
+//!   increment lanes ranked *better* than the promoted way, and rank
+//!   searches only look for values `< ways`.
+//! * Tree-PLRU decision bits live in a `u16` (node `i` = bit `i`).
+//! * DRRIP RRPVs live in 2-bit lanes of a `u32`.
+//!
+//! This caps associativity at [`MAX_WAYS`] = 16 ways, far above anything the
+//! experiments sweep (the paper's caches are 4-way; Fig. 12 sweeps 1–8).
+
+/// Maximum associativity supported by the packed per-set policy state
+/// (one 4-bit rank lane per way in a `u64`).
+pub const MAX_WAYS: usize = 16;
 
 /// The cache replacement policies available to the simulator.
 ///
@@ -48,18 +71,93 @@ const BRRIP_EPSILON: u32 = 32;
 /// 10-bit saturating policy-selection counter midpoint.
 const PSEL_MAX: u16 = 1023;
 
-/// Per-set replacement state, dispatched on the policy.
-#[derive(Debug, Clone, PartialEq)]
+/// `0x01` in every byte lane.
+const BYTE_ONES: u64 = 0x0101_0101_0101_0101;
+/// Low nibble of every byte lane.
+const NIBBLE_LO: u64 = 0x0F0F_0F0F_0F0F_0F0F;
+/// `0x1` in every nibble lane.
+const NIBBLE_ONES: u64 = 0x1111_1111_1111_1111;
+/// MSB of every nibble lane.
+const NIBBLE_MSB: u64 = 0x8888_8888_8888_8888;
+/// Rank word with nibble `i` holding value `i` (the identity permutation).
+const IDENTITY_WORD: u64 = 0xFEDC_BA98_7654_3210;
+/// `0b01` in every 2-bit RRPV lane.
+const RRPV_LANE_ONES: u32 = 0x5555_5555;
+
+/// Reads way `way`'s nibble from a rank word.
+#[inline]
+fn rank_of(ranks: u64, way: u8) -> u8 {
+    ((ranks >> (4 * u32::from(way))) & 0xF) as u8
+}
+
+/// Writes way `way`'s nibble in a rank word.
+#[inline]
+fn set_rank(ranks: u64, way: u8, rank: u8) -> u64 {
+    let shift = 4 * u32::from(way);
+    (ranks & !(0xF_u64 << shift)) | (u64::from(rank) << shift)
+}
+
+/// Branchless MRU promotion on a packed rank word: way `way` moves to rank
+/// 0 and every way previously ranked better than it slides down one rank.
+///
+/// SWAR: split the 16 nibble lanes across two byte-lane half-words so each
+/// lane has carry headroom, compute a per-lane `lane < r` mask from the
+/// carry-out bit of `lane + (16 - r)`, and add the mask back in. Lanes with
+/// values `>= ways` (the unused ones) are never `< r` and stay untouched.
+#[inline]
+fn promote_word(ranks: u64, way: u8) -> u64 {
+    let shift = 4 * u32::from(way);
+    let r = (ranks >> shift) & 0xF;
+    let add = (16 - r) * BYTE_ONES;
+    let even = ranks & NIBBLE_LO;
+    let odd = (ranks >> 4) & NIBBLE_LO;
+    // Byte lane = x + (16 - r); bit 4 set iff x >= r. Invert for "x < r".
+    let lt_even = (((even + add) >> 4) & BYTE_ONES) ^ BYTE_ONES;
+    let lt_odd = (((odd + add) >> 4) & BYTE_ONES) ^ BYTE_ONES;
+    // x < r implies x <= 14, so x + 1 never overflows its nibble.
+    let bumped = ((even + lt_even) & NIBBLE_LO) | (((odd + lt_odd) & NIBBLE_LO) << 4);
+    bumped & !(0xF_u64 << shift)
+}
+
+/// Finds the way holding rank `rank` in a packed rank word (the word must
+/// contain it exactly once among the low `ways` lanes — ranks are a
+/// permutation). Branchless zero-nibble search: borrow-propagation false
+/// positives can only appear *above* the true match, and `trailing_zeros`
+/// picks the lowest lane.
+#[inline]
+fn find_rank(ranks: u64, rank: u8) -> u8 {
+    let x = ranks ^ (u64::from(rank) * NIBBLE_ONES);
+    let m = x.wrapping_sub(NIBBLE_ONES) & !x & NIBBLE_MSB;
+    (m.trailing_zeros() / 4) as u8
+}
+
+/// Initial rank word: way `w` at rank `w`, unused lanes inert (`>= ways`).
+#[inline]
+fn identity_word(_ways: u8) -> u64 {
+    IDENTITY_WORD
+}
+
+/// Per-set replacement state, dispatched on the policy. All variants are
+/// inline fixed-width words — constructing a set allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum SetPolicyState {
-    /// Way indices ordered MRU → LRU.
-    Lru { order: Vec<u8> },
+    /// Packed rank word, ways ordered by recency (rank 0 = MRU).
+    Lru {
+        /// Nibble-packed per-way eviction ranks.
+        ranks: u64,
+    },
     /// Tree-PLRU decision bits: node `i` has children `2i+1`/`2i+2`; a set
-    /// bit means "the cold (LRU-ish) side is the right child".
-    TreePlru { bits: Vec<bool>, ways: u8 },
-    /// Per-way RRPV values.
-    Drrip { rrpv: Vec<u8> },
-    /// Way indices ordered newest → oldest.
-    Fifo { order: Vec<u8> },
+    /// bit means "the cold (LRU-ish) side is the right child". The rank
+    /// word is maintained incrementally on every touch.
+    TreePlru { bits: u16, ranks: u64, ways: u8 },
+    /// 2-bit RRPVs packed in a `u32`; the rank word is maintained
+    /// incrementally on every RRPV change.
+    Drrip { rrpv: u32, ranks: u64, ways: u8 },
+    /// Packed rank word, ways ordered by fill age (rank 0 = newest).
+    Fifo {
+        /// Nibble-packed per-way eviction ranks.
+        ranks: u64,
+    },
     /// No per-way state; victims from the shared LFSR.
     Random,
 }
@@ -129,25 +227,36 @@ enum DuelRole {
 
 impl SetPolicyState {
     pub(crate) fn new(policy: ReplacementPolicy, ways: u8) -> Self {
+        assert!(
+            usize::from(ways) <= MAX_WAYS && ways > 0,
+            "packed policy state supports 1..={MAX_WAYS} ways, got {ways}"
+        );
         match policy {
             ReplacementPolicy::Lru => SetPolicyState::Lru {
-                order: (0..ways).collect(),
+                ranks: identity_word(ways),
             },
             ReplacementPolicy::TreePlru => {
                 assert!(
                     ways.is_power_of_two(),
                     "tree-PLRU needs a power-of-two way count"
                 );
+                let bits = 0u16;
                 SetPolicyState::TreePlru {
-                    bits: vec![false; usize::from(ways).saturating_sub(1)],
+                    bits,
+                    ranks: plru_rank_word(bits, ways),
                     ways,
                 }
             }
-            ReplacementPolicy::Drrip => SetPolicyState::Drrip {
-                rrpv: vec![RRPV_MAX; ways as usize],
-            },
+            ReplacementPolicy::Drrip => {
+                let rrpv = rrpv_all_max(ways);
+                SetPolicyState::Drrip {
+                    rrpv,
+                    ranks: drrip_rank_word(rrpv, ways),
+                    ways,
+                }
+            }
             ReplacementPolicy::Fifo => SetPolicyState::Fifo {
-                order: (0..ways).collect(),
+                ranks: identity_word(ways),
             },
             ReplacementPolicy::Random => SetPolicyState::Random,
         }
@@ -156,9 +265,15 @@ impl SetPolicyState {
     /// Records a hit on `way`.
     pub(crate) fn on_hit(&mut self, way: u8) {
         match self {
-            SetPolicyState::Lru { order } => promote(order, way),
-            SetPolicyState::TreePlru { bits, ways } => plru_touch(bits, *ways, way),
-            SetPolicyState::Drrip { rrpv } => rrpv[way as usize] = 0,
+            SetPolicyState::Lru { ranks } => *ranks = promote_word(*ranks, way),
+            SetPolicyState::TreePlru { bits, ranks, ways } => {
+                plru_touch(bits, *ways, way);
+                *ranks = plru_rank_word(*bits, *ways);
+            }
+            SetPolicyState::Drrip { rrpv, ranks, ways } => {
+                *rrpv = rrpv_set(*rrpv, way, 0);
+                *ranks = drrip_rank_word(*rrpv, *ways);
+            }
             SetPolicyState::Fifo { .. } | SetPolicyState::Random => {}
         }
     }
@@ -166,15 +281,18 @@ impl SetPolicyState {
     /// Records a fill into `way` (after victim selection).
     pub(crate) fn on_fill(&mut self, way: u8, set: u32, shared: &mut SharedPolicyState) {
         match self {
-            SetPolicyState::Lru { order } => promote(order, way),
-            SetPolicyState::TreePlru { bits, ways } => plru_touch(bits, *ways, way),
-            SetPolicyState::Drrip { rrpv } => {
+            SetPolicyState::Lru { ranks } => *ranks = promote_word(*ranks, way),
+            SetPolicyState::TreePlru { bits, ranks, ways } => {
+                plru_touch(bits, *ways, way);
+                *ranks = plru_rank_word(*bits, *ways);
+            }
+            SetPolicyState::Drrip { rrpv, ranks, ways } => {
                 let use_brrip = match shared.duel_role(set) {
                     DuelRole::SrripLeader => false,
                     DuelRole::BrripLeader => true,
                     DuelRole::Follower => shared.psel > PSEL_MAX / 2,
                 };
-                rrpv[way as usize] = if use_brrip {
+                let insert = if use_brrip {
                     shared.brrip_fills = shared.brrip_fills.wrapping_add(1);
                     if shared.brrip_fills.is_multiple_of(BRRIP_EPSILON) {
                         RRPV_LONG
@@ -184,8 +302,10 @@ impl SetPolicyState {
                 } else {
                     RRPV_LONG
                 };
+                *rrpv = rrpv_set(*rrpv, way, insert);
+                *ranks = drrip_rank_word(*rrpv, *ways);
             }
-            SetPolicyState::Fifo { order } => promote(order, way),
+            SetPolicyState::Fifo { ranks } => *ranks = promote_word(*ranks, way),
             SetPolicyState::Random => {}
         }
     }
@@ -206,66 +326,139 @@ impl SetPolicyState {
     /// was available (the cache prefers invalid/gated ways first).
     pub(crate) fn victim(&mut self, shared: &mut SharedPolicyState, ways: u8) -> u8 {
         match self {
-            SetPolicyState::Lru { order } | SetPolicyState::Fifo { order } => {
-                *order.last().expect("non-empty set")
+            SetPolicyState::Lru { ranks } | SetPolicyState::Fifo { ranks } => {
+                find_rank(*ranks, ways - 1)
             }
-            SetPolicyState::TreePlru { bits, ways } => plru_victim(bits, *ways),
-            SetPolicyState::Drrip { rrpv } => loop {
-                if let Some(w) = rrpv.iter().position(|&r| r >= RRPV_MAX) {
-                    break w as u8;
+            SetPolicyState::TreePlru { bits, ways, .. } => plru_victim(*bits, *ways),
+            SetPolicyState::Drrip { rrpv, ranks, ways } => {
+                let lane_mask = RRPV_LANE_ONES & rrpv_used_mask(*ways);
+                loop {
+                    // Bit `2w` set iff way `w` sits at RRPV_MAX (0b11).
+                    let distant = *rrpv & (*rrpv >> 1) & lane_mask;
+                    if distant != 0 {
+                        break (distant.trailing_zeros() / 2) as u8;
+                    }
+                    // Age every way by one; no lane is at 3, so no carry.
+                    *rrpv += lane_mask;
+                    *ranks = drrip_rank_word(*rrpv, *ways);
                 }
-                for r in rrpv.iter_mut() {
-                    *r += 1;
-                }
-            },
+            }
             SetPolicyState::Random => (shared.next_random() % u32::from(ways)) as u8,
         }
     }
 
-    /// Eviction rank per way: 0 = most protected (MRU-like), `ways-1` = next
-    /// victim. This is the recency signal EDBP reads (Section V-A).
-    pub(crate) fn ranks(&self, ways: u8) -> Vec<u8> {
-        match self {
-            SetPolicyState::Lru { order } | SetPolicyState::Fifo { order } => {
-                let mut ranks = vec![0u8; ways as usize];
-                for (pos, &way) in order.iter().enumerate() {
-                    ranks[way as usize] = pos as u8;
-                }
-                ranks
-            }
-            SetPolicyState::TreePlru { bits, ways } => {
-                // Rank by "how many decision bits point away from the way":
-                // follow the path to each leaf counting agreements; the
-                // victim (all bits pointing at it) ranks last. Ties broken
-                // by way index for determinism.
-                let n = *ways;
-                let mut idx: Vec<u8> = (0..n).collect();
-                idx.sort_by_key(|&w| (plru_coldness(bits, n, w), w));
-                let mut ranks = vec![0u8; n as usize];
-                for (pos, &way) in idx.iter().enumerate() {
-                    ranks[way as usize] = pos as u8;
-                }
-                ranks
-            }
-            SetPolicyState::Drrip { rrpv } => {
-                // Sort ways by RRPV ascending (low RRPV = soon re-referenced =
-                // protected), tie-broken by way index for determinism.
-                let mut idx: Vec<u8> = (0..ways).collect();
-                idx.sort_by_key(|&w| (rrpv[w as usize], w));
-                let mut ranks = vec![0u8; ways as usize];
-                for (pos, &way) in idx.iter().enumerate() {
-                    ranks[way as usize] = pos as u8;
-                }
-                ranks
-            }
-            SetPolicyState::Random => (0..ways).collect(),
+    /// Eviction ranks per way — 0 = most protected (MRU-like), `ways-1` =
+    /// next victim; the recency signal EDBP reads (Section V-A) — written
+    /// into the low `ways` slots of a caller-provided buffer. A pure
+    /// shift/mask read: no allocation, no sort.
+    #[inline]
+    pub(crate) fn ranks_into(&self, ways: u8, out: &mut [u8; MAX_WAYS]) {
+        let word = match self {
+            SetPolicyState::Lru { ranks }
+            | SetPolicyState::Fifo { ranks }
+            | SetPolicyState::TreePlru { ranks, .. }
+            | SetPolicyState::Drrip { ranks, .. } => *ranks,
+            SetPolicyState::Random => IDENTITY_WORD,
+        };
+        for (w, slot) in out.iter_mut().enumerate().take(usize::from(ways)) {
+            *slot = rank_of(word, w as u8);
         }
+    }
+
+    /// Rank snapshot as a `Vec` — a thin wrapper over [`ranks_into`] kept
+    /// for tests.
+    ///
+    /// [`ranks_into`]: SetPolicyState::ranks_into
+    #[cfg(test)]
+    pub(crate) fn ranks(&self, ways: u8) -> Vec<u8> {
+        let mut buf = [0u8; MAX_WAYS];
+        self.ranks_into(ways, &mut buf);
+        buf[..usize::from(ways)].to_vec()
     }
 }
 
+/// All-distant initial RRPV word: `RRPV_MAX` in every used lane, unused
+/// lanes zero (so the victim search never matches them).
+#[inline]
+fn rrpv_used_mask(ways: u8) -> u32 {
+    if ways >= 16 {
+        u32::MAX
+    } else {
+        (1u32 << (2 * u32::from(ways))) - 1
+    }
+}
+
+#[inline]
+fn rrpv_all_max(ways: u8) -> u32 {
+    rrpv_used_mask(ways)
+}
+
+/// Reads way `way`'s 2-bit RRPV lane.
+#[inline]
+fn rrpv_get(rrpv: u32, way: u8) -> u8 {
+    ((rrpv >> (2 * u32::from(way))) & 0b11) as u8
+}
+
+/// Writes way `way`'s 2-bit RRPV lane.
+#[inline]
+fn rrpv_set(rrpv: u32, way: u8, value: u8) -> u32 {
+    let shift = 2 * u32::from(way);
+    (rrpv & !(0b11_u32 << shift)) | (u32::from(value) << shift)
+}
+
+/// Rank word for a DRRIP set: ways sorted by RRPV ascending (low RRPV =
+/// soon re-referenced = protected), ties broken by way index. A stable
+/// 4-bucket counting sort over fixed arrays — no allocation.
+fn drrip_rank_word(rrpv: u32, ways: u8) -> u64 {
+    let mut count = [0u8; 4];
+    for w in 0..ways {
+        count[usize::from(rrpv_get(rrpv, w))] += 1;
+    }
+    let mut next = [0u8; 4];
+    let mut acc = 0u8;
+    for (v, n) in next.iter_mut().zip(count) {
+        *v = acc;
+        acc += n;
+    }
+    let mut word = identity_word(ways);
+    for w in 0..ways {
+        let bucket = usize::from(rrpv_get(rrpv, w));
+        word = set_rank(word, w, next[bucket]);
+        next[bucket] += 1;
+    }
+    word
+}
+
+/// Rank word for a tree-PLRU set: ways sorted by "how many decision bits
+/// point towards them" (colder = closer to eviction), ties broken by way
+/// index. A stable counting sort over at most `log2(MAX_WAYS) + 1` buckets.
+fn plru_rank_word(bits: u16, ways: u8) -> u64 {
+    // Coldness of a way is at most the tree depth, log2(ways) <= 4.
+    let mut count = [0u8; 5];
+    let mut cold = [0u8; MAX_WAYS];
+    for w in 0..ways {
+        let c = plru_coldness(bits, ways, w);
+        cold[usize::from(w)] = c;
+        count[usize::from(c)] += 1;
+    }
+    let mut next = [0u8; 5];
+    let mut acc = 0u8;
+    for (v, n) in next.iter_mut().zip(count) {
+        *v = acc;
+        acc += n;
+    }
+    let mut word = identity_word(ways);
+    for w in 0..ways {
+        let bucket = usize::from(cold[usize::from(w)]);
+        word = set_rank(word, w, next[bucket]);
+        next[bucket] += 1;
+    }
+    word
+}
+
 /// Tree-PLRU: point every decision bit on the path to `way` *away* from it.
-fn plru_touch(bits: &mut [bool], ways: u8, way: u8) {
-    let mut node = 0usize;
+fn plru_touch(bits: &mut u16, ways: u8, way: u8) {
+    let mut node = 0u32;
     let mut lo = 0u8;
     let mut hi = ways;
     while hi - lo > 1 {
@@ -273,7 +466,11 @@ fn plru_touch(bits: &mut [bool], ways: u8, way: u8) {
         let go_right = way >= mid;
         // Bit true = cold side is right; touching the right child points
         // the bit left (false), and vice versa.
-        bits[node] = !go_right;
+        if go_right {
+            *bits &= !(1 << node);
+        } else {
+            *bits |= 1 << node;
+        }
         node = 2 * node + if go_right { 2 } else { 1 };
         if go_right {
             lo = mid;
@@ -284,13 +481,13 @@ fn plru_touch(bits: &mut [bool], ways: u8, way: u8) {
 }
 
 /// Tree-PLRU: follow the cold side of every decision bit to the victim.
-fn plru_victim(bits: &[bool], ways: u8) -> u8 {
-    let mut node = 0usize;
+fn plru_victim(bits: u16, ways: u8) -> u8 {
+    let mut node = 0u32;
     let mut lo = 0u8;
     let mut hi = ways;
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        let go_right = bits[node];
+        let go_right = (bits >> node) & 1 != 0;
         node = 2 * node + if go_right { 2 } else { 1 };
         if go_right {
             lo = mid;
@@ -303,15 +500,15 @@ fn plru_victim(bits: &[bool], ways: u8) -> u8 {
 
 /// How many decision bits on the path to `way` point *towards* it (higher =
 /// colder = closer to eviction).
-fn plru_coldness(bits: &[bool], ways: u8, way: u8) -> u8 {
-    let mut node = 0usize;
+fn plru_coldness(bits: u16, ways: u8, way: u8) -> u8 {
+    let mut node = 0u32;
     let mut lo = 0u8;
     let mut hi = ways;
     let mut coldness = 0u8;
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         let go_right = way >= mid;
-        if bits[node] == go_right {
+        if ((bits >> node) & 1 != 0) == go_right {
             coldness += 1;
         }
         node = 2 * node + if go_right { 2 } else { 1 };
@@ -324,26 +521,63 @@ fn plru_coldness(bits: &[bool], ways: u8, way: u8) -> u8 {
     coldness
 }
 
-/// Moves `way` to the front (MRU/newest position) of an order vector.
-fn promote(order: &mut [u8], way: u8) {
-    if let Some(pos) = order.iter().position(|&w| w == way) {
-        order[..=pos].rotate_right(1);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Rank vector read back from a packed word (test helper).
+    fn word_ranks(word: u64, ways: u8) -> Vec<u8> {
+        (0..ways).map(|w| rank_of(word, w)).collect()
+    }
+
     #[test]
-    fn promote_moves_to_front() {
-        let mut order = vec![0u8, 1, 2, 3];
-        promote(&mut order, 2);
-        assert_eq!(order, vec![2, 0, 1, 3]);
-        promote(&mut order, 2);
-        assert_eq!(order, vec![2, 0, 1, 3]);
-        promote(&mut order, 3);
-        assert_eq!(order, vec![3, 2, 0, 1]);
+    fn promote_word_moves_to_front() {
+        // Identity word = stack order [0,1,2,3] (way w at rank w).
+        let mut w = identity_word(4);
+        w = promote_word(w, 2);
+        // Order now [2,0,1,3]: ranks way0=1, way1=2, way2=0, way3=3.
+        assert_eq!(word_ranks(w, 4), vec![1, 2, 0, 3]);
+        w = promote_word(w, 2); // promoting the MRU is a no-op
+        assert_eq!(word_ranks(w, 4), vec![1, 2, 0, 3]);
+        w = promote_word(w, 3);
+        // Order now [3,2,0,1].
+        assert_eq!(word_ranks(w, 4), vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn promote_word_leaves_unused_lanes_inert() {
+        let mut w = identity_word(4);
+        for way in [3u8, 1, 2, 0, 3, 3, 1] {
+            w = promote_word(w, way);
+        }
+        for lane in 4..16u8 {
+            assert_eq!(rank_of(w, lane), lane, "unused lane {lane} drifted");
+        }
+    }
+
+    #[test]
+    fn promote_word_handles_full_width() {
+        // 16 ways: every lane is live.
+        let mut w = identity_word(16);
+        w = promote_word(w, 15);
+        assert_eq!(rank_of(w, 15), 0);
+        for lane in 0..15u8 {
+            assert_eq!(rank_of(w, lane), lane + 1);
+        }
+        assert_eq!(find_rank(w, 15), 14);
+        assert_eq!(find_rank(w, 0), 15);
+    }
+
+    #[test]
+    fn find_rank_locates_every_lane() {
+        let mut w = identity_word(8);
+        for way in [5u8, 2, 7, 0, 2, 6] {
+            w = promote_word(w, way);
+        }
+        let ranks = word_ranks(w, 8);
+        for (way, &rank) in ranks.iter().enumerate() {
+            assert_eq!(find_rank(w, rank), way as u8, "rank {rank}");
+        }
     }
 
     #[test]
@@ -369,6 +603,19 @@ mod tests {
         assert_eq!(set.ranks(4), vec![3, 2, 1, 0]);
         set.on_hit(0);
         assert_eq!(set.ranks(4), vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn ranks_into_matches_ranks() {
+        let mut shared = SharedPolicyState::new(ReplacementPolicy::Lru, 64);
+        let mut set = SetPolicyState::new(ReplacementPolicy::Lru, 4);
+        for w in [2u8, 0, 3, 1, 2] {
+            set.on_fill(w, 0, &mut shared);
+        }
+        let mut buf = [0xAA_u8; MAX_WAYS];
+        set.ranks_into(4, &mut buf);
+        assert_eq!(&buf[..4], set.ranks(4).as_slice());
+        assert!(buf[4..].iter().all(|&b| b == 0xAA), "slots past ways kept");
     }
 
     #[test]
@@ -496,5 +743,310 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn plru_rejects_non_power_of_two_ways() {
         let _ = SetPolicyState::new(ReplacementPolicy::TreePlru, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16 ways")]
+    fn rejects_overwide_sets() {
+        let _ = SetPolicyState::new(ReplacementPolicy::Lru, 17);
+    }
+}
+
+/// Property tests pinning the packed per-set state to the heap-allocated
+/// reference implementation it replaced (`Vec<u8>` recency stacks, per-way
+/// RRPV vectors, `Vec<bool>` PLRU trees), including PLRU/DRRIP tie-break
+/// order. The reference code below is a verbatim port of the pre-packing
+/// implementation.
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The old heap-based per-set state, kept as the semantic reference.
+    #[derive(Debug, Clone)]
+    enum RefSetState {
+        Lru { order: Vec<u8> },
+        TreePlru { bits: Vec<bool>, ways: u8 },
+        Drrip { rrpv: Vec<u8> },
+        Fifo { order: Vec<u8> },
+        Random,
+    }
+
+    fn ref_promote(order: &mut [u8], way: u8) {
+        if let Some(pos) = order.iter().position(|&w| w == way) {
+            order[..=pos].rotate_right(1);
+        }
+    }
+
+    fn ref_plru_touch(bits: &mut [bool], ways: u8, way: u8) {
+        let mut node = 0usize;
+        let mut lo = 0u8;
+        let mut hi = ways;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let go_right = way >= mid;
+            bits[node] = !go_right;
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    fn ref_plru_victim(bits: &[bool], ways: u8) -> u8 {
+        let mut node = 0usize;
+        let mut lo = 0u8;
+        let mut hi = ways;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let go_right = bits[node];
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn ref_plru_coldness(bits: &[bool], ways: u8, way: u8) -> u8 {
+        let mut node = 0usize;
+        let mut lo = 0u8;
+        let mut hi = ways;
+        let mut coldness = 0u8;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let go_right = way >= mid;
+            if bits[node] == go_right {
+                coldness += 1;
+            }
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        coldness
+    }
+
+    impl RefSetState {
+        fn new(policy: ReplacementPolicy, ways: u8) -> Self {
+            match policy {
+                ReplacementPolicy::Lru => RefSetState::Lru {
+                    order: (0..ways).collect(),
+                },
+                ReplacementPolicy::TreePlru => RefSetState::TreePlru {
+                    bits: vec![false; usize::from(ways).saturating_sub(1)],
+                    ways,
+                },
+                ReplacementPolicy::Drrip => RefSetState::Drrip {
+                    rrpv: vec![RRPV_MAX; ways as usize],
+                },
+                ReplacementPolicy::Fifo => RefSetState::Fifo {
+                    order: (0..ways).collect(),
+                },
+                ReplacementPolicy::Random => RefSetState::Random,
+            }
+        }
+
+        fn on_hit(&mut self, way: u8) {
+            match self {
+                RefSetState::Lru { order } => ref_promote(order, way),
+                RefSetState::TreePlru { bits, ways } => ref_plru_touch(bits, *ways, way),
+                RefSetState::Drrip { rrpv } => rrpv[way as usize] = 0,
+                RefSetState::Fifo { .. } | RefSetState::Random => {}
+            }
+        }
+
+        fn on_fill(&mut self, way: u8, set: u32, shared: &mut SharedPolicyState) {
+            match self {
+                RefSetState::Lru { order } => ref_promote(order, way),
+                RefSetState::TreePlru { bits, ways } => ref_plru_touch(bits, *ways, way),
+                RefSetState::Drrip { rrpv } => {
+                    let use_brrip = match shared.duel_role(set) {
+                        DuelRole::SrripLeader => false,
+                        DuelRole::BrripLeader => true,
+                        DuelRole::Follower => shared.psel > PSEL_MAX / 2,
+                    };
+                    rrpv[way as usize] = if use_brrip {
+                        shared.brrip_fills = shared.brrip_fills.wrapping_add(1);
+                        if shared.brrip_fills.is_multiple_of(BRRIP_EPSILON) {
+                            RRPV_LONG
+                        } else {
+                            RRPV_MAX
+                        }
+                    } else {
+                        RRPV_LONG
+                    };
+                }
+                RefSetState::Fifo { order } => ref_promote(order, way),
+                RefSetState::Random => {}
+            }
+        }
+
+        fn on_miss(&mut self, set: u32, shared: &mut SharedPolicyState) {
+            if matches!(self, RefSetState::Drrip { .. }) {
+                match shared.duel_role(set) {
+                    DuelRole::SrripLeader => shared.psel = (shared.psel + 1).min(PSEL_MAX),
+                    DuelRole::BrripLeader => shared.psel = shared.psel.saturating_sub(1),
+                    DuelRole::Follower => {}
+                }
+            }
+        }
+
+        fn victim(&mut self, shared: &mut SharedPolicyState, ways: u8) -> u8 {
+            match self {
+                RefSetState::Lru { order } | RefSetState::Fifo { order } => {
+                    *order.last().expect("non-empty set")
+                }
+                RefSetState::TreePlru { bits, ways } => ref_plru_victim(bits, *ways),
+                RefSetState::Drrip { rrpv } => loop {
+                    if let Some(w) = rrpv.iter().position(|&r| r >= RRPV_MAX) {
+                        break w as u8;
+                    }
+                    for r in rrpv.iter_mut() {
+                        *r += 1;
+                    }
+                },
+                RefSetState::Random => (shared.next_random() % u32::from(ways)) as u8,
+            }
+        }
+
+        fn ranks(&self, ways: u8) -> Vec<u8> {
+            match self {
+                RefSetState::Lru { order } | RefSetState::Fifo { order } => {
+                    let mut ranks = vec![0u8; ways as usize];
+                    for (pos, &way) in order.iter().enumerate() {
+                        ranks[way as usize] = pos as u8;
+                    }
+                    ranks
+                }
+                RefSetState::TreePlru { bits, ways } => {
+                    let n = *ways;
+                    let mut idx: Vec<u8> = (0..n).collect();
+                    idx.sort_by_key(|&w| (ref_plru_coldness(bits, n, w), w));
+                    let mut ranks = vec![0u8; n as usize];
+                    for (pos, &way) in idx.iter().enumerate() {
+                        ranks[way as usize] = pos as u8;
+                    }
+                    ranks
+                }
+                RefSetState::Drrip { rrpv } => {
+                    let mut idx: Vec<u8> = (0..ways).collect();
+                    idx.sort_by_key(|&w| (rrpv[w as usize], w));
+                    let mut ranks = vec![0u8; ways as usize];
+                    for (pos, &way) in idx.iter().enumerate() {
+                        ranks[way as usize] = pos as u8;
+                    }
+                    ranks
+                }
+                RefSetState::Random => (0..ways).collect(),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Hit(u8),
+        Fill { way: u8, set: u32 },
+        Miss { set: u32 },
+        Victim,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..16).prop_map(Op::Hit),
+            ((0u8..16), (0u32..128)).prop_map(|(way, set)| Op::Fill { way, set }),
+            (0u32..128).prop_map(|set| Op::Miss { set }),
+            Just(Op::Victim),
+        ]
+    }
+
+    fn check_policy(policy: ReplacementPolicy, ways: u8, sets: u32, ops: &[Op]) {
+        let mut packed = SetPolicyState::new(policy, ways);
+        let mut reference = RefSetState::new(policy, ways);
+        let mut shared_p = SharedPolicyState::new(policy, sets);
+        let mut shared_r = SharedPolicyState::new(policy, sets);
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Hit(way) => {
+                    let way = way % ways;
+                    packed.on_hit(way);
+                    reference.on_hit(way);
+                }
+                Op::Fill { way, set } => {
+                    let way = way % ways;
+                    let set = set % sets;
+                    packed.on_fill(way, set, &mut shared_p);
+                    reference.on_fill(way, set, &mut shared_r);
+                }
+                Op::Miss { set } => {
+                    let set = set % sets;
+                    packed.on_miss(set, &mut shared_p);
+                    reference.on_miss(set, &mut shared_r);
+                }
+                Op::Victim => {
+                    let vp = packed.victim(&mut shared_p, ways);
+                    let vr = reference.victim(&mut shared_r, ways);
+                    assert_eq!(vp, vr, "victim diverged at op {i} ({policy:?})");
+                }
+            }
+            assert_eq!(
+                packed.ranks(ways),
+                reference.ranks(ways),
+                "ranks diverged at op {i} ({policy:?}, ways {ways})"
+            );
+            assert_eq!(
+                shared_p, shared_r,
+                "shared state diverged at op {i} ({policy:?})"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn packed_lru_matches_reference(
+            ways in 1u8..17,
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+        ) {
+            check_policy(ReplacementPolicy::Lru, ways, 64, &ops);
+        }
+
+        #[test]
+        fn packed_fifo_matches_reference(
+            ways in 1u8..17,
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+        ) {
+            check_policy(ReplacementPolicy::Fifo, ways, 64, &ops);
+        }
+
+        #[test]
+        fn packed_plru_matches_reference(
+            ways_log in 0u32..5,
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+        ) {
+            check_policy(ReplacementPolicy::TreePlru, 1 << ways_log, 64, &ops);
+        }
+
+        #[test]
+        fn packed_drrip_matches_reference(
+            ways in 1u8..17,
+            sets in prop_oneof![Just(1u32), Just(2), Just(63), Just(64), Just(128)],
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+        ) {
+            check_policy(ReplacementPolicy::Drrip, ways, sets, &ops);
+        }
+
+        #[test]
+        fn packed_random_matches_reference(
+            ways in 1u8..17,
+            ops in proptest::collection::vec(op_strategy(), 1..100),
+        ) {
+            check_policy(ReplacementPolicy::Random, ways, 64, &ops);
+        }
     }
 }

@@ -4,9 +4,9 @@
 //! EDBP composes with *any* conventional predictor; AMC lets the benches
 //! demonstrate that beyond Cache Decay.
 
-use crate::fxhash::FxHashSet;
+use crate::paged::PagedTable;
 use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
-use ehs_cache::{BlockId, Cache, GateOutcome};
+use ehs_cache::{BlockId, Cache, GateResult};
 use ehs_units::Voltage;
 
 /// Configuration of [`AdaptiveModeControl`].
@@ -52,7 +52,7 @@ pub struct AdaptiveModeControl {
     ways: usize,
     next_global_tick: u64,
     /// Addresses gated by AMC whose tags would still match (sleep misses).
-    asleep: FxHashSet<u64>,
+    asleep: PagedTable<()>,
     window_misses: u64,
     window_sleep_misses: u64,
 }
@@ -77,7 +77,7 @@ impl AdaptiveModeControl {
             counters: vec![0; cache.blocks() as usize],
             ways: usize::from(cache.ways()),
             next_global_tick: config.initial_interval_cycles / 4,
-            asleep: FxHashSet::default(),
+            asleep: PagedTable::for_block_bytes(cache.block_bytes()),
             window_misses: 0,
             window_sleep_misses: 0,
             config,
@@ -119,12 +119,12 @@ impl LeakagePredictor for AdaptiveModeControl {
     fn on_fill(&mut self, _cache: &Cache, block: BlockId, addr: u64) {
         let idx = self.index(block);
         self.counters[idx] = 0;
-        self.asleep.remove(&addr);
+        self.asleep.remove(addr);
     }
 
     fn on_miss(&mut self, addr: u64) {
         self.window_misses += 1;
-        if self.asleep.remove(&addr) {
+        if self.asleep.remove(addr).is_some() {
             self.window_sleep_misses += 1;
         }
         if self.window_misses >= self.config.window_misses {
@@ -132,8 +132,13 @@ impl LeakagePredictor for AdaptiveModeControl {
         }
     }
 
-    fn tick(&mut self, cache: &mut Cache, _voltage: Voltage, cycle: u64) -> TickOutcome {
-        let mut out = TickOutcome::default();
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        _voltage: Voltage,
+        cycle: u64,
+        out: &mut TickOutcome,
+    ) {
         while cycle >= self.next_global_tick {
             self.next_global_tick += self.interval / 4;
             for set in 0..cache.sets() {
@@ -141,17 +146,15 @@ impl LeakagePredictor for AdaptiveModeControl {
                     let block = BlockId { set, way };
                     let idx = self.index(block);
                     if self.counters[idx] >= COUNTER_DEAD {
-                        match cache.gate(block) {
-                            GateOutcome::GatedValid { addr, writeback } => {
-                                self.asleep.insert(addr);
-                                out.gated.push(GatedBlock {
-                                    addr,
-                                    dirty: writeback.is_some(),
-                                });
-                                // Parked in the NVSRAM twin, as with EDBP.
-                                out.parked.extend(writeback);
+                        // Dirty content is parked in the NVSRAM twin, as
+                        // with EDBP.
+                        let parked = &mut out.parked;
+                        match cache.gate_with(block, |addr, data| parked.push(addr, data)) {
+                            GateResult::GatedValid { addr, dirty } => {
+                                self.asleep.insert(addr, ());
+                                out.gated.push(GatedBlock { addr, dirty });
                             }
-                            GateOutcome::GatedInvalid | GateOutcome::AlreadyGated => {}
+                            GateResult::GatedInvalid | GateResult::AlreadyGated => {}
                         }
                     } else {
                         self.counters[idx] += 1;
@@ -159,7 +162,6 @@ impl LeakagePredictor for AdaptiveModeControl {
                 }
             }
         }
-        out
     }
 
     fn next_wakeup(&self) -> WakeHint {
@@ -175,7 +177,8 @@ impl LeakagePredictor for AdaptiveModeControl {
     }
 
     fn on_reboot(&mut self, cache: &Cache) {
-        self.counters = vec![0; cache.blocks() as usize];
+        debug_assert_eq!(self.counters.len(), cache.blocks() as usize);
+        self.counters.fill(0);
         // Outage wiped the cache: sleep bookkeeping no longer applies, but
         // the learned interval is persistent state worth keeping (it is
         // checkpointed with the other registers).
@@ -217,7 +220,7 @@ mod tests {
         // Simulate a window full of sleep misses.
         for i in 0..AmcConfig::default().window_misses {
             let addr = i * 16;
-            amc.asleep.insert(addr);
+            amc.asleep.insert(addr, ());
             amc.on_miss(addr);
         }
         assert_eq!(amc.interval_cycles(), before * 2);
@@ -250,7 +253,7 @@ mod tests {
         for _ in 0..32 {
             for i in 0..cfg.window_misses {
                 let addr = i * 16;
-                amc.asleep.insert(addr);
+                amc.asleep.insert(addr, ());
                 amc.on_miss(addr);
             }
         }
@@ -262,7 +265,7 @@ mod tests {
         let (mut cache, mut amc) = setup();
         for i in 0..AmcConfig::default().window_misses {
             let addr = i * 16;
-            amc.asleep.insert(addr);
+            amc.asleep.insert(addr, ());
             amc.on_miss(addr);
         }
         let learned = amc.interval_cycles();

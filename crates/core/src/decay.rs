@@ -2,7 +2,7 @@
 //! time-based dead block predictor the paper combines EDBP with.
 
 use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
-use ehs_cache::{BlockId, Cache, GateOutcome};
+use ehs_cache::{BlockId, Cache, GateResult};
 use ehs_units::Voltage;
 
 /// Configuration of [`CacheDecay`].
@@ -123,8 +123,13 @@ impl LeakagePredictor for CacheDecay {
         self.reset_counter(block);
     }
 
-    fn tick(&mut self, cache: &mut Cache, _voltage: Voltage, cycle: u64) -> TickOutcome {
-        let mut out = TickOutcome::default();
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        _voltage: Voltage,
+        cycle: u64,
+        out: &mut TickOutcome,
+    ) {
         while cycle >= self.next_global_tick {
             self.next_global_tick += self.period;
             for set in 0..cache.sets() {
@@ -132,18 +137,16 @@ impl LeakagePredictor for CacheDecay {
                     let block = BlockId { set, way };
                     let idx = self.index(block);
                     if self.counters[idx] >= COUNTER_DEAD {
-                        // Already flagged dead; gate if still powered.
-                        match cache.gate(block) {
-                            GateOutcome::GatedValid { addr, writeback } => {
-                                out.gated.push(GatedBlock {
-                                    addr,
-                                    dirty: writeback.is_some(),
-                                });
-                                // On the NVSRAM platform, dirty blocks are
-                                // parked in their nonvolatile twins.
-                                out.parked.extend(writeback);
+                        // Already flagged dead; gate if still powered. On
+                        // the NVSRAM platform, dirty content is parked in
+                        // its nonvolatile twin (the sink fires only for a
+                        // dirty valid block).
+                        let parked = &mut out.parked;
+                        match cache.gate_with(block, |addr, data| parked.push(addr, data)) {
+                            GateResult::GatedValid { addr, dirty } => {
+                                out.gated.push(GatedBlock { addr, dirty });
                             }
-                            GateOutcome::GatedInvalid | GateOutcome::AlreadyGated => {}
+                            GateResult::GatedInvalid | GateResult::AlreadyGated => {}
                         }
                     } else {
                         self.counters[idx] += 1;
@@ -151,7 +154,6 @@ impl LeakagePredictor for CacheDecay {
                 }
             }
         }
-        out
     }
 
     fn next_wakeup(&self) -> WakeHint {
@@ -167,7 +169,8 @@ impl LeakagePredictor for CacheDecay {
     fn on_reboot(&mut self, cache: &Cache) {
         // The cache is cold after an outage; counters restart, and the global
         // phase is preserved (the hardware counter keeps running).
-        self.counters = vec![0; cache.blocks() as usize];
+        debug_assert_eq!(self.counters.len(), cache.blocks() as usize);
+        self.counters.fill(0);
     }
 }
 
@@ -238,12 +241,12 @@ mod tests {
         fill(&mut cache, &mut decay, 0x80, true);
         let mut out = TickOutcome::default();
         for cycle in 0..=4096 {
-            out.absorb(decay.tick(&mut cache, V, cycle));
+            out.absorb(&decay.tick(&mut cache, V, cycle));
         }
         assert_eq!(out.gated.len(), 1);
         assert!(out.gated[0].dirty);
         assert_eq!(out.parked.len(), 1, "dirty block parked in its NV twin");
-        assert_eq!(out.parked[0].addr, 0x80);
+        assert_eq!(out.parked.iter().next().expect("one entry").0, 0x80);
     }
 
     #[test]

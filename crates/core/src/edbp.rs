@@ -1,7 +1,7 @@
 //! EDBP — the paper's contribution: voltage-guided zombie-block deactivation.
 
 use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
-use ehs_cache::{Cache, GateOutcome};
+use ehs_cache::{Cache, GateResult, WayView, MAX_WAYS};
 use ehs_units::Voltage;
 use std::collections::VecDeque;
 
@@ -189,14 +189,15 @@ impl Edbp {
     }
 
     /// Applies one threshold level: sweeps every set and gates the blocks
-    /// that level condemns.
-    fn apply_level(&mut self, cache: &mut Cache, level: usize) -> TickOutcome {
-        let mut out = TickOutcome::default();
+    /// that level condemns, appending to `out`.
+    fn apply_level(&mut self, cache: &mut Cache, level: usize, out: &mut TickOutcome) {
+        let mut views = [WayView::default(); MAX_WAYS];
         let ways = cache.ways();
         let last_level = self.thresholds.len();
         let is_last = level == last_level;
         for set in 0..cache.sets() {
-            for view in cache.set_view(set) {
+            let n = cache.set_view_into(set, &mut views);
+            for view in &views[..n] {
                 if !view.valid {
                     continue;
                 }
@@ -217,8 +218,12 @@ impl Edbp {
                 if !condemned {
                     continue;
                 }
-                match cache.gate(view.block) {
-                    GateOutcome::GatedValid { addr, writeback } => {
+                // On NVSRAM, a gated dirty block is parked in its
+                // nonvolatile twin, not spilled to main memory (the sink
+                // fires only for a dirty valid block).
+                let parked = &mut out.parked;
+                match cache.gate_with(view.block, |addr, data| parked.push(addr, data)) {
+                    GateResult::GatedValid { addr, dirty } => {
                         if set == self.config.sample_set {
                             self.total_predicted += 1;
                             if self.buffer.len() == self.config.deactivation_buffer_entries {
@@ -226,19 +231,12 @@ impl Edbp {
                             }
                             self.buffer.push_back(addr);
                         }
-                        out.gated.push(GatedBlock {
-                            addr,
-                            dirty: writeback.is_some(),
-                        });
-                        // On NVSRAM, a gated dirty block is parked in its
-                        // nonvolatile twin, not spilled to main memory.
-                        out.parked.extend(writeback);
+                        out.gated.push(GatedBlock { addr, dirty });
                     }
-                    GateOutcome::GatedInvalid | GateOutcome::AlreadyGated => {}
+                    GateResult::GatedInvalid | GateResult::AlreadyGated => {}
                 }
             }
         }
-        out
     }
 }
 
@@ -256,15 +254,19 @@ impl LeakagePredictor for Edbp {
         }
     }
 
-    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, _cycle: u64) -> TickOutcome {
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        voltage: Voltage,
+        _cycle: u64,
+        out: &mut TickOutcome,
+    ) {
         let crossed = self.thresholds.iter().take_while(|&&t| voltage < t).count();
-        let mut out = TickOutcome::default();
         while self.level < crossed {
             self.level += 1;
             let level = self.level;
-            out.absorb(self.apply_level(cache, level));
+            self.apply_level(cache, level, out);
         }
-        out
     }
 
     fn next_wakeup(&self) -> WakeHint {
@@ -308,7 +310,9 @@ impl LeakagePredictor for Edbp {
             }
         } else {
             // Not over-killing: restore initial thresholds if lowered.
-            self.thresholds = self.config.initial_thresholds.clone();
+            // `clone_from` reuses the existing buffer (lengths always match),
+            // keeping the reboot path allocation-free.
+            self.thresholds.clone_from(&self.config.initial_thresholds);
         }
         self.wrong_kill = 0;
         self.total_predicted = 0;

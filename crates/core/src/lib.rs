@@ -63,6 +63,7 @@ mod edbp;
 pub mod fxhash;
 mod metrics;
 mod oracle;
+mod paged;
 mod predictor;
 mod reuse;
 
@@ -72,7 +73,9 @@ pub use edbp::{Edbp, EdbpConfig};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{PredictionClass, PredictionLedger, PredictionSummary};
 pub use oracle::{GenerationTrace, OraclePredictor, OracleRecorder};
+pub use paged::PagedTable;
 pub use predictor::{
     CombinedPredictor, GatedBlock, LeakagePredictor, NullPredictor, TickOutcome, WakeHint,
+    WritebackArena,
 };
 pub use reuse::{ReusePredictor, ReusePredictorConfig};

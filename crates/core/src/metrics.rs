@@ -19,7 +19,7 @@
 //! Coverage and accuracy follow the paper's Equations 1 and 2, with both
 //! kinds of missed blocks counted as false negatives.
 
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::paged::PagedTable;
 
 /// Terminal classification of one block generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,10 +136,10 @@ impl PredictionSummary {
 /// see; the ledger is exact (all sets), unlike EDBP's internal sampled FPR.
 #[derive(Debug, Clone, Default)]
 pub struct PredictionLedger {
-    /// Hits since fill, per resident block address.
-    resident: FxHashMap<u64, u32>,
+    /// Hits since fill, per resident block address (paged shadow table).
+    resident: PagedTable<u32>,
     /// Addresses gated this power cycle, awaiting TP/FP resolution.
-    gated_pending: FxHashSet<u64>,
+    gated_pending: PagedTable<()>,
     summary: PredictionSummary,
 }
 
@@ -147,6 +147,16 @@ impl PredictionLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty ledger whose shadow tables index block-aligned
+    /// addresses densely (one slot per `block_bytes`-sized block).
+    pub fn for_block_bytes(block_bytes: u32) -> Self {
+        Self {
+            resident: PagedTable::for_block_bytes(block_bytes),
+            gated_pending: PagedTable::for_block_bytes(block_bytes),
+            summary: PredictionSummary::default(),
+        }
     }
 
     /// The running totals.
@@ -161,7 +171,7 @@ impl PredictionLedger {
 
     /// A lookup hit `addr`.
     pub fn on_hit(&mut self, addr: u64) {
-        if let Some(hits) = self.resident.get_mut(&addr) {
+        if let Some(hits) = self.resident.get_mut(addr) {
             *hits += 1;
         }
     }
@@ -169,20 +179,20 @@ impl PredictionLedger {
     /// A lookup missed on `addr`: if we gated that address earlier in this
     /// power cycle, the kill was wrong.
     pub fn on_miss(&mut self, addr: u64) {
-        if self.gated_pending.remove(&addr) {
+        if self.gated_pending.remove(addr).is_some() {
             self.summary.record(PredictionClass::FalsePositive);
         }
     }
 
     /// A predictor gated the block at `addr`.
     pub fn on_gate(&mut self, addr: u64) {
-        self.resident.remove(&addr);
-        self.gated_pending.insert(addr);
+        self.resident.remove(addr);
+        self.gated_pending.insert(addr, ());
     }
 
     /// The block at `addr` was evicted by a miss.
     pub fn on_evict(&mut self, addr: u64) {
-        if let Some(hits) = self.resident.remove(&addr) {
+        if let Some(hits) = self.resident.remove(addr) {
             self.summary.record(if hits > 0 {
                 PredictionClass::TrueNegative
             } else {
@@ -195,12 +205,12 @@ impl PredictionLedger {
     /// true positives (their blocks would have died anyway), resident blocks
     /// become missed zombies.
     pub fn on_power_fail(&mut self) {
-        for _ in self.gated_pending.drain() {
-            self.summary.record(PredictionClass::TruePositive);
-        }
-        for _ in self.resident.drain() {
-            self.summary.record(PredictionClass::MissedZombie);
-        }
+        // Only the counts matter (every pending kill is a TP, every resident
+        // block a missed zombie), so drain by bulk `len` + O(1) epoch clear.
+        self.summary.true_positives += self.gated_pending.len() as u64;
+        self.gated_pending.clear();
+        self.summary.missed_zombies += self.resident.len() as u64;
+        self.resident.clear();
     }
 
     /// Blocks restored into the cache at reboot (NVSRAMCache restores

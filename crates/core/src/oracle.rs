@@ -29,8 +29,9 @@
 //! optimum — which is the honest direction to err in.
 
 use crate::fxhash::FxHashMap;
+use crate::paged::PagedTable;
 use crate::{GatedBlock, LeakagePredictor, TickOutcome, WakeHint};
-use ehs_cache::{BlockId, Cache, GateOutcome};
+use ehs_cache::{BlockId, Cache, GateResult};
 use ehs_units::Voltage;
 use std::collections::VecDeque;
 
@@ -128,12 +129,21 @@ impl OracleRecorder {
 }
 
 /// Replays a [`GenerationTrace`] as the ideal dead/zombie block predictor.
+///
+/// The recorded per-address generation queues are flattened at construction
+/// into one contiguous arena, sorted by address, with a `(next, end)` cursor
+/// pair per address. Replaying a generation is then a cursor bump — no
+/// per-address `VecDeque`s, no hashing, no allocation on the replay path.
 #[derive(Debug, Clone)]
 pub struct OraclePredictor {
-    /// Remaining generations per address.
-    remaining: FxHashMap<u64, VecDeque<Generation>>,
+    /// All recorded generations, grouped by address (ascending), each
+    /// address's generations in recorded order.
+    arena: Vec<Generation>,
+    /// Per-address `(next, end)` index range into `arena`; the cursor is
+    /// exhausted when `next == end`.
+    cursors: PagedTable<(u32, u32)>,
     /// Resident blocks: (remaining accesses, outage-ended flag).
-    live: FxHashMap<u64, (u32, bool)>,
+    live: PagedTable<(u32, bool)>,
     /// Blocks whose budgets ran out: (addr, guarded). Guarded kills wait for
     /// the voltage guard.
     pending_kill: Vec<(u64, bool)>,
@@ -153,20 +163,36 @@ impl OraclePredictor {
 
     /// Creates the oracle with an explicit voltage guard.
     pub fn with_guard(trace: GenerationTrace, guard: Voltage) -> Self {
+        let mut per_addr: Vec<(u64, VecDeque<Generation>)> =
+            trace.generations.into_iter().collect();
+        per_addr.sort_unstable_by_key(|&(addr, _)| addr);
+        let total: usize = per_addr.iter().map(|(_, q)| q.len()).sum();
+        assert!(u32::try_from(total).is_ok(), "generation trace too large");
+        let mut arena = Vec::with_capacity(total);
+        let mut cursors = PagedTable::new(0);
+        for (addr, queue) in per_addr {
+            let start = arena.len() as u32;
+            arena.extend(queue);
+            let end = arena.len() as u32;
+            if end > start {
+                cursors.insert(addr, (start, end));
+            }
+        }
         Self {
-            remaining: trace.generations.into_iter().collect(),
-            live: FxHashMap::default(),
+            arena,
+            cursors,
+            live: PagedTable::new(0),
             pending_kill: Vec::new(),
             guard,
         }
     }
 
     fn consume(&mut self, addr: u64) {
-        if let Some((left, outage_ended)) = self.live.get_mut(&addr) {
+        if let Some((left, outage_ended)) = self.live.get_mut(addr) {
             *left = left.saturating_sub(1);
             if *left == 0 {
                 let guarded = *outage_ended;
-                self.live.remove(&addr);
+                self.live.remove(addr);
                 self.pending_kill.push((addr, guarded));
             }
         }
@@ -174,18 +200,20 @@ impl OraclePredictor {
 
     /// Starts a generation if the recorded queue head matches the fill
     /// origin; a mismatch means the schedules have drifted, so the block is
-    /// conservatively kept and the queue left untouched.
+    /// conservatively kept and the cursor left untouched.
     fn begin_generation(&mut self, addr: u64, restored: bool) {
-        let Some(queue) = self.remaining.get_mut(&addr) else {
+        let Some(cursor) = self.cursors.get_mut(addr) else {
             return;
         };
-        let Some(front) = queue.front().copied() else {
+        let (next, end) = *cursor;
+        if next == end {
             return;
-        };
+        }
+        let front = self.arena[next as usize];
         if front.restored != restored {
             return;
         }
-        queue.pop_front();
+        cursor.0 = next + 1;
         if front.accesses == 1 {
             self.pending_kill.push((addr, front.ended_by_outage));
         } else {
@@ -213,35 +241,41 @@ impl LeakagePredictor for OraclePredictor {
     }
 
     fn on_evict(&mut self, addr: u64) {
-        self.live.remove(&addr);
+        self.live.remove(addr);
     }
 
-    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, _cycle: u64) -> TickOutcome {
-        let mut out = TickOutcome::default();
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        voltage: Voltage,
+        _cycle: u64,
+        out: &mut TickOutcome,
+    ) {
         let release = voltage < self.guard;
-        let mut kept = Vec::new();
-        for (addr, guarded) in self.pending_kill.drain(..) {
+        // In-place compaction: entries that must wait slide to the front,
+        // the rest are gated. No scratch allocation.
+        let mut kept = 0;
+        for i in 0..self.pending_kill.len() {
+            let (addr, guarded) = self.pending_kill[i];
             if guarded && !release {
-                kept.push((addr, guarded));
+                self.pending_kill[kept] = (addr, guarded);
+                kept += 1;
                 continue;
             }
             let Some(block) = cache.contains(addr) else {
                 continue; // already evicted or gated by a co-predictor
             };
-            match cache.gate(block) {
-                GateOutcome::GatedValid { addr, writeback } => {
-                    out.gated.push(GatedBlock {
-                        addr,
-                        dirty: writeback.is_some(),
-                    });
-                    // The ideal predictor enjoys the NVSRAM parking path.
-                    out.parked.extend(writeback);
+            // The ideal predictor enjoys the NVSRAM parking path (the sink
+            // fires only for a dirty valid block).
+            let parked = &mut out.parked;
+            match cache.gate_with(block, |a, data| parked.push(a, data)) {
+                GateResult::GatedValid { addr, dirty } => {
+                    out.gated.push(GatedBlock { addr, dirty });
                 }
-                GateOutcome::GatedInvalid | GateOutcome::AlreadyGated => {}
+                GateResult::GatedInvalid | GateResult::AlreadyGated => {}
             }
         }
-        self.pending_kill = kept;
-        out
+        self.pending_kill.truncate(kept);
     }
 
     fn next_wakeup(&self) -> WakeHint {

@@ -1,17 +1,65 @@
 //! The predictor trait and composition utilities.
 
-use ehs_cache::{BlockId, Cache, Writeback};
+use ehs_cache::{BlockId, Cache};
 use ehs_units::Voltage;
 use std::fmt;
 
 /// A block a predictor just power-gated, as reported to the simulator (for
 /// energy charging) and the [`crate::PredictionLedger`] (for accounting).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GatedBlock {
     /// Block-aligned address of the deactivated block.
     pub addr: u64,
     /// Whether it was dirty (and therefore written back first).
     pub dirty: bool,
+}
+
+/// A flat, reusable list of dirty-block images: entry addresses in one
+/// `Vec`, their bytes packed end-to-end in a single contiguous pool.
+///
+/// Replaces the old `Vec<Writeback>` (one heap allocation per entry for the
+/// `data` vector). [`WritebackArena::clear`] keeps capacity, so a
+/// simulation-owned scratch [`TickOutcome`] reaches its high-water size once
+/// and every later tick appends without touching the allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WritebackArena {
+    /// `(block address, end offset into bytes)` per entry; entry `i` spans
+    /// `entries[i-1].1..entries[i].1` (from 0 for the first).
+    entries: Vec<(u64, u32)>,
+    bytes: Vec<u8>,
+}
+
+impl WritebackArena {
+    /// Appends one block image.
+    #[inline]
+    pub fn push(&mut self, addr: u64, data: &[u8]) {
+        self.bytes.extend_from_slice(data);
+        self.entries.push((addr, self.bytes.len() as u32));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in push order as `(addr, block image)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.entries.iter().enumerate().map(|(i, &(addr, end))| {
+            let start = if i == 0 { 0 } else { self.entries[i - 1].1 } as usize;
+            (addr, &self.bytes[start..end as usize])
+        })
+    }
+
+    /// Removes every entry, keeping both pools' capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes.clear();
+    }
 }
 
 /// Everything a predictor did during one [`LeakagePredictor::tick`].
@@ -21,21 +69,32 @@ pub struct TickOutcome {
     pub gated: Vec<GatedBlock>,
     /// Dirty content to be written back to main memory (the conventional
     /// predictors' discipline; the simulator charges an NVM write for each).
-    pub writebacks: Vec<Writeback>,
+    pub writebacks: WritebackArena,
     /// Dirty content *parked* in its nonvolatile NVSRAM twin instead of
     /// written to memory (EDBP's discipline on an NVSRAM platform): the
     /// simulator charges an in-place save, recalls the block cheaply if it
     /// is re-referenced, and restores it at reboot like any checkpointed
     /// block. See `DESIGN.md` §5.
-    pub parked: Vec<Writeback>,
+    pub parked: WritebackArena,
 }
 
 impl TickOutcome {
     /// Merges another outcome into this one.
-    pub fn absorb(&mut self, other: TickOutcome) {
-        self.gated.extend(other.gated);
-        self.writebacks.extend(other.writebacks);
-        self.parked.extend(other.parked);
+    pub fn absorb(&mut self, other: &TickOutcome) {
+        self.gated.extend_from_slice(&other.gated);
+        for (addr, data) in other.writebacks.iter() {
+            self.writebacks.push(addr, data);
+        }
+        for (addr, data) in other.parked.iter() {
+            self.parked.push(addr, data);
+        }
+    }
+
+    /// Removes everything, keeping capacity (the reusable-scratch contract).
+    pub fn clear(&mut self) {
+        self.gated.clear();
+        self.writebacks.clear();
+        self.parked.clear();
     }
 
     /// Whether this tick changed any state the simulator must account for.
@@ -148,8 +207,18 @@ pub trait LeakagePredictor: fmt::Debug + Send {
     }
 
     /// Periodic decision point: observe the voltage and cycle count, gate
-    /// whatever should die. Called once per simulated step.
-    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64) -> TickOutcome;
+    /// whatever should die, and *append* the outcome to `out` (which is not
+    /// cleared — the caller owns the reusable scratch). Called once per
+    /// simulated step.
+    fn tick_into(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64, out: &mut TickOutcome);
+
+    /// Allocating convenience wrapper over [`LeakagePredictor::tick_into`]
+    /// returning a fresh [`TickOutcome`] (tests and cold paths).
+    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        self.tick_into(cache, voltage, cycle, &mut out);
+        out
+    }
 
     /// When this predictor next needs [`LeakagePredictor::tick`] called; see
     /// [`WakeHint`] for the no-op contract. The default is the conservative
@@ -186,8 +255,13 @@ impl LeakagePredictor for NullPredictor {
         "none"
     }
 
-    fn tick(&mut self, _cache: &mut Cache, _voltage: Voltage, _cycle: u64) -> TickOutcome {
-        TickOutcome::default()
+    fn tick_into(
+        &mut self,
+        _cache: &mut Cache,
+        _voltage: Voltage,
+        _cycle: u64,
+        _out: &mut TickOutcome,
+    ) {
     }
 
     fn next_wakeup(&self) -> WakeHint {
@@ -262,12 +336,16 @@ impl LeakagePredictor for CombinedPredictor {
         }
     }
 
-    fn tick(&mut self, cache: &mut Cache, voltage: Voltage, cycle: u64) -> TickOutcome {
-        let mut out = TickOutcome::default();
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        voltage: Voltage,
+        cycle: u64,
+        out: &mut TickOutcome,
+    ) {
         for m in &mut self.members {
-            out.absorb(m.tick(cache, voltage, cycle));
+            m.tick_into(cache, voltage, cycle, out);
         }
-        out
     }
 
     fn next_wakeup(&self) -> WakeHint {
@@ -397,27 +475,35 @@ mod tests {
 
     #[test]
     fn tick_outcome_absorb_concatenates() {
-        let mut a = TickOutcome {
-            gated: vec![GatedBlock {
-                addr: 0x10,
-                dirty: false,
-            }],
-            writebacks: vec![],
-            parked: vec![],
-        };
-        let b = TickOutcome {
-            gated: vec![GatedBlock {
-                addr: 0x20,
-                dirty: true,
-            }],
-            parked: vec![],
-            writebacks: vec![Writeback {
-                addr: 0x20,
-                data: vec![0; 16],
-            }],
-        };
-        a.absorb(b);
+        let mut a = TickOutcome::default();
+        a.gated.push(GatedBlock {
+            addr: 0x10,
+            dirty: false,
+        });
+        let mut b = TickOutcome::default();
+        b.gated.push(GatedBlock {
+            addr: 0x20,
+            dirty: true,
+        });
+        b.writebacks.push(0x20, &[7u8; 16]);
+        a.absorb(&b);
         assert_eq!(a.gated.len(), 2);
         assert_eq!(a.writebacks.len(), 1);
+        let (addr, data) = a.writebacks.iter().next().expect("one entry");
+        assert_eq!(addr, 0x20);
+        assert_eq!(data, &[7u8; 16]);
+    }
+
+    #[test]
+    fn writeback_arena_round_trips_entries() {
+        let mut arena = WritebackArena::default();
+        assert!(arena.is_empty());
+        arena.push(0x40, &[1u8; 4]);
+        arena.push(0x80, &[2u8; 8]);
+        let got: Vec<(u64, Vec<u8>)> = arena.iter().map(|(a, d)| (a, d.to_vec())).collect();
+        assert_eq!(got, vec![(0x40, vec![1u8; 4]), (0x80, vec![2u8; 8])]);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.iter().count(), 0);
     }
 }

@@ -2,8 +2,8 @@
 //! with per-access cost accounting.
 
 use crate::SystemConfig;
-use edbp_core::{FxHashMap, FxHashSet};
-use ehs_cache::{AccessKind, BlockId, Cache, LookupOutcome, Writeback};
+use edbp_core::{FxHashMap, PagedTable};
+use ehs_cache::{AccessKind, BlockId, Cache, LookupOutcome, LookupResult, Writeback};
 use ehs_nvm::{ArrayCharacteristics, CacheArrayModel, MainMemoryModel, MemoryCharacteristics};
 use ehs_units::{Energy, Power, Time};
 
@@ -77,7 +77,7 @@ pub struct MemorySystem {
     i_zero: Box<[u8]>,
     /// Blocks parked in their NVSRAM twins by a predictor: re-referencing
     /// one is a cheap in-place recall, not a main-memory transfer.
-    parked: FxHashSet<u64>,
+    parked: PagedTable<()>,
     /// Cost of recalling one parked block from its twin.
     recall_energy: Energy,
     recall_latency: Time,
@@ -108,7 +108,7 @@ impl MemorySystem {
             d_block,
             fetch_buffer: None,
             i_zero: vec![0u8; config.icache.geometry.block_bytes as usize].into_boxed_slice(),
-            parked: FxHashSet::default(),
+            parked: PagedTable::for_block_bytes(config.dcache.geometry.block_bytes),
             recall_energy: config.ckpt.restore_energy_per_byte
                 * f64::from(config.dcache.geometry.block_bytes),
             recall_latency: config.ckpt.restore_latency,
@@ -126,14 +126,25 @@ impl MemorySystem {
     /// variant that needs no `Writeback` allocation.
     pub fn park_from(&mut self, addr: u64, data: &[u8]) {
         self.backing_block(addr).copy_from_slice(data);
-        self.parked.insert(addr);
+        self.parked.insert(addr, ());
     }
 
-    /// Addresses currently parked in NV twins (restored at reboot).
-    pub fn parked_addrs(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.parked.iter().copied().collect();
-        v.sort_unstable();
-        v
+    /// Drains every parked block in ascending address order, handing each
+    /// `(addr, image)` to `f`, then clears the parked set. This is the
+    /// reboot path: the checkpoint machinery re-adopts the parked twins.
+    pub fn drain_parked(&mut self, mut f: impl FnMut(u64, &[u8])) {
+        let Self {
+            parked,
+            backing,
+            d_block,
+            ..
+        } = self;
+        let len = *d_block as usize;
+        parked.for_each(|addr, ()| {
+            let data = backing.entry(addr).or_insert_with(|| vec![0u8; len]);
+            f(addr, data);
+        });
+        parked.clear();
     }
 
     /// Reads the backing image of a block (for checkpoint assembly).
@@ -144,11 +155,6 @@ impl MemorySystem {
     /// Borrows the backing image of a block (zero-filled on first touch).
     pub fn backing_slice(&mut self, block_addr: u64) -> &[u8] {
         self.backing_block(block_addr)
-    }
-
-    /// Clears the parked set (after the reboot restore re-adopted them).
-    pub fn clear_parked(&mut self) {
-        self.parked.clear();
     }
 
     /// D-cache array characteristics (for leakage integration).
@@ -207,22 +213,43 @@ impl MemorySystem {
         let mut evicted = None;
         let mut hit = false;
 
-        let frame = match self.dcache.lookup(addr, kind) {
-            LookupOutcome::Hit(h) => {
+        // The victim write-back (if any) lands straight in the backing
+        // store via the sink — no `Writeback` allocation — and its cost is
+        // captured here so it can be charged at the exact point the
+        // accounting order demands (after the probe, before the fill).
+        let mut wb_cost: Option<(Time, Energy)> = None;
+        let outcome = {
+            let Self {
+                dcache,
+                backing,
+                d_block,
+                mem_chars,
+                ..
+            } = self;
+            let len = *d_block as usize;
+            dcache.lookup_with(addr, kind, |wb_addr, data| {
+                backing
+                    .entry(wb_addr)
+                    .or_insert_with(|| vec![0u8; len])
+                    .copy_from_slice(data);
+                wb_cost = Some((mem_chars.write_latency, mem_chars.write_energy));
+            })
+        };
+        let frame = match outcome {
+            LookupResult::Hit(h) => {
                 hit = true;
                 dcache_energy += self.d_chars.read_energy;
                 h.block
             }
-            LookupOutcome::Miss(miss) => {
+            LookupResult::Miss(miss) => {
                 dcache_energy += self.d_chars.probe_energy;
                 stall += self.d_chars.probe_latency;
                 evicted = miss.evicted;
-                if let Some(wb) = &miss.writeback {
-                    let (t, e) = self.write_back(wb);
+                if let Some((t, e)) = wb_cost {
                     stall += t;
                     memory_energy += e;
                 }
-                if self.parked.remove(&block_addr) {
+                if self.parked.remove(block_addr).is_some() {
                     // In-place recall from the block's NVSRAM twin.
                     stall += self.recall_latency;
                     dcache_energy += self.recall_energy;

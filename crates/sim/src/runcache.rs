@@ -86,7 +86,11 @@ use std::time::Duration;
 /// Bump when the on-disk layout or the semantics of any stored field
 /// change; old entries are then rejected (and fall back to re-simulation)
 /// instead of being misread.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: zombie samples now resolve in deterministic (ascending-address)
+/// order at outages and at finish, so the stored sample sequence differs
+/// from v1 entries even though the sample multiset is identical.
+pub const SCHEMA_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"EHSRUNC\0";
 

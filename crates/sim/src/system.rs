@@ -2,9 +2,9 @@
 
 use crate::{EnergyBreakdown, MemorySystem, RunResult, Scheme, SystemConfig};
 use edbp_core::{
-    AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig, FxHashMap,
-    GenerationTrace, LeakagePredictor, NullPredictor, OraclePredictor, OracleRecorder,
-    PredictionLedger, ReusePredictor, ReusePredictorConfig, WakeHint,
+    AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig,
+    GenerationTrace, LeakagePredictor, NullPredictor, OraclePredictor, OracleRecorder, PagedTable,
+    PredictionLedger, ReusePredictor, ReusePredictorConfig, TickOutcome, WakeHint,
 };
 use ehs_cache::{AccessKind, Cache};
 use ehs_cpu::{Core, CoreState, Effect, INSTRUCTION_BYTES};
@@ -159,7 +159,7 @@ pub struct Simulation {
     reuse: Option<ReusePredictor>,
     /// Per-resident-block "reused since fill" flags (trains `reuse`).
     /// Maintained only when `reuse` is present — no other scheme reads them.
-    reuse_flags: FxHashMap<u64, bool>,
+    reuse_flags: PagedTable<bool>,
     /// Oracle recording (pass 1 of the Ideal scheme).
     recorder: Option<OracleRecorder>,
     /// Zombie-ratio instrumentation (Fig. 4).
@@ -174,6 +174,10 @@ pub struct Simulation {
     /// Scratch arena for dirty dead blocks spilled while assembling an SDBP
     /// checkpoint (write-backs happen after the cache walk ends).
     spill: ShadowArena,
+    /// Reusable predictor-tick outcome: cleared and refilled at every
+    /// executed tick instead of reallocated (its vectors and arenas reach
+    /// their high-water capacity once and then stay).
+    tick_scratch: TickOutcome,
     completed: bool,
 }
 
@@ -272,9 +276,9 @@ impl Simulation {
             energy,
             d_pred,
             i_pred,
-            ledger: PredictionLedger::new(),
+            ledger: PredictionLedger::for_block_bytes(config.dcache.geometry.block_bytes),
             reuse,
-            reuse_flags: FxHashMap::default(),
+            reuse_flags: PagedTable::for_block_bytes(config.dcache.geometry.block_bytes),
             recorder: None,
             zombie,
             breakdown: EnergyBreakdown::default(),
@@ -282,6 +286,7 @@ impl Simulation {
             last_ckpt: None,
             shadow: ShadowArena::new(block_bytes),
             spill: ShadowArena::new(block_bytes),
+            tick_scratch: TickOutcome::default(),
             completed: false,
             workload,
             config,
@@ -350,7 +355,7 @@ impl Simulation {
                 z.on_hit(addr);
             }
             if self.reuse.is_some() {
-                if let Some(flag) = self.reuse_flags.get_mut(&addr) {
+                if let Some(flag) = self.reuse_flags.get_mut(addr) {
                     *flag = true;
                 }
             }
@@ -385,7 +390,7 @@ impl Simulation {
     /// Ends the reuse-training generation for `addr`.
     fn train_reuse(&mut self, addr: u64) {
         if let Some(r) = &mut self.reuse {
-            if let Some(reused) = self.reuse_flags.remove(&addr) {
+            if let Some(reused) = self.reuse_flags.remove(addr) {
                 r.train(addr, reused);
             }
         }
@@ -400,7 +405,7 @@ impl Simulation {
     /// write. We therefore charge the NVSRAM save cost to the checkpoint
     /// bucket; the simulator moves the data to the backing store so later
     /// accesses observe correct values (see DESIGN.md).
-    fn apply_tick(&mut self, tick: edbp_core::TickOutcome, is_dcache: bool) {
+    fn apply_tick(&mut self, tick: &TickOutcome, is_dcache: bool) {
         if is_dcache {
             for g in &tick.gated {
                 self.ledger.on_gate(g.addr);
@@ -410,21 +415,21 @@ impl Simulation {
                 self.train_reuse(g.addr);
             }
         }
-        for wb in &tick.writebacks {
+        for (addr, data) in tick.writebacks.iter() {
             // Conventional predictors spill gated dirty blocks to main
             // memory (an NVM write).
-            let (t, e) = self.mem.write_back(wb);
+            let (t, e) = self.mem.write_back_from(addr, data);
             self.breakdown.memory += e;
             self.energy.consume(e);
             self.energy.elapse_operation(t);
         }
-        for wb in &tick.parked {
+        for (addr, data) in tick.parked.iter() {
             // EDBP parks gated dirty blocks in their NVSRAM twins: an
             // in-place save at checkpoint cost, restored at reboot.
-            let e = self.config.ckpt.save_energy_per_byte * wb.data.len() as f64;
+            let e = self.config.ckpt.save_energy_per_byte * data.len() as f64;
             self.breakdown.checkpoint += e;
             self.energy.consume(e);
-            self.mem.park(wb);
+            self.mem.park_from(addr, data);
         }
     }
 
@@ -489,12 +494,13 @@ impl Simulation {
             // Blocks already parked in their NVSRAM twins ride along for
             // free (their save was paid at gating time); they are restored
             // at reboot like any other checkpointed block — as clean, since
-            // the backing image already holds their data.
-            for addr in self.mem.parked_addrs() {
+            // the backing image already holds their data. The drain visits
+            // addresses in ascending order, matching the sorted walk the
+            // checkpoint format expects.
+            {
                 let Self { mem, shadow, .. } = self;
-                shadow.push(addr, mem.backing_slice(addr), false);
+                mem.drain_parked(|addr, data| shadow.push(addr, data, false));
             }
-            self.mem.clear_parked();
             self.last_ckpt = Some(self.core.checkpoint());
         }
 
@@ -511,7 +517,7 @@ impl Simulation {
             } = self;
             if let Some(r) = reuse {
                 for addr in mem.dcache.resident_addrs_iter() {
-                    if let Some(reused) = reuse_flags.remove(&addr) {
+                    if let Some(reused) = reuse_flags.remove(addr) {
                         r.train(addr, reused);
                     }
                 }
@@ -660,6 +666,39 @@ impl Simulation {
     /// holds, so the next tick runs on exactly the cycle the reference
     /// loop would run it on.
     fn run_loop(&mut self) {
+        self.advance_until(u64::MAX);
+    }
+
+    /// Instructions committed so far (live progress, for incremental
+    /// driving via [`Simulation::advance_until`]).
+    pub fn committed(&self) -> u64 {
+        self.core.committed()
+    }
+
+    /// True once the workload has run to completion (halt instruction).
+    pub fn halted(&self) -> bool {
+        self.core.halted()
+    }
+
+    /// Pre-sizes the zombie-analysis sample pools so a bounded measured
+    /// window performs no further growth (testing/benchmarking aid; no-op
+    /// unless [`SystemConfig::zombie_sample_interval`] is set).
+    pub fn reserve_zombie_capacity(&mut self, samples: usize) {
+        if let Some(z) = &mut self.zombie {
+            z.reserve(samples);
+        }
+    }
+
+    /// Advances the simulation until `target` instructions have committed,
+    /// the workload halts, the instruction budget is exhausted, or the
+    /// energy source never recovers from an outage.
+    ///
+    /// The burst fast path is *not* truncated at `target` — a burst may
+    /// overshoot it by at most one buffered instruction run. This keeps the
+    /// burst boundaries (and therefore every f64 accumulation) of an
+    /// incrementally driven run bit-identical to one uninterrupted
+    /// `advance_until(u64::MAX)`.
+    pub fn advance_until(&mut self, target: u64) {
         let sim = self;
         let program = Arc::clone(&sim.workload.program);
         let cycle_time = sim.config.cycle_time();
@@ -689,6 +728,9 @@ impl Simulation {
                 break;
             }
             if sim.core.committed() >= max_instructions {
+                break;
+            }
+            if sim.core.committed() >= target {
                 break;
             }
 
@@ -744,13 +786,20 @@ impl Simulation {
                             // invalid ones, which never appear in the
                             // outcome), so it always invalidates the
                             // leakage cache. Executed ticks are rare by
-                            // construction, so this costs nothing.
-                            let tick = sim.d_pred.tick(&mut sim.mem.dcache, v, cycle);
-                            sim.apply_tick(tick, true);
+                            // construction, so this costs nothing. The
+                            // outcome lands in the pooled scratch (moved
+                            // out so `apply_tick` can borrow `sim`).
+                            let mut tick = std::mem::take(&mut sim.tick_scratch);
+                            tick.clear();
+                            sim.d_pred
+                                .tick_into(&mut sim.mem.dcache, v, cycle, &mut tick);
+                            sim.apply_tick(&tick, true);
                             if let Some(ip) = &mut sim.i_pred {
-                                let tick = ip.tick(&mut sim.mem.icache, v, cycle);
-                                sim.apply_tick(tick, false);
+                                tick.clear();
+                                ip.tick_into(&mut sim.mem.icache, v, cycle, &mut tick);
+                                sim.apply_tick(&tick, false);
                             }
+                            sim.tick_scratch = tick;
                             leak.dirty = true;
                             hint_dirty = true;
                         }
@@ -854,12 +903,17 @@ impl Simulation {
                 // See the burst path: executed ticks can gate invalid
                 // frames without reporting them, so they unconditionally
                 // invalidate the leakage cache.
-                let tick = sim.d_pred.tick(&mut sim.mem.dcache, v, cycle);
-                sim.apply_tick(tick, true);
+                let mut tick = std::mem::take(&mut sim.tick_scratch);
+                tick.clear();
+                sim.d_pred
+                    .tick_into(&mut sim.mem.dcache, v, cycle, &mut tick);
+                sim.apply_tick(&tick, true);
                 if let Some(ip) = &mut sim.i_pred {
-                    let tick = ip.tick(&mut sim.mem.icache, v, cycle);
-                    sim.apply_tick(tick, false);
+                    tick.clear();
+                    ip.tick_into(&mut sim.mem.icache, v, cycle, &mut tick);
+                    sim.apply_tick(&tick, false);
                 }
+                sim.tick_scratch = tick;
                 leak.dirty = true;
                 hint_dirty = true;
             }

@@ -7,12 +7,10 @@
 //! analysis is retroactive: samples are held pending and resolved when the
 //! sampled block's generation ends.
 
-use edbp_core::FxHashMap;
+use edbp_core::PagedTable;
 
-/// (block address, generation serial).
-type GenerationKey = (u64, u64);
-/// (voltage at sample, access count at sample).
-type PendingSample = (f64, u32);
+/// Null index in the pooled sample-node arena.
+const NIL: u32 = u32::MAX;
 
 /// One resolved sample: a resident block observed at `voltage`, and whether
 /// it turned out to be a zombie.
@@ -25,19 +23,59 @@ pub struct ZombieSample {
     pub zombie: bool,
 }
 
+/// The live generation of one block address: its access count and the chain
+/// of pending samples taken during it (indices into the node pool, in
+/// chronological order).
+#[derive(Debug, Clone, Copy)]
+struct GenState {
+    count: u32,
+    head: u32,
+    tail: u32,
+}
+
+impl Default for GenState {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+/// One pending sample in the pooled chain arena.
+#[derive(Debug, Clone, Copy)]
+struct SampleNode {
+    voltage: f64,
+    /// The generation's access count at the sampling instant.
+    at_sample: u32,
+    /// Next node of the same chain (or the free list), [`NIL`]-terminated.
+    next: u32,
+}
+
 /// Retroactive zombie classifier.
+///
+/// Per-address generation state lives in a paged direct-index table and
+/// pending samples in one pooled node arena with an intrusive free list —
+/// the steady-state hot path (fill / hit / generation end / sample) touches
+/// no hash map and performs no allocation once the pools reach their
+/// high-water capacity.
+///
+/// Resolution order is explicitly deterministic: samples resolve in
+/// generation-end order while running, and both [`ZombieAnalysis::on_power_fail`]
+/// and [`ZombieAnalysis::finish`] drain the remaining generations in
+/// ascending address order (each generation's samples chronologically).
 #[derive(Debug, Clone)]
 pub struct ZombieAnalysis {
     /// Sampling period in committed instructions.
     interval: u64,
     next_sample_at: u64,
-    /// Current generation serial per address.
-    serial: FxHashMap<u64, u64>,
-    next_serial: u64,
-    /// Access count of the current generation per address.
-    count: FxHashMap<u64, u32>,
-    /// Pending samples keyed by (addr, serial): (voltage, count at sample).
-    pending: FxHashMap<GenerationKey, Vec<PendingSample>>,
+    /// Live generation per block address.
+    gens: PagedTable<GenState>,
+    /// Pooled pending-sample nodes (chains + free list).
+    nodes: Vec<SampleNode>,
+    /// Head of the free list threaded through `nodes`.
+    free_head: u32,
     resolved: Vec<ZombieSample>,
 }
 
@@ -53,54 +91,103 @@ impl ZombieAnalysis {
         Self {
             interval,
             next_sample_at: interval,
-            serial: FxHashMap::default(),
-            next_serial: 0,
-            count: FxHashMap::default(),
-            pending: FxHashMap::default(),
+            gens: PagedTable::new(0),
+            nodes: Vec::new(),
+            free_head: NIL,
             resolved: Vec::new(),
         }
     }
 
+    /// Pre-sizes the sample pools so a bounded run performs no further
+    /// growth (testing/benchmarking aid): room for `samples` resolved
+    /// samples and as many in-flight pending nodes.
+    pub fn reserve(&mut self, samples: usize) {
+        self.resolved.reserve(samples);
+        self.nodes.reserve(samples);
+    }
+
     /// A block for `addr` was installed (or restored): new generation.
     pub fn on_fill(&mut self, addr: u64) {
-        self.next_serial += 1;
-        self.serial.insert(addr, self.next_serial);
-        self.count.insert(addr, 1);
+        if let Some(g) = self.gens.get_mut(addr) {
+            // Refill without an observed generation end — possible only
+            // through direct API use, never from the simulator. The stale
+            // generation's samples can no longer see a reuse, so they
+            // resolve as zombies (exactly how the drain used to classify
+            // a serial mismatch).
+            let stale = g.head;
+            *g = GenState {
+                count: 1,
+                head: NIL,
+                tail: NIL,
+            };
+            self.resolve_chain(stale, None);
+        } else {
+            self.gens.insert(
+                addr,
+                GenState {
+                    count: 1,
+                    head: NIL,
+                    tail: NIL,
+                },
+            );
+        }
     }
 
     /// A lookup hit `addr`.
     pub fn on_hit(&mut self, addr: u64) {
-        if let Some(c) = self.count.get_mut(&addr) {
-            *c += 1;
+        if let Some(g) = self.gens.get_mut(addr) {
+            g.count += 1;
         }
     }
 
     /// The generation of `addr` ended (eviction or gating).
     pub fn on_generation_end(&mut self, addr: u64) {
-        let (Some(serial), Some(final_count)) =
-            (self.serial.remove(&addr), self.count.remove(&addr))
-        else {
+        let Some(g) = self.gens.remove(addr) else {
             return;
         };
-        self.resolve(addr, serial, final_count);
+        self.resolve_chain(g.head, Some(g.count));
     }
 
-    /// A power outage ended every resident generation.
+    /// A power outage ended every resident generation. Generations resolve
+    /// in ascending address order.
     pub fn on_power_fail(&mut self) {
-        let addrs: Vec<u64> = self.serial.keys().copied().collect();
-        for addr in addrs {
-            self.on_generation_end(addr);
-        }
+        let Self {
+            gens,
+            nodes,
+            resolved,
+            ..
+        } = self;
+        gens.for_each(|_, g| {
+            let mut node = g.head;
+            while node != NIL {
+                let n = &nodes[node as usize];
+                resolved.push(ZombieSample {
+                    voltage: n.voltage,
+                    zombie: n.at_sample == g.count,
+                });
+                node = n.next;
+            }
+        });
+        // Every chain was consumed above, so the whole pool is free.
+        gens.clear();
+        nodes.clear();
+        self.free_head = NIL;
     }
 
-    fn resolve(&mut self, addr: u64, serial: u64, final_count: u32) {
-        if let Some(samples) = self.pending.remove(&(addr, serial)) {
-            for (voltage, at_sample) in samples {
-                self.resolved.push(ZombieSample {
-                    voltage,
-                    zombie: at_sample == final_count,
-                });
-            }
+    /// Resolves one pending chain and returns its nodes to the free list.
+    /// `final_count == None` forces the zombie classification (stale
+    /// generation that can never be reused).
+    fn resolve_chain(&mut self, head: u32, final_count: Option<u32>) {
+        let mut node = head;
+        while node != NIL {
+            let n = self.nodes[node as usize];
+            self.resolved.push(ZombieSample {
+                voltage: n.voltage,
+                zombie: final_count.is_none_or(|c| n.at_sample == c),
+            });
+            self.nodes[node as usize].next = self.free_head;
+            self.free_head = node;
+            node = n.next;
         }
     }
 
@@ -121,14 +208,30 @@ impl ZombieAnalysis {
     ) {
         self.next_sample_at = committed + self.interval;
         for addr in resident {
-            let (Some(&serial), Some(&count)) = (self.serial.get(&addr), self.count.get(&addr))
-            else {
+            let Some(g) = self.gens.get_mut(addr) else {
                 continue;
             };
-            self.pending
-                .entry((addr, serial))
-                .or_default()
-                .push((voltage, count));
+            let node = SampleNode {
+                voltage,
+                at_sample: g.count,
+                next: NIL,
+            };
+            let idx = if self.free_head == NIL {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(node);
+                idx
+            } else {
+                let idx = self.free_head;
+                self.free_head = self.nodes[idx as usize].next;
+                self.nodes[idx as usize] = node;
+                idx
+            };
+            if g.tail == NIL {
+                g.head = idx;
+            } else {
+                self.nodes[g.tail as usize].next = idx;
+            }
+            g.tail = idx;
         }
     }
 
@@ -149,23 +252,27 @@ impl ZombieAnalysis {
 
     /// Finalizes: unresolved samples belong to generations that never ended
     /// (the program finished first); a block unused since its sample is
-    /// classified as a zombie-to-be.
-    pub fn finish(mut self) -> Vec<ZombieSample> {
-        let pending: Vec<(GenerationKey, Vec<PendingSample>)> = self.pending.drain().collect();
-        for ((addr, serial), samples) in pending {
-            let current = if self.serial.get(&addr) == Some(&serial) {
-                self.count.get(&addr).copied()
-            } else {
-                None
-            };
-            for (voltage, at_sample) in samples {
-                self.resolved.push(ZombieSample {
-                    voltage,
-                    zombie: current.is_none_or(|c| c == at_sample),
+    /// classified as a zombie-to-be. Remaining generations drain in
+    /// ascending address order.
+    pub fn finish(self) -> Vec<ZombieSample> {
+        let Self {
+            gens,
+            nodes,
+            mut resolved,
+            ..
+        } = self;
+        gens.for_each(|_, g| {
+            let mut node = g.head;
+            while node != NIL {
+                let n = &nodes[node as usize];
+                resolved.push(ZombieSample {
+                    voltage: n.voltage,
+                    zombie: n.at_sample == g.count,
                 });
+                node = n.next;
             }
-        }
-        self.resolved
+        });
+        resolved
     }
 
     /// Samples resolved so far.

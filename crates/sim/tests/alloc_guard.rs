@@ -1,0 +1,120 @@
+//! Zero-allocation hot-loop guard.
+//!
+//! The packed-state redesign (nibble-packed policy words, paged shadow
+//! tables, writeback arenas, the pooled tick scratch) exists so that the
+//! per-access simulator kernels never touch the heap once warm. This test
+//! enforces that property end to end: a counting global allocator wraps the
+//! system allocator, each scenario runs a warm-up prefix that reaches every
+//! pool's high-water capacity (footprint touched, checkpoints taken,
+//! outages survived), and the measured window that follows must perform
+//! ZERO heap allocations while committing tens of thousands of
+//! instructions.
+//!
+//! Scenarios cover the three paper configurations with distinct hot paths:
+//! NVSRAMCache/EDBP (voltage-threshold gating + NV parking), Decay+EDBP
+//! (per-epoch sweeps + combined predictor), and a zombie-instrumented run
+//! (per-instruction sampling on the cycle-by-cycle reference path).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ehs_sim::{Scheme, Simulation, SystemConfig};
+use ehs_workloads::{build, AppId, Scale};
+
+/// Wraps the system allocator, counting every allocation (alloc, realloc
+/// and alloc_zeroed all count; frees do not — a free in the hot loop would
+/// imply an earlier allocation anyway).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs the scenario once to learn its total committed-instruction count,
+/// then re-runs it with a warm-up prefix (55 % of the run) and asserts the
+/// measured window that follows (up to 85 %) performs zero allocations.
+fn assert_alloc_free_window(config: &SystemConfig, scheme: Scheme, app: AppId, label: &str) {
+    let probe = Simulation::new(config, scheme, build(app, Scale::Small), None);
+    let total = probe.run().0.committed;
+
+    let mut sim = Simulation::new(config, scheme, build(app, Scale::Small), None);
+    let warmup = total * 55 / 100;
+    let until = total * 85 / 100;
+    sim.advance_until(warmup);
+    assert!(
+        sim.committed() >= warmup && !sim.halted(),
+        "{label}: warm-up must end mid-run (committed {} of {total})",
+        sim.committed()
+    );
+    sim.reserve_zombie_capacity(4096);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.advance_until(until);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let committed = sim.committed();
+
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} heap allocations while committing instructions \
+         {warmup}..{committed} (the hot loop must be allocation-free once warm)",
+        after - before,
+    );
+    assert!(
+        committed > warmup + 1000,
+        "{label}: measured window too short ({warmup}..{committed}) to be meaningful"
+    );
+}
+
+#[test]
+fn hot_loop_is_allocation_free_once_warm() {
+    // NVSRAMCache (EDBP): threshold gating, NV parking, burst stepping.
+    assert_alloc_free_window(
+        &SystemConfig::paper_default(),
+        Scheme::Edbp,
+        AppId::AdpcmEnc,
+        "edbp",
+    );
+
+    // Decay+EDBP: epoch sweeps through the combined predictor, plus
+    // conventional main-memory spills of gated dirty blocks.
+    assert_alloc_free_window(
+        &SystemConfig::paper_default(),
+        Scheme::DecayEdbp,
+        AppId::Crc32,
+        "decay+edbp",
+    );
+
+    // Zombie-instrumented run: burst stepping disabled, per-instruction
+    // sampling walks the resident set and feeds the pooled chain arena.
+    let mut config = SystemConfig::paper_default();
+    config.zombie_sample_interval = Some(500);
+    assert_alloc_free_window(
+        &config,
+        Scheme::DecayEdbp,
+        AppId::Sha,
+        "zombie-instrumented",
+    );
+}
