@@ -12,7 +12,11 @@ use edbp_core::{
     FxHashMap, LeakagePredictor, OraclePredictor, OracleRecorder, PagedTable, TickOutcome,
 };
 use ehs_cache::{AccessKind, BlockId, Cache, CacheConfig, ReplacementPolicy};
+use ehs_sim::{
+    build_lane, record_generation_trace, run_lane, run_lockstep, Scheme, Simulation, SystemConfig,
+};
 use ehs_units::Voltage;
+use ehs_workloads::{build, AppId, Scale};
 use std::hint::black_box;
 
 const BLOCK: u64 = 16;
@@ -171,10 +175,84 @@ fn oracle_generation_advance(c: &mut Criterion) {
     group.finish();
 }
 
+/// The enum-to-generic dispatch payoff, measured end to end on a bounded
+/// run: the legacy `Box<dyn LeakagePredictor>` `Simulation` vs the
+/// monomorphized lane `build_lane` resolves for the same scheme. The two
+/// produce bit-identical results (`kernel_matrix` asserts it); this measures
+/// what routing every per-access predictor hook through static dispatch is
+/// worth in instructions per second.
+fn dispatch_dyn_vs_mono(c: &mut Criterion) {
+    const BUDGET: u64 = 40_000;
+    let mut config = SystemConfig::paper_default();
+    config.max_instructions = BUDGET;
+    let workload = build(AppId::Crc32, Scale::Tiny);
+
+    let mut group = c.benchmark_group("dispatch");
+    group.throughput(Throughput::Elements(BUDGET));
+    group.bench_function("dyn_simulation", |b| {
+        b.iter(|| {
+            Simulation::new(&config, Scheme::DecayEdbp, workload.clone(), None)
+                .run_collecting()
+                .result
+                .committed
+        })
+    });
+    group.bench_function("mono_lane", |b| {
+        b.iter(|| {
+            let lane = build_lane(&config, Scheme::DecayEdbp, workload.clone(), None, false)
+                .expect("paper-default energy configuration is valid");
+            run_lane(lane).result.committed
+        })
+    });
+    group.finish();
+}
+
+/// Lockstep amortization: the same bounded workload replayed by one lane vs
+/// the full nine-scheme roster in one interleaved group. Throughput counts
+/// *total* committed instructions, so `lanes_9` shows how much of the
+/// single-lane per-instruction cost the shared replay amortizes away.
+fn lockstep_scaling(c: &mut Criterion) {
+    const BUDGET: u64 = 20_000;
+    let mut config = SystemConfig::paper_default();
+    config.max_instructions = BUDGET;
+    let workload = build(AppId::Crc32, Scale::Tiny);
+    let oracle = record_generation_trace(&config, workload.clone());
+
+    let lanes = |schemes: &[Scheme]| {
+        schemes
+            .iter()
+            .map(|&scheme| {
+                let trace = scheme.needs_oracle_trace().then(|| oracle.clone());
+                build_lane(&config, scheme, workload.clone(), trace, false)
+                    .expect("paper-default energy configuration is valid")
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut group = c.benchmark_group("lockstep");
+    for (label, schemes) in [
+        ("lanes_1", &[Scheme::DecayEdbp][..]),
+        ("lanes_9", &Scheme::ALL[..]),
+    ] {
+        group.throughput(Throughput::Elements(BUDGET * schemes.len() as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_lockstep(lanes(schemes))
+                    .iter()
+                    .map(|o| o.result.committed)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     policy_rank_update,
     shadow_table_lookup,
-    oracle_generation_advance
+    oracle_generation_advance,
+    dispatch_dyn_vs_mono,
+    lockstep_scaling
 );
 criterion_main!(kernels);

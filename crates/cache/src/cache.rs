@@ -1,7 +1,7 @@
 //! The set-associative cache mechanism.
 
-use crate::policy::{SetPolicyState, SharedPolicyState, MAX_WAYS};
-use crate::{CacheStats, ReplacementPolicy};
+use crate::policy::{rank_of, PolicyKernel, SetState, SharedPolicyState, MAX_WAYS};
+use crate::{with_policy_kernel, CacheStats, ReplacementPolicy};
 use ehs_nvm::CacheGeometry;
 
 /// Which kind of CPU access hits the cache.
@@ -203,45 +203,39 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Way {
-    tag: Option<u64>,
-    dirty: bool,
-    gated: bool,
-}
-
-impl Way {
-    fn new() -> Self {
-        Self {
-            tag: None,
-            dirty: false,
-            gated: false,
-        }
-    }
-
-    fn invalidate(&mut self) {
-        self.tag = None;
-        self.dirty = false;
-    }
-}
-
-#[derive(Debug, Clone, PartialEq)]
-struct Set {
-    ways: Vec<Way>,
-    policy: SetPolicyState,
-}
+/// Tag value of a frame holding no block (invalid or gated — gating takes
+/// the tag). Real tags are `block_addr / sets` of 32-bit addresses and can
+/// never reach it, so the probe loop needs no separate valid check: a tag
+/// match *is* a powered, valid hit.
+const TAG_NONE: u64 = u64::MAX;
 
 /// A set-associative, write-back, write-allocate cache with per-block
 /// power gating. See the crate-level docs for the access protocol.
 ///
+/// Metadata is struct-of-arrays: one flat per-frame tag column (sentinel
+/// [`TAG_NONE`] for empty frames) plus per-set valid/dirty/gated bitmasks
+/// and one packed [`SetState`] per set, so the tag probe is a branchless
+/// compare loop over adjacent words and mask updates are single bit ops.
 /// Block data lives in one contiguous arena sized by the geometry
-/// (`sets × ways × block_bytes`), indexed by frame, instead of one heap
-/// buffer per way — the per-frame metadata scans and the data moves both
-/// stay cache-friendly and allocation-free.
+/// (`sets × ways × block_bytes`), indexed by frame.
+///
+/// The per-access entry points come in two flavours: [`Cache::lookup_with`]
+/// / [`Cache::fill`] match the policy enum once per call, while the generic
+/// [`Cache::lookup_with_k`] / [`Cache::fill_k`] take a [`PolicyKernel`]
+/// type parameter so monomorphized hot loops pay no per-access dispatch.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Set>,
+    /// Per-frame tags (`set * ways + way`), [`TAG_NONE`] when empty.
+    tags: Box<[u64]>,
+    /// Per-set mask of ways holding a valid powered block.
+    valid: Box<[u16]>,
+    /// Per-set mask of dirty ways (dirty implies valid).
+    dirty: Box<[u16]>,
+    /// Per-set mask of power-gated ways (gated implies not valid).
+    gated: Box<[u16]>,
+    /// Per-set packed replacement state.
+    policy: Box<[SetState]>,
     /// Block data for every frame, `frame_index * block_bytes` apart.
     data: Box<[u8]>,
     shared: SharedPolicyState,
@@ -259,18 +253,19 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let g = config.geometry;
         assert!(
-            g.associativity as usize <= MAX_WAYS,
+            g.associativity as usize <= MAX_WAYS && g.associativity > 0,
             "packed policy state caps associativity at {MAX_WAYS} ways"
         );
-        let sets = (0..g.sets())
-            .map(|_| Set {
-                ways: (0..g.associativity).map(|_| Way::new()).collect(),
-                policy: SetPolicyState::new(config.policy, g.associativity as u8),
-            })
-            .collect();
+        let ways = g.associativity as u8;
+        let n_sets = g.sets() as usize;
+        let init = with_policy_kernel!(config.policy, K => K::init(ways));
         Self {
             config,
-            sets,
+            tags: vec![TAG_NONE; n_sets * usize::from(ways)].into_boxed_slice(),
+            valid: vec![0u16; n_sets].into_boxed_slice(),
+            dirty: vec![0u16; n_sets].into_boxed_slice(),
+            gated: vec![0u16; n_sets].into_boxed_slice(),
+            policy: vec![init; n_sets].into_boxed_slice(),
             data: vec![0u8; g.blocks() as usize * g.block_bytes as usize].into_boxed_slice(),
             shared: SharedPolicyState::new(config.policy, g.sets()),
             stats: CacheStats::default(),
@@ -349,23 +344,33 @@ impl Cache {
         &self.data[self.frame_range(set, way)]
     }
 
+    /// Flat frame index of (set, way) in the tag column.
+    #[inline]
+    fn frame_index(&self, set: u32, way: u8) -> usize {
+        set as usize * usize::from(self.ways()) + usize::from(way)
+    }
+
+    /// Mask covering the low `ways` bits of the per-set state words.
+    #[inline]
+    fn ways_mask(&self) -> u16 {
+        u16::MAX >> (16 - u32::from(self.ways()))
+    }
+
     /// True if the set `addr` maps to has a frame that can accept a fill
     /// without displacing a live block (an invalid or gated frame).
     pub fn has_free_frame(&self, addr: u64) -> bool {
         let (set, _) = self.split(addr);
-        self.sets[set as usize]
-            .ways
-            .iter()
-            .any(|w| w.gated || w.tag.is_none())
+        self.valid[set as usize] != self.ways_mask()
     }
 
     /// Probes for `addr` without touching replacement state or statistics.
     pub fn contains(&self, addr: u64) -> Option<BlockId> {
         let (set, tag) = self.split(addr);
-        self.sets[set as usize]
-            .ways
+        let ways = usize::from(self.ways());
+        let base = set as usize * ways;
+        self.tags[base..base + ways]
             .iter()
-            .position(|w| !w.gated && w.tag == Some(tag))
+            .position(|&t| t == tag)
             .map(|way| BlockId {
                 set,
                 way: way as u8,
@@ -399,26 +404,62 @@ impl Cache {
     /// its (address, data) is handed to `wb_sink` instead of being copied
     /// into an owned [`Writeback`]. Identical state transitions and
     /// statistics to [`Cache::lookup`] (which wraps it).
+    ///
+    /// Matches the policy enum once per call; monomorphized loops use
+    /// [`Cache::lookup_with_k`] directly.
     pub fn lookup_with(
         &mut self,
         addr: u64,
         kind: AccessKind,
         wb_sink: impl FnOnce(u64, &[u8]),
     ) -> LookupResult {
-        let (set_idx, tag) = self.split(addr);
-        let set = &mut self.sets[set_idx as usize];
+        with_policy_kernel!(
+            self.config.policy,
+            K => self.lookup_with_k::<K>(addr, kind, wb_sink)
+        )
+    }
 
-        if let Some(way_idx) = set.ways.iter().position(|w| !w.gated && w.tag == Some(tag)) {
-            let was_dirty = set.ways[way_idx].dirty;
-            if kind == AccessKind::Write {
-                set.ways[way_idx].dirty = true;
-            }
-            set.policy.on_hit(way_idx as u8);
+    /// [`Cache::lookup_with`] specialised to a [`PolicyKernel`]: state
+    /// transitions and statistics are identical, but replacement updates
+    /// compile to the kernel's branchless word ops with no per-access
+    /// policy dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `K` does not match the configured policy.
+    pub fn lookup_with_k<K: PolicyKernel>(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        wb_sink: impl FnOnce(u64, &[u8]),
+    ) -> LookupResult {
+        debug_assert_eq!(
+            K::POLICY,
+            self.config.policy,
+            "policy kernel must match the cache's configured policy"
+        );
+        let (set_idx, tag) = self.split(addr);
+        let s = set_idx as usize;
+        let ways = self.ways();
+        let base = s * usize::from(ways);
+
+        // Branchless probe: empty (invalid or gated) frames hold TAG_NONE,
+        // so a tag match is a powered, valid hit — no mask check needed.
+        let mut match_mask = 0u32;
+        for (w, &t) in self.tags[base..base + usize::from(ways)].iter().enumerate() {
+            match_mask |= u32::from(t == tag) << w;
+        }
+        if match_mask != 0 {
+            let way_idx = match_mask.trailing_zeros() as u8;
+            let bit = 1u16 << way_idx;
+            let was_dirty = self.dirty[s] & bit != 0;
+            self.dirty[s] |= bit & (0u16.wrapping_sub(u16::from(kind == AccessKind::Write)));
+            K::on_hit(&mut self.policy[s], way_idx, ways);
             self.stats.hits += 1;
             return LookupResult::Hit(HitInfo {
                 block: BlockId {
                     set: set_idx,
-                    way: way_idx as u8,
+                    way: way_idx,
                 },
                 was_dirty,
             });
@@ -426,31 +467,31 @@ impl Cache {
 
         // Miss path: update dueling stats, pick a victim, evict it.
         self.stats.misses += 1;
-        set.policy.on_miss(set_idx, &mut self.shared);
+        K::on_miss(&mut self.policy[s], set_idx, &mut self.shared);
 
         // Prefer an invalid powered frame, then a gated frame, then the
         // policy victim.
-        let victim_way = if let Some(w) = set.ways.iter().position(|w| !w.gated && w.tag.is_none())
-        {
-            w as u8
-        } else if let Some(w) = set.ways.iter().position(|w| w.gated) {
-            w as u8
+        let free = !self.valid[s] & !self.gated[s] & self.ways_mask();
+        let victim_way = if free != 0 {
+            free.trailing_zeros() as u8
+        } else if self.gated[s] != 0 {
+            self.gated[s].trailing_zeros() as u8
         } else {
-            set.policy
-                .victim(&mut self.shared, self.config.geometry.associativity as u8)
+            K::victim(&mut self.policy[s], &mut self.shared, ways)
         };
 
-        let victim = &mut set.ways[victim_way as usize];
-        let evicted = if victim.gated {
+        let bit = 1u16 << victim_way;
+        let frame = base + usize::from(victim_way);
+        let evicted = if self.gated[s] & bit != 0 || self.tags[frame] == TAG_NONE {
             None
         } else {
-            victim.tag.map(|tag| {
-                (tag * u64::from(self.config.geometry.sets()) + u64::from(set_idx))
-                    * u64::from(self.config.geometry.block_bytes)
-            })
+            Some(self.block_addr(set_idx, self.tags[frame]))
         };
-        let victim_dirty = victim.dirty;
-        victim.invalidate();
+        let victim_dirty = self.dirty[s] & bit != 0;
+        // Invalidate; a gated victim keeps its gated state (fill re-powers).
+        self.tags[frame] = TAG_NONE;
+        self.valid[s] &= !bit;
+        self.dirty[s] &= !bit;
         let wrote_back = match evicted {
             Some(wb_addr) if victim_dirty => {
                 self.stats.writebacks += 1;
@@ -477,42 +518,74 @@ impl Cache {
     /// the chosen frame if it was gated. `dirty` is true for write-allocate
     /// fills. Returns where the block landed.
     ///
+    /// Matches the policy enum once per call; monomorphized loops use
+    /// [`Cache::fill_k`] directly.
+    ///
     /// # Panics
     ///
     /// Panics if `data` length differs from the block size.
     pub fn fill(&mut self, addr: u64, data: &[u8], dirty: bool) -> BlockId {
+        with_policy_kernel!(self.config.policy, K => self.fill_k::<K>(addr, data, dirty))
+    }
+
+    /// [`Cache::fill`] specialised to a [`PolicyKernel`]: identical state
+    /// transitions and statistics without per-access policy dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the block size; debug builds
+    /// panic if `K` does not match the configured policy.
+    pub fn fill_k<K: PolicyKernel>(&mut self, addr: u64, data: &[u8], dirty: bool) -> BlockId {
+        debug_assert_eq!(
+            K::POLICY,
+            self.config.policy,
+            "policy kernel must match the cache's configured policy"
+        );
         assert_eq!(
             data.len(),
             self.block_bytes() as usize,
             "fill data must be exactly one block"
         );
         let (set_idx, tag) = self.split(addr);
-        let ways = self.config.geometry.associativity as u8;
-        let set = &mut self.sets[set_idx as usize];
+        let s = set_idx as usize;
+        let ways = self.ways();
 
         // Choose the frame: an invalid powered frame (the one lookup just
         // evicted, typically), else a gated frame, else the policy victim.
-        let way_idx = if let Some(w) = set.ways.iter().position(|w| !w.gated && w.tag.is_none()) {
-            w as u8
-        } else if let Some(w) = set.ways.iter().position(|w| w.gated) {
-            w as u8
+        let free = !self.valid[s] & !self.gated[s] & self.ways_mask();
+        let way_idx = if free != 0 {
+            free.trailing_zeros() as u8
+        } else if self.gated[s] != 0 {
+            self.gated[s].trailing_zeros() as u8
         } else {
-            set.policy.victim(&mut self.shared, ways)
+            K::victim(&mut self.policy[s], &mut self.shared, ways)
         };
 
-        let way = &mut set.ways[way_idx as usize];
+        let bit = 1u16 << way_idx;
+        let frame = self.frame_index(set_idx, way_idx);
         debug_assert!(
-            way.tag.is_none() || way.gated,
+            self.tags[frame] == TAG_NONE,
             "fill must not silently clobber a live block; lookup evicts first"
         );
-        if way.gated {
-            way.gated = false;
+        if self.gated[s] & bit != 0 {
+            self.gated[s] &= !bit;
             self.gated_count -= 1;
             self.stats.ungates += 1;
         }
-        way.tag = Some(tag);
-        way.dirty = dirty;
-        set.policy.on_fill(way_idx, set_idx, &mut self.shared);
+        self.tags[frame] = tag;
+        self.valid[s] |= bit;
+        if dirty {
+            self.dirty[s] |= bit;
+        } else {
+            self.dirty[s] &= !bit;
+        }
+        K::on_fill(
+            &mut self.policy[s],
+            way_idx,
+            set_idx,
+            ways,
+            &mut self.shared,
+        );
         let range = self.frame_range(set_idx, way_idx);
         self.data[range].copy_from_slice(data);
         self.stats.fills += 1;
@@ -529,8 +602,11 @@ impl Cache {
     ///
     /// Panics if the frame is gated or invalid.
     pub fn data(&self, block: BlockId) -> &[u8] {
-        let way = &self.sets[block.set as usize].ways[block.way as usize];
-        assert!(!way.gated && way.tag.is_some(), "data of a dead frame");
+        let bit = 1u16 << block.way;
+        assert!(
+            self.valid[block.set as usize] & bit != 0,
+            "data of a dead frame"
+        );
         self.frame_data(block.set, block.way)
     }
 
@@ -540,9 +616,10 @@ impl Cache {
     ///
     /// Panics if the frame is gated/invalid or the range is out of bounds.
     pub fn write_data(&mut self, block: BlockId, offset: usize, bytes: &[u8]) {
-        let way = &mut self.sets[block.set as usize].ways[block.way as usize];
-        assert!(!way.gated && way.tag.is_some(), "write to a dead frame");
-        way.dirty = true;
+        let s = block.set as usize;
+        let bit = 1u16 << block.way;
+        assert!(self.valid[s] & bit != 0, "write to a dead frame");
+        self.dirty[s] |= bit;
         let start = self.frame_range(block.set, block.way).start + offset;
         self.data[start..start + bytes.len()].copy_from_slice(bytes);
     }
@@ -571,43 +648,41 @@ impl Cache {
     /// [`Writeback`]. Identical state transitions and statistics to
     /// [`Cache::gate`] (which wraps it).
     pub fn gate_with(&mut self, block: BlockId, wb_sink: impl FnOnce(u64, &[u8])) -> GateResult {
-        let set_idx = block.set;
-        let way = &mut self.sets[set_idx as usize].ways[block.way as usize];
-        if way.gated {
+        let s = block.set as usize;
+        let bit = 1u16 << block.way;
+        if self.gated[s] & bit != 0 {
             return GateResult::AlreadyGated;
         }
-        way.gated = true;
+        self.gated[s] |= bit;
         self.gated_count += 1;
         self.stats.gates += 1;
-        match way.tag.take() {
-            None => GateResult::GatedInvalid,
-            Some(tag) => {
-                let addr = (tag * u64::from(self.config.geometry.sets()) + u64::from(set_idx))
-                    * u64::from(self.config.geometry.block_bytes);
-                let was_dirty = way.dirty;
-                way.dirty = false;
-                if was_dirty {
-                    self.stats.writebacks += 1;
-                    wb_sink(addr, self.frame_data(set_idx, block.way));
-                }
-                GateResult::GatedValid {
-                    addr,
-                    dirty: was_dirty,
-                }
-            }
+        let frame = self.frame_index(block.set, block.way);
+        let tag = self.tags[frame];
+        if tag == TAG_NONE {
+            return GateResult::GatedInvalid;
+        }
+        // Gating takes the tag: a gated frame never matches a probe.
+        self.tags[frame] = TAG_NONE;
+        self.valid[s] &= !bit;
+        let addr = self.block_addr(block.set, tag);
+        let was_dirty = self.dirty[s] & bit != 0;
+        self.dirty[s] &= !bit;
+        if was_dirty {
+            self.stats.writebacks += 1;
+            wb_sink(addr, self.frame_data(block.set, block.way));
+        }
+        GateResult::GatedValid {
+            addr,
+            dirty: was_dirty,
         }
     }
 
     /// Re-powers every gated frame without filling it (e.g. when a predictor
     /// is reset). Frames come back invalid and leaking.
     pub fn ungate_all(&mut self) {
-        for set in &mut self.sets {
-            for way in &mut set.ways {
-                if way.gated {
-                    way.gated = false;
-                    self.stats.ungates += 1;
-                }
-            }
+        for g in self.gated.iter_mut() {
+            self.stats.ungates += u64::from(g.count_ones());
+            *g = 0;
         }
         self.gated_count = 0;
     }
@@ -616,16 +691,11 @@ impl Cache {
     /// powered (cold and leaking) at reboot. Returns the number of *valid*
     /// blocks that were lost — the zombie-analysis input.
     pub fn power_fail(&mut self) -> u32 {
-        let mut lost = 0;
-        for set in &mut self.sets {
-            for way in &mut set.ways {
-                if way.tag.is_some() {
-                    lost += 1;
-                }
-                way.invalidate();
-                way.gated = false;
-            }
-        }
+        let lost = self.valid.iter().map(|v| v.count_ones()).sum();
+        self.tags.fill(TAG_NONE);
+        self.valid.fill(0);
+        self.dirty.fill(0);
+        self.gated.fill(0);
         self.gated_count = 0;
         self.stats.power_failures += 1;
         lost
@@ -636,18 +706,18 @@ impl Cache {
     /// checkpointing and whole-cache schemes such as SDBP; the `Vec`
     /// snapshots below are thin wrappers kept for tests and cold paths.
     pub fn for_each_valid(&self, mut f: impl FnMut(u64, &[u8], bool)) {
-        for (set_idx, set) in self.sets.iter().enumerate() {
-            for (way_idx, way) in set.ways.iter().enumerate() {
-                if way.gated {
-                    continue;
-                }
-                if let Some(tag) = way.tag {
-                    f(
-                        self.block_addr(set_idx as u32, tag),
-                        self.frame_data(set_idx as u32, way_idx as u8),
-                        way.dirty,
-                    );
-                }
+        let ways = usize::from(self.ways());
+        for (s, &valid) in self.valid.iter().enumerate() {
+            let mut live = valid;
+            while live != 0 {
+                let w = live.trailing_zeros() as u8;
+                live &= live - 1;
+                let frame = s * ways + usize::from(w);
+                f(
+                    self.block_addr(s as u32, self.tags[frame]),
+                    self.frame_data(s as u32, w),
+                    self.dirty[s] & (1u16 << w) != 0,
+                );
             }
         }
     }
@@ -666,17 +736,19 @@ impl Cache {
     /// tag metadata — no block data, no allocation — so it is cheap enough
     /// for per-cycle instrumentation (the zombie sampler).
     pub fn resident_addrs_iter(&self) -> impl Iterator<Item = u64> + '_ {
-        let n_sets = u64::from(self.config.geometry.sets());
-        let block_bytes = u64::from(self.config.geometry.block_bytes);
-        self.sets
-            .iter()
-            .enumerate()
-            .flat_map(move |(set_idx, set)| {
-                set.ways.iter().filter_map(move |way| match way.tag {
-                    Some(tag) if !way.gated => Some((tag * n_sets + set_idx as u64) * block_bytes),
-                    _ => None,
-                })
+        let n_sets = u64::from(self.sets());
+        let block_bytes = u64::from(self.block_bytes());
+        let ways = usize::from(self.ways());
+        self.valid.iter().enumerate().flat_map(move |(s, &v)| {
+            let tags = &self.tags[s * ways..(s + 1) * ways];
+            (0..ways).filter_map(move |w| {
+                if v & (1u16 << w) != 0 {
+                    Some((tags[w] * n_sets + s as u64) * block_bytes)
+                } else {
+                    None
+                }
             })
+        })
     }
 
     /// Snapshot of every *valid, powered* dirty block, for JIT checkpointing.
@@ -706,20 +778,27 @@ impl Cache {
     /// interface predictors use to pick gating victims. Returns the number
     /// of slots written (the way count).
     pub fn set_view_into(&self, set: u32, out: &mut [WayView; MAX_WAYS]) -> usize {
-        let s = &self.sets[set as usize];
-        let mut ranks = [0u8; MAX_WAYS];
-        s.policy.ranks_into(self.ways(), &mut ranks);
-        for (w, way) in s.ways.iter().enumerate() {
-            out[w] = WayView {
-                block: BlockId { set, way: w as u8 },
-                valid: way.tag.is_some() && !way.gated,
-                dirty: way.dirty,
-                gated: way.gated,
-                addr: way.tag.map(|t| self.block_addr(set, t)).unwrap_or(0),
-                rank: ranks[w],
+        let s = set as usize;
+        let word = with_policy_kernel!(self.config.policy, K => K::ranks_word(&self.policy[s]));
+        let ways = self.ways();
+        for w in 0..ways {
+            let bit = 1u16 << w;
+            let valid = self.valid[s] & bit != 0;
+            let frame = s * usize::from(ways) + usize::from(w);
+            out[usize::from(w)] = WayView {
+                block: BlockId { set, way: w },
+                valid,
+                dirty: self.dirty[s] & bit != 0,
+                gated: self.gated[s] & bit != 0,
+                addr: if valid {
+                    self.block_addr(set, self.tags[frame])
+                } else {
+                    0
+                },
+                rank: rank_of(word, w),
             };
         }
-        usize::from(self.ways())
+        usize::from(ways)
     }
 
     /// Views of every way in a set, annotated with eviction ranks — a thin
@@ -783,6 +862,18 @@ mod tests {
             LookupOutcome::Hit(h) => assert!(h.was_dirty),
             _ => panic!("expected hit"),
         }
+    }
+
+    #[test]
+    fn read_hit_keeps_block_clean() {
+        let mut c = small();
+        c.lookup(0x40, AccessKind::Read);
+        c.fill(0x40, &BLK, false);
+        match c.lookup(0x40, AccessKind::Read) {
+            LookupOutcome::Hit(h) => assert!(!h.was_dirty),
+            _ => panic!("expected hit"),
+        }
+        assert!(c.dirty_blocks().is_empty(), "read hits must not dirty");
     }
 
     #[test]
@@ -956,6 +1047,40 @@ mod tests {
     fn fill_rejects_wrong_size() {
         let mut c = small();
         c.fill(0x00, &[0u8; 8], false);
+    }
+
+    #[test]
+    fn generic_kernel_paths_match_dispatched_paths() {
+        use crate::LruKernel;
+        let mut a = small();
+        let mut b = small();
+        for i in 0..64u64 {
+            let addr = (i * 16) % 256;
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let ra = a.lookup_with(addr, kind, |_, _| {});
+            let rb = b.lookup_with_k::<LruKernel>(addr, kind, |_, _| {});
+            assert_eq!(ra, rb, "access {i}");
+            if !ra.is_hit() {
+                assert_eq!(
+                    a.fill(addr, &BLK, false),
+                    b.fill_k::<LruKernel>(addr, &BLK, false)
+                );
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "policy kernel must match")]
+    fn mismatched_kernel_panics_in_debug() {
+        use crate::DrripKernel;
+        let mut c = small(); // configured LRU
+        let _ = c.lookup_with_k::<DrripKernel>(0x00, AccessKind::Read, |_, _| {});
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Replacement policies and their per-set state.
 //!
 //! Policies do double duty in this workspace: besides choosing victims they
-//! expose a per-way *eviction rank* ([`SetPolicyState::ranks`]) — 0 for the
-//! most protected (MRU-like) block up to `ways - 1` for the next victim —
-//! which is exactly the recency information EDBP piggybacks on (paper
-//! Section V-A).
+//! expose a per-way *eviction rank* — 0 for the most protected (MRU-like)
+//! block up to `ways - 1` for the next victim — which is exactly the recency
+//! information EDBP piggybacks on (paper Section V-A).
 //!
 //! # Packed representation
 //!
@@ -12,8 +11,8 @@
 //! no sort on the read path:
 //!
 //! * Every policy maintains a **rank word**: a `u64` holding one 4-bit rank
-//!   per way (way `w` in bits `4w..4w+4`), so `ranks_into` is a shift/mask
-//!   read and recency updates are branchless SWAR kernels
+//!   per way (way `w` in bits `4w..4w+4`), so rank reads are a shift/mask
+//!   and recency updates are branchless SWAR kernels
 //!   ([`promote_word`], [`find_rank`]). Nibbles at or above the way count
 //!   hold values `>= ways`, which keeps them inert: promotions only
 //!   increment lanes ranked *better* than the promoted way, and rank
@@ -23,6 +22,20 @@
 //!
 //! This caps associativity at [`MAX_WAYS`] = 16 ways, far above anything the
 //! experiments sweep (the paper's caches are 4-way; Fig. 12 sweeps 1–8).
+//!
+//! # Kernels
+//!
+//! Each policy's transition functions are exposed as a zero-sized
+//! [`PolicyKernel`] type ([`LruKernel`], [`TreePlruKernel`], [`DrripKernel`],
+//! [`FifoKernel`], [`RandomKernel`]) operating on a plain-old-data
+//! [`SetState`]. The [`with_policy_kernel!`] macro is the single
+//! enum-to-generic dispatch point: it matches a [`ReplacementPolicy`]
+//! exhaustively (no wildcard arm) and runs the caller's body with the
+//! matching kernel type bound, so hot loops monomorphize per policy and pay
+//! the dispatch once per run instead of once per access. [`SetPolicyState`]
+//! is the scalar one-set-at-a-time view over the same kernels; the model
+//! proptests at the bottom of this file pin it — and therefore every kernel —
+//! against a verbatim port of the pre-packing heap implementation.
 
 /// Maximum associativity supported by the packed per-set policy state
 /// (one 4-bit rank lane per way in a `u64`).
@@ -50,6 +63,16 @@ pub enum ReplacementPolicy {
 }
 
 impl ReplacementPolicy {
+    /// Every policy, in declaration order. Used by the kernel-matrix tests
+    /// to prove the enum-to-generic dispatch is exhaustive.
+    pub const ALL: [ReplacementPolicy; 5] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Drrip,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ];
+
     /// Canonical lowercase name.
     pub fn name(self) -> &'static str {
         match self {
@@ -86,7 +109,7 @@ const RRPV_LANE_ONES: u32 = 0x5555_5555;
 
 /// Reads way `way`'s nibble from a rank word.
 #[inline]
-fn rank_of(ranks: u64, way: u8) -> u8 {
+pub(crate) fn rank_of(ranks: u64, way: u8) -> u8 {
     ((ranks >> (4 * u32::from(way))) & 0xF) as u8
 }
 
@@ -137,34 +160,24 @@ fn identity_word(_ways: u8) -> u64 {
     IDENTITY_WORD
 }
 
-/// Per-set replacement state, dispatched on the policy. All variants are
-/// inline fixed-width words — constructing a set allocates nothing.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum SetPolicyState {
-    /// Packed rank word, ways ordered by recency (rank 0 = MRU).
-    Lru {
-        /// Nibble-packed per-way eviction ranks.
-        ranks: u64,
-    },
-    /// Tree-PLRU decision bits: node `i` has children `2i+1`/`2i+2`; a set
-    /// bit means "the cold (LRU-ish) side is the right child". The rank
-    /// word is maintained incrementally on every touch.
-    TreePlru { bits: u16, ranks: u64, ways: u8 },
-    /// 2-bit RRPVs packed in a `u32`; the rank word is maintained
-    /// incrementally on every RRPV change.
-    Drrip { rrpv: u32, ranks: u64, ways: u8 },
-    /// Packed rank word, ways ordered by fill age (rank 0 = newest).
-    Fifo {
-        /// Nibble-packed per-way eviction ranks.
-        ranks: u64,
-    },
-    /// No per-way state; victims from the shared LFSR.
-    Random,
+/// Plain-old-data per-set policy state shared by every kernel. Each kernel
+/// uses only the lanes it needs (`ranks` for all but Random, `plru` for
+/// tree-PLRU decision bits, `rrpv` for DRRIP); the unused lanes stay zero.
+/// 16 bytes, `Copy`, no heap — the cache stores one of these per set in a
+/// flat struct-of-arrays column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SetState {
+    /// Nibble-packed per-way eviction ranks (see module docs).
+    pub(crate) ranks: u64,
+    /// Tree-PLRU decision bits: node `i` = bit `i`.
+    pub(crate) plru: u16,
+    /// 2-bit RRPVs packed in a `u32`.
+    pub(crate) rrpv: u32,
 }
 
 /// Cache-level shared policy state (set dueling, LFSR).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) struct SharedPolicyState {
+pub struct SharedPolicyState {
     policy: ReplacementPolicy,
     /// DRRIP policy-selection counter: < midpoint favours SRRIP.
     psel: u16,
@@ -177,7 +190,8 @@ pub(crate) struct SharedPolicyState {
 }
 
 impl SharedPolicyState {
-    pub(crate) fn new(policy: ReplacementPolicy, sets: u32) -> Self {
+    /// Fresh shared state for a cache of `sets` sets.
+    pub fn new(policy: ReplacementPolicy, sets: u32) -> Self {
         Self {
             policy,
             psel: PSEL_MAX / 2,
@@ -225,126 +239,384 @@ enum DuelRole {
     Follower,
 }
 
+/// A replacement policy's transition functions as compile-time statics, so
+/// the per-access cache path monomorphizes per policy instead of matching a
+/// [`ReplacementPolicy`] on every probe. Obtain a kernel type with
+/// [`with_policy_kernel!`]; never mix kernels and sets of different
+/// policies (the cache guards this with a debug assertion).
+pub trait PolicyKernel {
+    /// The enum variant this kernel specializes.
+    const POLICY: ReplacementPolicy;
+
+    /// Fresh per-set state for a set of `ways` ways.
+    fn init(ways: u8) -> SetState;
+
+    /// Records a hit on `way`.
+    fn on_hit(state: &mut SetState, way: u8, ways: u8);
+
+    /// Records a fill into `way` (after victim selection).
+    fn on_fill(state: &mut SetState, way: u8, set: u32, ways: u8, shared: &mut SharedPolicyState);
+
+    /// Records a miss in set `set` (DRRIP set dueling).
+    fn on_miss(state: &mut SetState, set: u32, shared: &mut SharedPolicyState);
+
+    /// Chooses a victim way among the occupied ways, assuming no invalid
+    /// way was available (the cache prefers invalid/gated ways first).
+    fn victim(state: &mut SetState, shared: &mut SharedPolicyState, ways: u8) -> u8;
+
+    /// The packed rank word — 0 = most protected, `ways-1` = next victim;
+    /// the recency signal EDBP reads (Section V-A).
+    fn ranks_word(state: &SetState) -> u64;
+}
+
+/// LRU: packed rank word, ways ordered by recency (rank 0 = MRU).
+#[derive(Debug, Clone, Copy)]
+pub struct LruKernel;
+
+impl PolicyKernel for LruKernel {
+    const POLICY: ReplacementPolicy = ReplacementPolicy::Lru;
+
+    #[inline]
+    fn init(ways: u8) -> SetState {
+        SetState {
+            ranks: identity_word(ways),
+            ..SetState::default()
+        }
+    }
+
+    #[inline]
+    fn on_hit(state: &mut SetState, way: u8, _ways: u8) {
+        state.ranks = promote_word(state.ranks, way);
+    }
+
+    #[inline]
+    fn on_fill(
+        state: &mut SetState,
+        way: u8,
+        _set: u32,
+        _ways: u8,
+        _shared: &mut SharedPolicyState,
+    ) {
+        state.ranks = promote_word(state.ranks, way);
+    }
+
+    #[inline]
+    fn on_miss(_state: &mut SetState, _set: u32, _shared: &mut SharedPolicyState) {}
+
+    #[inline]
+    fn victim(state: &mut SetState, _shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        find_rank(state.ranks, ways - 1)
+    }
+
+    #[inline]
+    fn ranks_word(state: &SetState) -> u64 {
+        state.ranks
+    }
+}
+
+/// Tree-PLRU: decision bits in `plru`, rank word maintained incrementally
+/// on every touch.
+#[derive(Debug, Clone, Copy)]
+pub struct TreePlruKernel;
+
+impl PolicyKernel for TreePlruKernel {
+    const POLICY: ReplacementPolicy = ReplacementPolicy::TreePlru;
+
+    #[inline]
+    fn init(ways: u8) -> SetState {
+        assert!(
+            ways.is_power_of_two(),
+            "tree-PLRU needs a power-of-two way count"
+        );
+        let bits = 0u16;
+        SetState {
+            ranks: plru_rank_word(bits, ways),
+            plru: bits,
+            rrpv: 0,
+        }
+    }
+
+    #[inline]
+    fn on_hit(state: &mut SetState, way: u8, ways: u8) {
+        plru_touch(&mut state.plru, ways, way);
+        state.ranks = plru_rank_word(state.plru, ways);
+    }
+
+    #[inline]
+    fn on_fill(
+        state: &mut SetState,
+        way: u8,
+        _set: u32,
+        ways: u8,
+        _shared: &mut SharedPolicyState,
+    ) {
+        plru_touch(&mut state.plru, ways, way);
+        state.ranks = plru_rank_word(state.plru, ways);
+    }
+
+    #[inline]
+    fn on_miss(_state: &mut SetState, _set: u32, _shared: &mut SharedPolicyState) {}
+
+    #[inline]
+    fn victim(state: &mut SetState, _shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        plru_victim(state.plru, ways)
+    }
+
+    #[inline]
+    fn ranks_word(state: &SetState) -> u64 {
+        state.ranks
+    }
+}
+
+/// DRRIP: 2-bit RRPVs with SRRIP/BRRIP set dueling; rank word maintained
+/// incrementally on every RRPV change.
+#[derive(Debug, Clone, Copy)]
+pub struct DrripKernel;
+
+impl PolicyKernel for DrripKernel {
+    const POLICY: ReplacementPolicy = ReplacementPolicy::Drrip;
+
+    #[inline]
+    fn init(ways: u8) -> SetState {
+        let rrpv = rrpv_all_max(ways);
+        SetState {
+            ranks: drrip_rank_word(rrpv, ways),
+            plru: 0,
+            rrpv,
+        }
+    }
+
+    #[inline]
+    fn on_hit(state: &mut SetState, way: u8, ways: u8) {
+        state.rrpv = rrpv_set(state.rrpv, way, 0);
+        state.ranks = drrip_rank_word(state.rrpv, ways);
+    }
+
+    #[inline]
+    fn on_fill(state: &mut SetState, way: u8, set: u32, ways: u8, shared: &mut SharedPolicyState) {
+        let use_brrip = match shared.duel_role(set) {
+            DuelRole::SrripLeader => false,
+            DuelRole::BrripLeader => true,
+            DuelRole::Follower => shared.psel > PSEL_MAX / 2,
+        };
+        let insert = if use_brrip {
+            shared.brrip_fills = shared.brrip_fills.wrapping_add(1);
+            if shared.brrip_fills.is_multiple_of(BRRIP_EPSILON) {
+                RRPV_LONG
+            } else {
+                RRPV_MAX
+            }
+        } else {
+            RRPV_LONG
+        };
+        state.rrpv = rrpv_set(state.rrpv, way, insert);
+        state.ranks = drrip_rank_word(state.rrpv, ways);
+    }
+
+    #[inline]
+    fn on_miss(_state: &mut SetState, set: u32, shared: &mut SharedPolicyState) {
+        match shared.duel_role(set) {
+            // A miss in an SRRIP leader argues for BRRIP, and vice versa.
+            DuelRole::SrripLeader => shared.psel = (shared.psel + 1).min(PSEL_MAX),
+            DuelRole::BrripLeader => shared.psel = shared.psel.saturating_sub(1),
+            DuelRole::Follower => {}
+        }
+    }
+
+    #[inline]
+    fn victim(state: &mut SetState, _shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        let lane_mask = RRPV_LANE_ONES & rrpv_used_mask(ways);
+        loop {
+            // Bit `2w` set iff way `w` sits at RRPV_MAX (0b11).
+            let distant = state.rrpv & (state.rrpv >> 1) & lane_mask;
+            if distant != 0 {
+                break (distant.trailing_zeros() / 2) as u8;
+            }
+            // Age every way by one; no lane is at 3, so no carry.
+            state.rrpv += lane_mask;
+            state.ranks = drrip_rank_word(state.rrpv, ways);
+        }
+    }
+
+    #[inline]
+    fn ranks_word(state: &SetState) -> u64 {
+        state.ranks
+    }
+}
+
+/// FIFO: packed rank word, ways ordered by fill age (rank 0 = newest);
+/// hits change nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct FifoKernel;
+
+impl PolicyKernel for FifoKernel {
+    const POLICY: ReplacementPolicy = ReplacementPolicy::Fifo;
+
+    #[inline]
+    fn init(ways: u8) -> SetState {
+        SetState {
+            ranks: identity_word(ways),
+            ..SetState::default()
+        }
+    }
+
+    #[inline]
+    fn on_hit(_state: &mut SetState, _way: u8, _ways: u8) {}
+
+    #[inline]
+    fn on_fill(
+        state: &mut SetState,
+        way: u8,
+        _set: u32,
+        _ways: u8,
+        _shared: &mut SharedPolicyState,
+    ) {
+        state.ranks = promote_word(state.ranks, way);
+    }
+
+    #[inline]
+    fn on_miss(_state: &mut SetState, _set: u32, _shared: &mut SharedPolicyState) {}
+
+    #[inline]
+    fn victim(state: &mut SetState, _shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        find_rank(state.ranks, ways - 1)
+    }
+
+    #[inline]
+    fn ranks_word(state: &SetState) -> u64 {
+        state.ranks
+    }
+}
+
+/// Random: no per-way state; victims from the shared branchless xorshift
+/// LFSR. Lives in the same monomorphized structure as the recency policies
+/// so no policy falls back to slow dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomKernel;
+
+impl PolicyKernel for RandomKernel {
+    const POLICY: ReplacementPolicy = ReplacementPolicy::Random;
+
+    #[inline]
+    fn init(ways: u8) -> SetState {
+        SetState {
+            ranks: identity_word(ways),
+            ..SetState::default()
+        }
+    }
+
+    #[inline]
+    fn on_hit(_state: &mut SetState, _way: u8, _ways: u8) {}
+
+    #[inline]
+    fn on_fill(
+        _state: &mut SetState,
+        _way: u8,
+        _set: u32,
+        _ways: u8,
+        _shared: &mut SharedPolicyState,
+    ) {
+    }
+
+    #[inline]
+    fn on_miss(_state: &mut SetState, _set: u32, _shared: &mut SharedPolicyState) {}
+
+    #[inline]
+    fn victim(_state: &mut SetState, shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        (shared.next_random() % u32::from(ways)) as u8
+    }
+
+    #[inline]
+    fn ranks_word(state: &SetState) -> u64 {
+        state.ranks
+    }
+}
+
+/// The enum-to-generic dispatch point: runs `$body` with `$K` bound to the
+/// [`PolicyKernel`] type matching `$policy`. The match is exhaustive with
+/// **no wildcard arm**, so adding a [`ReplacementPolicy`] variant without a
+/// kernel is a compile error — no policy can silently fall back to dynamic
+/// dispatch. Callers pay this match once per run (or once per cache call on
+/// the non-generic convenience paths), never once per access inside a
+/// monomorphized loop.
+#[macro_export]
+macro_rules! with_policy_kernel {
+    ($policy:expr, $K:ident => $body:expr) => {
+        match $policy {
+            $crate::ReplacementPolicy::Lru => {
+                type $K = $crate::LruKernel;
+                $body
+            }
+            $crate::ReplacementPolicy::TreePlru => {
+                type $K = $crate::TreePlruKernel;
+                $body
+            }
+            $crate::ReplacementPolicy::Drrip => {
+                type $K = $crate::DrripKernel;
+                $body
+            }
+            $crate::ReplacementPolicy::Fifo => {
+                type $K = $crate::FifoKernel;
+                $body
+            }
+            $crate::ReplacementPolicy::Random => {
+                type $K = $crate::RandomKernel;
+                $body
+            }
+        }
+    };
+}
+
+/// Scalar one-set-at-a-time view over the policy kernels: a
+/// (policy, ways, [`SetState`]) triple that dispatches each call through
+/// [`with_policy_kernel!`]. The cache's hot path uses the kernels directly
+/// over its struct-of-arrays columns; this wrapper exists for tests (the
+/// model proptests pin it against the reference implementation, and through
+/// it every kernel) and for callers that hold a single set's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetPolicyState {
+    policy: ReplacementPolicy,
+    ways: u8,
+    state: SetState,
+}
+
 impl SetPolicyState {
-    pub(crate) fn new(policy: ReplacementPolicy, ways: u8) -> Self {
+    /// Fresh per-set state for `policy` over `ways` ways.
+    pub fn new(policy: ReplacementPolicy, ways: u8) -> Self {
         assert!(
             usize::from(ways) <= MAX_WAYS && ways > 0,
             "packed policy state supports 1..={MAX_WAYS} ways, got {ways}"
         );
-        match policy {
-            ReplacementPolicy::Lru => SetPolicyState::Lru {
-                ranks: identity_word(ways),
-            },
-            ReplacementPolicy::TreePlru => {
-                assert!(
-                    ways.is_power_of_two(),
-                    "tree-PLRU needs a power-of-two way count"
-                );
-                let bits = 0u16;
-                SetPolicyState::TreePlru {
-                    bits,
-                    ranks: plru_rank_word(bits, ways),
-                    ways,
-                }
-            }
-            ReplacementPolicy::Drrip => {
-                let rrpv = rrpv_all_max(ways);
-                SetPolicyState::Drrip {
-                    rrpv,
-                    ranks: drrip_rank_word(rrpv, ways),
-                    ways,
-                }
-            }
-            ReplacementPolicy::Fifo => SetPolicyState::Fifo {
-                ranks: identity_word(ways),
-            },
-            ReplacementPolicy::Random => SetPolicyState::Random,
+        let state = with_policy_kernel!(policy, K => K::init(ways));
+        Self {
+            policy,
+            ways,
+            state,
         }
     }
 
     /// Records a hit on `way`.
-    pub(crate) fn on_hit(&mut self, way: u8) {
-        match self {
-            SetPolicyState::Lru { ranks } => *ranks = promote_word(*ranks, way),
-            SetPolicyState::TreePlru { bits, ranks, ways } => {
-                plru_touch(bits, *ways, way);
-                *ranks = plru_rank_word(*bits, *ways);
-            }
-            SetPolicyState::Drrip { rrpv, ranks, ways } => {
-                *rrpv = rrpv_set(*rrpv, way, 0);
-                *ranks = drrip_rank_word(*rrpv, *ways);
-            }
-            SetPolicyState::Fifo { .. } | SetPolicyState::Random => {}
-        }
+    pub fn on_hit(&mut self, way: u8) {
+        with_policy_kernel!(self.policy, K => K::on_hit(&mut self.state, way, self.ways));
     }
 
     /// Records a fill into `way` (after victim selection).
-    pub(crate) fn on_fill(&mut self, way: u8, set: u32, shared: &mut SharedPolicyState) {
-        match self {
-            SetPolicyState::Lru { ranks } => *ranks = promote_word(*ranks, way),
-            SetPolicyState::TreePlru { bits, ranks, ways } => {
-                plru_touch(bits, *ways, way);
-                *ranks = plru_rank_word(*bits, *ways);
-            }
-            SetPolicyState::Drrip { rrpv, ranks, ways } => {
-                let use_brrip = match shared.duel_role(set) {
-                    DuelRole::SrripLeader => false,
-                    DuelRole::BrripLeader => true,
-                    DuelRole::Follower => shared.psel > PSEL_MAX / 2,
-                };
-                let insert = if use_brrip {
-                    shared.brrip_fills = shared.brrip_fills.wrapping_add(1);
-                    if shared.brrip_fills.is_multiple_of(BRRIP_EPSILON) {
-                        RRPV_LONG
-                    } else {
-                        RRPV_MAX
-                    }
-                } else {
-                    RRPV_LONG
-                };
-                *rrpv = rrpv_set(*rrpv, way, insert);
-                *ranks = drrip_rank_word(*rrpv, *ways);
-            }
-            SetPolicyState::Fifo { ranks } => *ranks = promote_word(*ranks, way),
-            SetPolicyState::Random => {}
-        }
+    pub fn on_fill(&mut self, way: u8, set: u32, shared: &mut SharedPolicyState) {
+        with_policy_kernel!(
+            self.policy,
+            K => K::on_fill(&mut self.state, way, set, self.ways, shared)
+        );
     }
 
     /// Records a miss in this set for DRRIP set dueling.
-    pub(crate) fn on_miss(&mut self, set: u32, shared: &mut SharedPolicyState) {
-        if matches!(self, SetPolicyState::Drrip { .. }) {
-            match shared.duel_role(set) {
-                // A miss in an SRRIP leader argues for BRRIP, and vice versa.
-                DuelRole::SrripLeader => shared.psel = (shared.psel + 1).min(PSEL_MAX),
-                DuelRole::BrripLeader => shared.psel = shared.psel.saturating_sub(1),
-                DuelRole::Follower => {}
-            }
-        }
+    pub fn on_miss(&mut self, set: u32, shared: &mut SharedPolicyState) {
+        with_policy_kernel!(self.policy, K => K::on_miss(&mut self.state, set, shared));
     }
 
     /// Chooses a victim way among the occupied ways, assuming no invalid way
     /// was available (the cache prefers invalid/gated ways first).
-    pub(crate) fn victim(&mut self, shared: &mut SharedPolicyState, ways: u8) -> u8 {
-        match self {
-            SetPolicyState::Lru { ranks } | SetPolicyState::Fifo { ranks } => {
-                find_rank(*ranks, ways - 1)
-            }
-            SetPolicyState::TreePlru { bits, ways, .. } => plru_victim(*bits, *ways),
-            SetPolicyState::Drrip { rrpv, ranks, ways } => {
-                let lane_mask = RRPV_LANE_ONES & rrpv_used_mask(*ways);
-                loop {
-                    // Bit `2w` set iff way `w` sits at RRPV_MAX (0b11).
-                    let distant = *rrpv & (*rrpv >> 1) & lane_mask;
-                    if distant != 0 {
-                        break (distant.trailing_zeros() / 2) as u8;
-                    }
-                    // Age every way by one; no lane is at 3, so no carry.
-                    *rrpv += lane_mask;
-                    *ranks = drrip_rank_word(*rrpv, *ways);
-                }
-            }
-            SetPolicyState::Random => (shared.next_random() % u32::from(ways)) as u8,
-        }
+    pub fn victim(&mut self, shared: &mut SharedPolicyState, ways: u8) -> u8 {
+        with_policy_kernel!(self.policy, K => K::victim(&mut self.state, shared, ways))
     }
 
     /// Eviction ranks per way — 0 = most protected (MRU-like), `ways-1` =
@@ -352,14 +624,8 @@ impl SetPolicyState {
     /// into the low `ways` slots of a caller-provided buffer. A pure
     /// shift/mask read: no allocation, no sort.
     #[inline]
-    pub(crate) fn ranks_into(&self, ways: u8, out: &mut [u8; MAX_WAYS]) {
-        let word = match self {
-            SetPolicyState::Lru { ranks }
-            | SetPolicyState::Fifo { ranks }
-            | SetPolicyState::TreePlru { ranks, .. }
-            | SetPolicyState::Drrip { ranks, .. } => *ranks,
-            SetPolicyState::Random => IDENTITY_WORD,
-        };
+    pub fn ranks_into(&self, ways: u8, out: &mut [u8; MAX_WAYS]) {
+        let word = with_policy_kernel!(self.policy, K => K::ranks_word(&self.state));
         for (w, slot) in out.iter_mut().enumerate().take(usize::from(ways)) {
             *slot = rank_of(word, w as u8);
         }
@@ -675,13 +941,7 @@ mod tests {
 
     #[test]
     fn ranks_are_a_permutation() {
-        for policy in [
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::TreePlru,
-            ReplacementPolicy::Drrip,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Random,
-        ] {
+        for policy in ReplacementPolicy::ALL {
             let mut shared = SharedPolicyState::new(policy, 64);
             let mut set = SetPolicyState::new(policy, 4);
             for w in [0u8, 2, 1, 3, 2, 0] {
@@ -690,6 +950,14 @@ mod tests {
             let mut ranks = set.ranks(4);
             ranks.sort_unstable();
             assert_eq!(ranks, vec![0, 1, 2, 3], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_consts_match_their_variants() {
+        for policy in ReplacementPolicy::ALL {
+            let resolved = with_policy_kernel!(policy, K => K::POLICY);
+            assert_eq!(resolved, policy, "dispatch macro resolved a mismatch");
         }
     }
 
@@ -756,7 +1024,8 @@ mod tests {
 /// reference implementation it replaced (`Vec<u8>` recency stacks, per-way
 /// RRPV vectors, `Vec<bool>` PLRU trees), including PLRU/DRRIP tie-break
 /// order. The reference code below is a verbatim port of the pre-packing
-/// implementation.
+/// implementation. [`SetPolicyState`] dispatches every call through the
+/// policy kernels, so these tests pin each kernel's transition functions.
 #[cfg(test)]
 mod model_tests {
     use super::*;

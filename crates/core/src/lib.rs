@@ -75,7 +75,7 @@ pub use metrics::{PredictionClass, PredictionLedger, PredictionSummary};
 pub use oracle::{GenerationTrace, OraclePredictor, OracleRecorder};
 pub use paged::PagedTable;
 pub use predictor::{
-    CombinedPredictor, GatedBlock, LeakagePredictor, NullPredictor, TickOutcome, WakeHint,
+    CombinedPredictor, GatedBlock, LeakagePredictor, NullPredictor, Pair, TickOutcome, WakeHint,
     WritebackArena,
 };
 pub use reuse::{ReusePredictor, ReusePredictorConfig};

@@ -239,6 +239,135 @@ pub trait LeakagePredictor: fmt::Debug + Send {
     }
 }
 
+/// Forwarding impl so a boxed predictor satisfies `P: LeakagePredictor`
+/// bounds: generic (monomorphized) simulation code accepts the dynamic
+/// flavour unchanged. Every method delegates, including the ones with
+/// defaults — the inner implementation's overrides must win.
+impl LeakagePredictor for Box<dyn LeakagePredictor> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_hit(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        (**self).on_hit(cache, block, addr);
+    }
+
+    fn on_miss(&mut self, addr: u64) {
+        (**self).on_miss(addr);
+    }
+
+    fn on_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        (**self).on_fill(cache, block, addr);
+    }
+
+    fn on_restore_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        (**self).on_restore_fill(cache, block, addr);
+    }
+
+    fn on_evict(&mut self, addr: u64) {
+        (**self).on_evict(addr);
+    }
+
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        voltage: Voltage,
+        cycle: u64,
+        out: &mut TickOutcome,
+    ) {
+        (**self).tick_into(cache, voltage, cycle, out);
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        (**self).next_wakeup()
+    }
+
+    fn on_checkpoint(&mut self, cache: &Cache) {
+        (**self).on_checkpoint(cache);
+    }
+
+    fn on_reboot(&mut self, cache: &Cache) {
+        (**self).on_reboot(cache);
+    }
+}
+
+/// Two predictors running side by side with *static* dispatch — the
+/// monomorphized counterpart of a two-member [`CombinedPredictor`]. Events
+/// fan out `a` then `b` (registration order), identical to
+/// `CombinedPredictor::new(vec![a, b])`, so results are bit-identical; the
+/// member calls just inline instead of going through a vtable.
+#[derive(Debug)]
+pub struct Pair<A, B> {
+    /// The first member (ticks first; blocks it gates are absent when `b`
+    /// looks).
+    pub a: A,
+    /// The second member.
+    pub b: B,
+}
+
+impl<A: LeakagePredictor, B: LeakagePredictor> Pair<A, B> {
+    /// Combines two predictors, `a` before `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: LeakagePredictor, B: LeakagePredictor> LeakagePredictor for Pair<A, B> {
+    fn name(&self) -> &'static str {
+        "combined"
+    }
+
+    fn on_hit(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        self.a.on_hit(cache, block, addr);
+        self.b.on_hit(cache, block, addr);
+    }
+
+    fn on_miss(&mut self, addr: u64) {
+        self.a.on_miss(addr);
+        self.b.on_miss(addr);
+    }
+
+    fn on_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        self.a.on_fill(cache, block, addr);
+        self.b.on_fill(cache, block, addr);
+    }
+
+    fn on_restore_fill(&mut self, cache: &Cache, block: BlockId, addr: u64) {
+        self.a.on_restore_fill(cache, block, addr);
+        self.b.on_restore_fill(cache, block, addr);
+    }
+
+    fn on_evict(&mut self, addr: u64) {
+        self.a.on_evict(addr);
+        self.b.on_evict(addr);
+    }
+
+    fn tick_into(
+        &mut self,
+        cache: &mut Cache,
+        voltage: Voltage,
+        cycle: u64,
+        out: &mut TickOutcome,
+    ) {
+        self.a.tick_into(cache, voltage, cycle, out);
+        self.b.tick_into(cache, voltage, cycle, out);
+    }
+
+    fn next_wakeup(&self) -> WakeHint {
+        self.a.next_wakeup().merge(self.b.next_wakeup())
+    }
+
+    fn on_checkpoint(&mut self, cache: &Cache) {
+        self.a.on_checkpoint(cache);
+        self.b.on_checkpoint(cache);
+    }
+
+    fn on_reboot(&mut self, cache: &Cache) {
+        self.a.on_reboot(cache);
+        self.b.on_reboot(cache);
+    }
+}
+
 /// The no-op predictor: the paper's baseline keeps every block powered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullPredictor;

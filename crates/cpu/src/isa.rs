@@ -127,6 +127,9 @@ pub struct Program {
     name: String,
     instructions: Vec<Instruction>,
     code_base: u32,
+    /// Predecoded full (uncapped) compute-run length starting at each pc,
+    /// so [`Program::compute_run_len`] is a table read in the hot loop.
+    run_lens: Vec<u32>,
 }
 
 /// Bytes per encoded instruction (fixed 32-bit encoding, as on ARM).
@@ -153,10 +156,26 @@ impl Program {
                 assert!(t < len, "instruction {pc}: branch target {t} out of range");
             }
         }
+        // Predecode compute-run lengths in one backward pass: memory
+        // effects and Halt contribute 0 (they stop a scan without being
+        // counted), control flow contributes exactly 1 (counted, closes the
+        // run), and ALU instructions chain to their successor.
+        let mut run_lens = vec![0u32; instructions.len()];
+        for (pc, instr) in instructions.iter().enumerate().rev() {
+            run_lens[pc] = match instr {
+                Instruction::Load(..) | Instruction::Store(..) | Instruction::Halt => 0,
+                Instruction::Bne(..)
+                | Instruction::Beq(..)
+                | Instruction::Blt(..)
+                | Instruction::Jmp(_) => 1,
+                _ => 1 + run_lens.get(pc + 1).copied().unwrap_or(0),
+            };
+        }
         Self {
             name: name.into(),
             instructions,
             code_base,
+            run_lens,
         }
     }
 
@@ -206,25 +225,14 @@ impl Program {
     /// address is data-dependent, so the scan cannot see past it). Loads,
     /// stores, `Halt` and the end of the program stop the scan without being
     /// counted.
+    ///
+    /// Predecoded at construction ([`Program::new`]); this is a bounds-
+    /// checked table read plus a `min`, not a scan.
+    #[inline]
     pub fn compute_run_len(&self, pc: u32, max: u32) -> u32 {
-        let mut n = 0u32;
-        while n < max {
-            let Some(instr) = self.instructions.get(pc as usize + n as usize) else {
-                break;
-            };
-            match instr {
-                Instruction::Load(..) | Instruction::Store(..) | Instruction::Halt => break,
-                Instruction::Bne(..)
-                | Instruction::Beq(..)
-                | Instruction::Blt(..)
-                | Instruction::Jmp(_) => {
-                    n += 1;
-                    break;
-                }
-                _ => n += 1,
-            }
-        }
-        n
+        self.run_lens
+            .get(pc as usize)
+            .map_or(0, |&full| full.min(max))
     }
 }
 
@@ -273,6 +281,54 @@ mod tests {
         assert_eq!(p.compute_run_len(6, 0), 0);
         // Scanning at the end of the program is safe.
         assert_eq!(p.compute_run_len(7, 16), 0);
+    }
+
+    #[test]
+    fn predecoded_run_lens_match_reference_scan() {
+        use Instruction::*;
+        // The pre-predecode implementation, kept as the semantic reference.
+        fn scan(p: &Program, pc: u32, max: u32) -> u32 {
+            let mut n = 0u32;
+            while n < max {
+                let Some(instr) = p.instructions().get(pc as usize + n as usize) else {
+                    break;
+                };
+                match instr {
+                    Load(..) | Store(..) | Halt => break,
+                    Bne(..) | Beq(..) | Blt(..) | Jmp(_) => {
+                        n += 1;
+                        break;
+                    }
+                    _ => n += 1,
+                }
+            }
+            n
+        }
+        let p = Program::new(
+            "t",
+            vec![
+                Li(Reg::R1, 1),
+                Add(Reg::R2, Reg::R1, Reg::R1),
+                Xor(Reg::R4, Reg::R1, Reg::R2),
+                Load(Reg::R3, Reg::R2, 0),
+                Sub(Reg::R5, Reg::R1, Reg::R2),
+                Jmp(0),
+                Store(Reg::R5, Reg::R2, 4),
+                And(Reg::R6, Reg::R5, Reg::R1),
+                Or(Reg::R7, Reg::R6, Reg::R1),
+                Halt,
+            ],
+            0,
+        );
+        for pc in 0..=(p.len() as u32 + 1) {
+            for max in 0..12u32 {
+                assert_eq!(
+                    p.compute_run_len(pc, max),
+                    scan(&p, pc, max),
+                    "pc {pc}, max {max}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -100,13 +100,17 @@ impl CapacitorConfig {
 pub struct Capacitor {
     config: CapacitorConfig,
     stored: Energy,
+    /// `Energy::in_capacitor(capacitance, v_max)`, precomputed: `charge`
+    /// consults the headroom every simulated cycle.
+    capacity: Energy,
+    /// `leakage_per_farad · C`, precomputed for the same reason.
+    leakage: Power,
 }
 
 impl Capacitor {
     /// Creates a capacitor charged to `v_max`.
     pub fn fully_charged(config: CapacitorConfig) -> Self {
-        let stored = Energy::in_capacitor(config.capacitance, config.v_max);
-        Self { config, stored }
+        Self::charged_to(config, config.v_max)
     }
 
     /// Creates a capacitor charged to an arbitrary voltage (clamped to
@@ -114,7 +118,12 @@ impl Capacitor {
     pub fn charged_to(config: CapacitorConfig, v: Voltage) -> Self {
         let v = v.clamp(Voltage::ZERO, config.v_max);
         let stored = Energy::in_capacitor(config.capacitance, v);
-        Self { config, stored }
+        Self {
+            capacity: Energy::in_capacitor(config.capacitance, config.v_max),
+            leakage: config.leakage_per_farad * config.capacitance.as_farads(),
+            config,
+            stored,
+        }
     }
 
     /// The static configuration.
@@ -134,7 +143,7 @@ impl Capacitor {
 
     /// Maximum energy the buffer can hold.
     pub fn capacity(&self) -> Energy {
-        Energy::in_capacitor(self.config.capacitance, self.config.v_max)
+        self.capacity
     }
 
     /// Energy stored when the terminal voltage equals `v`.
@@ -144,29 +153,40 @@ impl Capacitor {
 
     /// Self-discharge power of the capacitor itself.
     pub fn leakage(&self) -> Power {
-        self.config.leakage_per_farad * self.config.capacitance.as_farads()
+        self.leakage
     }
 
     /// Deposits harvested energy; charging saturates at `v_max`.
     ///
-    /// Returns the energy actually absorbed (excess is shed, as a real
-    /// harvester front-end would do once the buffer is full).
+    /// `e` must be non-negative (harvested power integrated over a positive
+    /// interval always is). Returns the energy actually absorbed (excess is
+    /// shed, as a real harvester front-end would do once the buffer is full).
     pub fn charge(&mut self, e: Energy) -> Energy {
-        let headroom = self.capacity().saturating_sub(self.stored);
-        let absorbed = e.min(headroom).max(Energy::ZERO);
+        debug_assert!(e >= Energy::ZERO, "charge takes non-negative energy");
+        // `headroom >= 0` by the saturation and `e >= 0` by contract, so the
+        // min is already non-negative: no zero clamp needed. `charge` and
+        // `discharge` run every simulated cycle and every operation here
+        // sits on the serial dependency chain through `stored`.
+        let headroom = self.capacity.saturating_sub(self.stored);
+        let absorbed = e.min(headroom);
         self.stored += absorbed;
         absorbed
     }
 
     /// Withdraws energy; the store clamps at zero.
     ///
-    /// Returns the energy actually delivered. A shortfall (returned energy
-    /// less than requested) means the system browned out mid-operation; the
-    /// voltage-monitor thresholds are chosen so this never happens during a
-    /// correctly-margined checkpoint.
+    /// `e` must be non-negative. Returns the energy actually delivered. A
+    /// shortfall (returned energy less than requested) means the system
+    /// browned out mid-operation; the voltage-monitor thresholds are chosen
+    /// so this never happens during a correctly-margined checkpoint.
     pub fn discharge(&mut self, e: Energy) -> Energy {
-        let delivered = e.min(self.stored).max(Energy::ZERO);
-        self.stored = self.stored.saturating_sub(delivered);
+        debug_assert!(e >= Energy::ZERO, "discharge takes non-negative energy");
+        // `delivered` is one of two non-negative operands, and subtracting a
+        // value that compares `<=` from `stored` rounds a non-negative real,
+        // so the difference cannot go negative: plain subtraction replaces
+        // the historical clamp-at-zero bit for bit.
+        let delivered = e.min(self.stored);
+        self.stored -= delivered;
         delivered
     }
 

@@ -174,10 +174,61 @@ pub struct EnergySystem {
     source: Box<dyn EnergySource>,
     now: Time,
     stats: PowerCycleStats,
-    /// Last `(segment, power)` sampled from the source. Valid only for
-    /// sources whose `segment_of` is `Some`; see [`EnergySource::segment_of`]
-    /// for the constancy contract that makes reuse bit-exact.
-    power_memo: Option<(u64, Power)>,
+    /// `(valid_until, power)` sampled from the source: the power holds for
+    /// every instant strictly before `valid_until`. Built from
+    /// [`EnergySource::segment_end`], whose contract makes reuse bit-exact.
+    power_memo: Option<(Time, Power)>,
+    /// Stored-energy images of the voltage thresholds (see
+    /// [`max_energy_where`]): comparing `stored` against these is *exactly*
+    /// equivalent to deriving the voltage and comparing it, so the per-cycle
+    /// monitor checks run without a square root.
+    ///
+    /// `stored <= e_min` ⟺ `voltage() <= v_min`.
+    e_min: Energy,
+    /// `stored <= e_ckpt` ⟺ `voltage() <= v_ckpt` (falling edge).
+    e_ckpt: Energy,
+    /// `stored > e_rst_below` ⟺ `voltage() >= v_rst` (rising edge).
+    e_rst_below: Energy,
+    /// Memoized stored-energy image of the last distinct
+    /// [`BurstPlan::wake_below_voltage`], keyed by the voltage's bits.
+    wake_memo: Option<(u64, Energy)>,
+}
+
+/// Greatest stored energy in `[0, hi]` whose derived voltage still satisfies
+/// `pred` — the stored-energy image of a voltage threshold.
+///
+/// `pred` must be downward-closed over voltages (true at `v` implies true at
+/// every `v' <= v`), which both `v <= threshold` and `v < threshold` are.
+/// Because [`Energy::capacitor_voltage`] is monotone non-decreasing in the
+/// stored energy (division and square root are correctly rounded), the set
+/// of stored energies satisfying `pred` is exactly `[0, result]`, so
+/// `stored <= result` reproduces the voltage comparison bit-exactly. Found
+/// by bisecting the order-isomorphic bit patterns of non-negative `f64`.
+fn max_energy_where(
+    c: ehs_units::Capacitance,
+    hi: Energy,
+    pred: impl Fn(Voltage) -> bool,
+) -> Energy {
+    let holds = |bits: u64| pred(Energy::from_joules(f64::from_bits(bits)).capacitor_voltage(c));
+    let hi_bits = hi.as_joules().max(0.0).to_bits();
+    if holds(hi_bits) {
+        return Energy::from_joules(f64::from_bits(hi_bits));
+    }
+    if !holds(0) {
+        // Not even an empty buffer satisfies `pred`: return an impossible
+        // threshold so `stored <= result` is always false.
+        return Energy::from_joules(f64::NEG_INFINITY);
+    }
+    let (mut lo, mut hi) = (0u64, hi_bits);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if holds(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Energy::from_joules(f64::from_bits(lo))
 }
 
 impl EnergySystem {
@@ -191,14 +242,26 @@ impl EnergySystem {
         source: impl EnergySource + 'static,
     ) -> Result<Self, EnergyConfigError> {
         config.validate()?;
+        let capacitor = Capacitor::fully_charged(config.capacitor);
+        let c = config.capacitor.capacitance;
+        let capacity = capacitor.capacity();
+        let (v_min, v_ckpt, v_rst) = (
+            config.capacitor.v_min,
+            config.thresholds.v_ckpt,
+            config.thresholds.v_rst,
+        );
         Ok(Self {
-            capacitor: Capacitor::fully_charged(config.capacitor),
+            capacitor,
             monitor: VoltageMonitor::new(config.thresholds),
             source: Box::new(source),
             config,
             now: Time::ZERO,
             stats: PowerCycleStats::default(),
             power_memo: None,
+            e_min: max_energy_where(c, capacity, |v| v <= v_min),
+            e_ckpt: max_energy_where(c, capacity, |v| v <= v_ckpt),
+            e_rst_below: max_energy_where(c, capacity, |v| v < v_rst),
+            wake_memo: None,
         })
     }
 
@@ -210,6 +273,15 @@ impl EnergySystem {
     /// Current capacitor voltage — the signal EDBP taps.
     pub fn voltage(&self) -> Voltage {
         self.capacitor.voltage()
+    }
+
+    /// Whether the current voltage is *strictly* below `w`, evaluated in the
+    /// energy domain: `stored <= image(w)` with the image bisected once per
+    /// distinct `w` (see [`max_energy_where`]). Bit-exactly equivalent to
+    /// `self.voltage() < w` with no square root — callers polling a
+    /// threshold every cycle should prefer this.
+    pub fn voltage_strictly_below(&mut self, w: Voltage) -> bool {
+        self.capacitor.stored() <= self.wake_threshold(w)
     }
 
     /// Current stored energy.
@@ -251,22 +323,19 @@ impl EnergySystem {
 
     /// Harvested power at `self.now`, memoized per source segment. For
     /// segmented sources this is bit-identical to calling `power_at` (the
-    /// power is constant within a segment by contract) while skipping the
-    /// per-instant synthesis.
+    /// power is constant within a segment by contract, and
+    /// [`EnergySource::segment_end`] bounds the span it holds for) while
+    /// skipping both the per-instant synthesis and the per-instant segment
+    /// lookup: the fast path is a single time comparison.
     fn sampled_power(&mut self) -> Power {
-        match self.source.segment_of(self.now) {
-            Some(seg) => {
-                if let Some((s, p)) = self.power_memo {
-                    if s == seg {
-                        return p;
-                    }
-                }
-                let p = self.source.power_at(self.now);
-                self.power_memo = Some((seg, p));
-                p
+        if let Some((until, p)) = self.power_memo {
+            if self.now < until {
+                return p;
             }
-            None => self.source.power_at(self.now),
         }
+        let p = self.source.power_at(self.now);
+        self.power_memo = self.source.segment_end(self.now).map(|end| (end, p));
+        p
     }
 
     /// One execution cycle: the exact arithmetic shared by [`Self::step`]
@@ -286,17 +355,30 @@ impl EnergySystem {
         self.now += dt;
         self.stats.on_time += dt;
 
-        let v = self.capacitor.voltage();
-        if v <= self.config.capacitor.v_min {
+        // All threshold checks compare stored energy against the bisected
+        // images of the voltage thresholds — exactly equivalent to deriving
+        // the voltage (see `max_energy_where`), with no per-cycle sqrt. The
+        // monitor is only fed on the (rare) cycles where an edge can fire,
+        // which is when its answer can differ from "no edge".
+        let stored = self.capacitor.stored();
+        if stored <= self.e_min {
             // JIT margin violated; force the monitor into hibernation so the
             // subsequent recharge behaves.
-            self.monitor.observe(v);
+            self.monitor.observe(self.capacitor.voltage());
             return StepEvent::BrownOut;
         }
-        if self.monitor.observe(v) && self.monitor.state() == MonitorState::Hibernating {
-            StepEvent::CheckpointRequested
-        } else {
-            StepEvent::Running
+        match self.monitor.state() {
+            MonitorState::Operating if stored <= self.e_ckpt => {
+                self.monitor.observe(self.capacitor.voltage());
+                StepEvent::CheckpointRequested
+            }
+            MonitorState::Hibernating if stored > self.e_rst_below => {
+                // Rising edge while still executing: the monitor flips back
+                // to Operating, exactly as feeding it the voltage would.
+                self.monitor.observe(self.capacitor.voltage());
+                StepEvent::Running
+            }
+            _ => StepEvent::Running,
         }
     }
 
@@ -329,7 +411,7 @@ impl EnergySystem {
                 return (cycles, event);
             }
             if let Some(w) = plan.wake_below_voltage {
-                if self.capacitor.voltage() < w {
+                if self.capacitor.stored() <= self.wake_threshold(w) {
                     return (cycles, StepEvent::Running);
                 }
             }
@@ -339,6 +421,27 @@ impl EnergySystem {
                 }
             }
         }
+    }
+
+    /// Stored-energy image of a wake-guard voltage: `stored <= result` ⟺
+    /// `voltage() < w` (see [`max_energy_where`]). Guard voltages come from
+    /// predictor gate thresholds, which rarely change between bursts, so a
+    /// one-entry memo keyed by the voltage's bits makes the per-cycle check
+    /// a plain comparison.
+    fn wake_threshold(&mut self, w: Voltage) -> Energy {
+        let bits = w.base().to_bits();
+        if let Some((b, e)) = self.wake_memo {
+            if b == bits {
+                return e;
+            }
+        }
+        let e = max_energy_where(
+            self.config.capacitor.capacitance,
+            self.capacitor.capacity(),
+            |v| v < w,
+        );
+        self.wake_memo = Some((bits, e));
+        e
     }
 
     /// Draws a one-off energy cost at the current instant (checkpoint or

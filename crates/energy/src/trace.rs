@@ -35,6 +35,20 @@ pub trait EnergySource: fmt::Debug + Send {
         None
     }
 
+    /// End of the piecewise-constant span containing `t`: an instant `end`
+    /// with `t < end` such that every `t'` in `[t, end)` satisfies
+    /// `segment_of(t') == segment_of(t)`.
+    ///
+    /// Together with the [`EnergySource::segment_of`] contract this lets a
+    /// caller reuse one `power_at` sample across the whole span with a
+    /// single time comparison per step — the per-cycle fast path of the
+    /// simulator's energy integration. `None` (the default) disables that
+    /// optimization; it is always sound to return `None`.
+    fn segment_end(&self, t: Time) -> Option<Time> {
+        let _ = t;
+        None
+    }
+
     /// Mean harvested power over a long horizon, if known analytically.
     ///
     /// The default integrates `power_at` numerically over one second.
@@ -135,6 +149,34 @@ impl fmt::Display for TracePreset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Conservative end of the fixed-length segment containing `t`, for
+/// implementing [`EnergySource::segment_end`] over uniform grids.
+///
+/// The nominal boundary `(seg + 1) · seg_len` can land on the wrong side of
+/// the true floating-point segment edge, so it is walked down ulp by ulp
+/// until the instant just before it still maps to `t`'s segment — then,
+/// because the segment index is monotone in time, every instant in
+/// `[t, end)` shares the segment. Returns `None` when no such span exists
+/// (`t` so large that one ulp exceeds a segment).
+fn uniform_segment_end(
+    t: Time,
+    seg_len: Time,
+    segment_of: impl Fn(Time) -> Option<u64>,
+) -> Option<Time> {
+    let seg = segment_of(t)?;
+    let nominal =
+        ((t.as_seconds() / seg_len.as_seconds()).floor().max(0.0) + 1.0) * seg_len.as_seconds();
+    let mut end = nominal;
+    while end > t.as_seconds() {
+        let before = f64::from_bits(end.to_bits() - 1);
+        if before <= t.as_seconds() || segment_of(Time::from_seconds(before)) == Some(seg) {
+            return Some(Time::from_seconds(end));
+        }
+        end = before;
+    }
+    None
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -285,6 +327,10 @@ impl EnergySource for SyntheticTrace {
         let p = &self.params;
         Some((t.as_seconds() / p.segment.as_seconds()).floor().max(0.0) as u64)
     }
+
+    fn segment_end(&self, t: Time) -> Option<Time> {
+        uniform_segment_end(t, self.params.segment, |t| self.segment_of(t))
+    }
 }
 
 /// A harvested-power trace replayed from uniform samples, wrapping around at
@@ -366,6 +412,10 @@ impl EnergySource for SampledTrace {
         )
     }
 
+    fn segment_end(&self, t: Time) -> Option<Time> {
+        uniform_segment_end(t, self.sample_period, |t| self.segment_of(t))
+    }
+
     fn mean_power(&self) -> Power {
         self.samples.iter().copied().sum::<Power>() / self.samples.len() as f64
     }
@@ -396,6 +446,10 @@ impl EnergySource for ConstantSource {
 
     fn segment_of(&self, _t: Time) -> Option<u64> {
         Some(0)
+    }
+
+    fn segment_end(&self, _t: Time) -> Option<Time> {
+        Some(Time::from_seconds(f64::INFINITY))
     }
 
     fn mean_power(&self) -> Power {

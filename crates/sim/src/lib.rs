@@ -56,6 +56,7 @@ pub use memory_system::MemorySystem;
 pub use scheme::Scheme;
 pub use stats::{EnergyBreakdown, RunResult};
 pub use system::{
-    record_generation_trace, run_app, run_baseline_with_trace, run_workload, RunOutcome, Simulation,
+    build_lane, record_generation_trace, run_app, run_baseline_with_trace, run_lane, run_lockstep,
+    run_workload, LaneRun, RunOutcome, Simulation,
 };
 pub use zombie::{zombie_ratio_by_voltage, ZombieAnalysis, ZombieSample};

@@ -3,7 +3,10 @@
 
 use crate::SystemConfig;
 use edbp_core::{FxHashMap, PagedTable};
-use ehs_cache::{AccessKind, BlockId, Cache, LookupOutcome, LookupResult, Writeback};
+use ehs_cache::{
+    with_policy_kernel, AccessKind, BlockId, Cache, LookupOutcome, LookupResult, PolicyKernel,
+    Writeback,
+};
 use ehs_nvm::{ArrayCharacteristics, CacheArrayModel, MainMemoryModel, MemoryCharacteristics};
 use ehs_units::{Energy, Power, Time};
 
@@ -198,10 +201,33 @@ impl MemorySystem {
 
     /// Performs a data access (word-aligned), filling on miss.
     ///
+    /// Dispatches once on the D-cache's configured replacement policy and
+    /// forwards to [`MemorySystem::data_access_k`]; hot loops that have
+    /// already resolved the policy kernel should call the generic form
+    /// directly so the probe and rank update inline.
+    ///
     /// # Panics
     ///
     /// Panics if `addr` is not 4-byte aligned.
     pub fn data_access(&mut self, addr: u32, kind: AccessKind, store_value: u32) -> DataAccess {
+        with_policy_kernel!(self.dcache.config().policy, K => {
+            self.data_access_k::<K>(addr, kind, store_value)
+        })
+    }
+
+    /// [`MemorySystem::data_access`] monomorphized over the D-cache's
+    /// replacement-policy kernel `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned, or (debug builds) if
+    /// `K::POLICY` does not match the D-cache's configured policy.
+    pub fn data_access_k<K: PolicyKernel>(
+        &mut self,
+        addr: u32,
+        kind: AccessKind,
+        store_value: u32,
+    ) -> DataAccess {
         assert_eq!(addr % 4, 0, "unaligned data access at {addr:#x}");
         let addr = u64::from(addr);
         let block_addr = self.block_of(addr);
@@ -227,7 +253,7 @@ impl MemorySystem {
                 ..
             } = self;
             let len = *d_block as usize;
-            dcache.lookup_with(addr, kind, |wb_addr, data| {
+            dcache.lookup_with_k::<K>(addr, kind, |wb_addr, data| {
                 backing
                     .entry(wb_addr)
                     .or_insert_with(|| vec![0u8; len])
@@ -268,7 +294,7 @@ impl MemorySystem {
                 } = self;
                 let len = *d_block as usize;
                 let data = backing.entry(block_addr).or_insert_with(|| vec![0u8; len]);
-                let frame = dcache.fill(block_addr, data, kind == AccessKind::Write);
+                let frame = dcache.fill_k::<K>(block_addr, data, kind == AccessKind::Write);
                 dcache_energy += self.d_chars.write_energy;
                 stall += self.d_chars.write_latency;
                 frame

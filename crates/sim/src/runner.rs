@@ -38,17 +38,39 @@
 //! last on an otherwise-drained pool, while results are still returned in
 //! input order — scheduling never changes the output.
 //!
+//! # Lockstep groups
+//!
+//! Jobs that share one raw configuration fingerprint, app and scale — the
+//! common shape of every figure's scheme matrix — are one workload replay
+//! observed under different predictors. [`try_run_jobs_outputs`] detects
+//! such partitions with at least two distinct schemes and runs them as a
+//! **lockstep group**: one fully monomorphized lane per scheme (see
+//! [`crate::build_lane`]), all lanes advancing over the shared workload in
+//! committed-instruction rounds. Because [`Simulation::advance_until`]
+//! never truncates a burst at its target, every lane's result is
+//! bit-identical to an independent run (the `lockstep` differential suite
+//! asserts it). The `Ideal` scheme never joins a group — its oracle pass
+//! resolves through the baseline's memoized trace as before. Setting the
+//! environment variable [`NO_LOCKSTEP_ENV`]`=1` disables grouping.
+//!
+//! Execution is gated by a process-wide *claim table*, not by the memo
+//! slots themselves: whoever claims a key (a singleton job or one lane of
+//! a group) is its unique producer; everyone else waits for the slot. A
+//! producer that panics releases its claim with the slot still empty, so
+//! the next request retries — the containment story is unchanged.
+//!
 //! # Fault containment
 //!
 //! A panicking job is a *result*, not a process event: workers catch the
 //! unwind and [`try_run_jobs_outputs`] returns a [`JobError`] in that job's
-//! slot while every other job completes normally. No table in this module
-//! can stay poisoned (see `lock_unpoisoned`), and an abandoned memo slot is
-//! retried by the next request for the same key. The deterministic
+//! slot while every other job completes normally (in a lockstep group, a
+//! panicking lane fails exactly its own scheme's jobs). No table in this
+//! module can stay poisoned (see `lock_unpoisoned`), and an abandoned memo
+//! slot is retried by the next request for the same key. The deterministic
 //! fault-injection harness ([`crate::fault`]) exercises these paths.
 
 use crate::{
-    config_fingerprint, fault, runcache, RunResult, Scheme, Simulation, SystemConfig, ZombieSample,
+    config_fingerprint, fault, runcache, LaneRun, RunResult, Scheme, SystemConfig, ZombieSample,
 };
 use edbp_core::{EdbpConfig, GenerationTrace};
 use ehs_cache::Cache;
@@ -56,7 +78,7 @@ use ehs_workloads::{build, AppId, Scale, Workload};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Locks `m`, recovering the data if a previous holder panicked.
 ///
@@ -249,6 +271,78 @@ fn memo_slot(key: MemoKey) -> Slot {
         .clone()
 }
 
+/// Process-wide execution claims. A claimed key has exactly one producer
+/// — a singleton job or one lane of a lockstep group — and the claim, not
+/// the memo slot, is the execution gate (a lockstep group must fill
+/// several slots from one driving loop, which `OnceLock::get_or_init`
+/// cannot express). Producers fill the slot *before* releasing the claim,
+/// so a waiter that observes a free key re-checks the slot and either
+/// reads the entry or inherits the retry of a panicked producer.
+struct ClaimTable {
+    held: Mutex<HashSet<MemoKey>>,
+    freed: Condvar,
+}
+
+fn claims() -> &'static ClaimTable {
+    static CLAIMS: OnceLock<ClaimTable> = OnceLock::new();
+    CLAIMS.get_or_init(|| ClaimTable {
+        held: Mutex::default(),
+        freed: Condvar::new(),
+    })
+}
+
+/// Releases its key on drop — including a drop by unwinding, so a
+/// panicked execution leaves the key claimable and its slot empty, and
+/// the next request simply retries (the fault-containment contract).
+struct KeyClaim {
+    key: MemoKey,
+}
+
+impl Drop for KeyClaim {
+    fn drop(&mut self) {
+        let table = claims();
+        lock_unpoisoned(&table.held).remove(&self.key);
+        table.freed.notify_all();
+    }
+}
+
+/// Claims `key`, blocking while another thread holds it. Returns `None`
+/// without claiming if `slot` was (or got) filled while waiting — the
+/// caller reads the entry instead of producing one.
+fn claim_blocking(slot: &Slot, key: &MemoKey) -> Option<KeyClaim> {
+    let table = claims();
+    let mut held = lock_unpoisoned(&table.held);
+    loop {
+        if slot.get().is_some() {
+            return None;
+        }
+        if !held.contains(key) {
+            held.insert(key.clone());
+            return Some(KeyClaim { key: key.clone() });
+        }
+        held = table
+            .freed
+            .wait(held)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Non-blocking [`claim_blocking`]: `None` means the slot is already
+/// filled or someone else holds the claim. Lockstep groups use this so a
+/// group never waits while holding other lanes' claims (no lock-order
+/// cycles between groups that share keys); a lane lost this way is
+/// resolved through the ordinary blocking path when the member job's
+/// output is read.
+fn claim_now(slot: &Slot, key: &MemoKey) -> Option<KeyClaim> {
+    let table = claims();
+    let mut held = lock_unpoisoned(&table.held);
+    if slot.get().is_some() || held.contains(key) {
+        return None;
+    }
+    held.insert(key.clone());
+    Some(KeyClaim { key: key.clone() })
+}
+
 /// Built workloads, one per (app, scale). Synthesizing an instruction trace
 /// is pure but not free; across a deduplicated suite pass every simulation
 /// shares the one build (a [`Workload`] clone only bumps the program's
@@ -316,7 +410,7 @@ fn execute(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> M
     fault::on_execute(config.zombie_sample_interval.is_some());
     SIM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
     let workload = cached_workload(app, scale);
-    let sim = match scheme {
+    let (oracle_trace, with_recorder) = match scheme {
         Scheme::Baseline => {
             BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
             // Record the generation trace iff some planned Ideal job consumes
@@ -324,22 +418,19 @@ fn execute(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> M
             // execution doubles as the oracle pass). Unwanted traces are
             // skipped: recording and retaining them for every baseline in
             // the suite costs time and memory for nothing.
-            let sim = Simulation::new(config, scheme, workload, None);
-            if trace_wanted(&baseline_key(config, app, scale)) {
-                sim.with_recorder()
-            } else {
-                sim
-            }
+            (None, trace_wanted(&baseline_key(config, app, scale)))
         }
         Scheme::Ideal => {
             // The oracle pass is a baseline run — share it through the
             // cache instead of executing a private one.
             let trace = baseline_trace(config, app, scale);
-            Simulation::new(config, scheme, workload, Some((*trace).clone()))
+            (Some((*trace).clone()), false)
         }
-        _ => Simulation::new(config, scheme, workload, None),
+        _ => (None, false),
     };
-    let outcome = sim.run_collecting();
+    let lane = crate::build_lane(config, scheme, workload, oracle_trace, with_recorder)
+        .unwrap_or_else(|e| panic!("invalid energy configuration: {e}"));
+    let outcome = crate::run_lane(lane);
     MemoEntry {
         result: outcome.result,
         trace: match outcome.trace {
@@ -376,54 +467,61 @@ fn entry_from_hit(hit: runcache::CachedRun) -> MemoEntry {
 /// briefly for their store to land instead of duplicating the run.
 fn resolve(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> (Slot, bool) {
     let config_fp = effective_fingerprint(config, scheme);
-    let slot = memo_slot(MemoKey {
+    let key = MemoKey {
         config_fp,
         scheme,
         app,
         scale,
-    });
-    let mut ran_here = false;
-    slot.get_or_init(|| {
-        let mut claim = None;
-        if let Some(cache) = runcache::active() {
-            if let Some(hit) = cache.load(config_fp, scheme, app, scale) {
-                return entry_from_hit(hit);
-            }
-            match cache.claim(config_fp, scheme, app, scale) {
-                runcache::ClaimOutcome::Held(guard) => claim = Some(guard),
-                runcache::ClaimOutcome::Busy => {
-                    if let Some(hit) =
-                        cache.wait_for_entry(config_fp, scheme, app, scale, CLAIM_WAIT)
-                    {
-                        return entry_from_hit(hit);
-                    }
+    };
+    let slot = memo_slot(key.clone());
+    if slot.get().is_some() {
+        return (slot, false);
+    }
+    let Some(claim) = claim_blocking(&slot, &key) else {
+        // Filled while we waited for the producer.
+        return (slot, false);
+    };
+    // We hold the claim over an empty slot: produce the entry. (The claim
+    // releases on unwind too, so a panic here leaves the key retryable.)
+    let mut rc_claim = None;
+    if let Some(cache) = runcache::active() {
+        if let Some(hit) = cache.load(config_fp, scheme, app, scale) {
+            let _ = slot.set(entry_from_hit(hit));
+            return (slot, false);
+        }
+        match cache.claim(config_fp, scheme, app, scale) {
+            runcache::ClaimOutcome::Held(guard) => rc_claim = Some(guard),
+            runcache::ClaimOutcome::Busy => {
+                if let Some(hit) = cache.wait_for_entry(config_fp, scheme, app, scale, CLAIM_WAIT) {
+                    let _ = slot.set(entry_from_hit(hit));
+                    return (slot, false);
                 }
-                runcache::ClaimOutcome::Unavailable => {}
             }
+            runcache::ClaimOutcome::Unavailable => {}
         }
-        ran_here = true;
-        let entry = execute(config, scheme, app, scale);
-        record_executed(config_fp, scheme, app, scale);
-        if let Some(cache) = runcache::active() {
-            let stored = cache.store(
-                config_fp,
-                scheme,
-                app,
-                scale,
-                &entry.result,
-                entry.zombies.as_deref().map(Vec::as_slice),
-            );
-            // Journal only durable entries: the resume contract promises a
-            // journaled job replays from disk, so a failed store must not
-            // be journaled.
-            if stored {
-                cache.journal_append(&runcache::entry_stem(config_fp, scheme, app, scale));
-            }
+    }
+    let entry = execute(config, scheme, app, scale);
+    record_executed(config_fp, scheme, app, scale);
+    if let Some(cache) = runcache::active() {
+        let stored = cache.store(
+            config_fp,
+            scheme,
+            app,
+            scale,
+            &entry.result,
+            entry.zombies.as_deref().map(Vec::as_slice),
+        );
+        // Journal only durable entries: the resume contract promises a
+        // journaled job replays from disk, so a failed store must not
+        // be journaled.
+        if stored {
+            cache.journal_append(&runcache::entry_stem(config_fp, scheme, app, scale));
         }
-        drop(claim);
-        entry
-    });
-    (slot, ran_here)
+    }
+    let _ = slot.set(entry);
+    drop(rc_claim);
+    drop(claim);
+    (slot, true)
 }
 
 /// Runs (or recalls) one job through the memoization table.
@@ -511,6 +609,287 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Environment variable that, when set to `1`, disables lockstep grouping:
+/// every job simulates independently through the singleton path. The
+/// differential suites use this to compare the two regimes bit-for-bit.
+pub const NO_LOCKSTEP_ENV: &str = "EHS_NO_LOCKSTEP";
+
+fn lockstep_enabled() -> bool {
+    std::env::var_os(NO_LOCKSTEP_ENV).is_none_or(|v| v != "1")
+}
+
+/// One unit of worker-pool work: a single job, or a lockstep group of
+/// same-(config, app, scale) job indices spanning several schemes.
+enum WorkItem {
+    Single(usize),
+    Group(Vec<usize>),
+}
+
+impl WorkItem {
+    fn estimated_cost(&self, jobs: &[Job]) -> f64 {
+        match self {
+            WorkItem::Single(i) => jobs[*i].estimated_cost(),
+            WorkItem::Group(members) => members.iter().map(|&i| jobs[i].estimated_cost()).sum(),
+        }
+    }
+}
+
+/// Partitions `jobs` into work items. Jobs sharing a raw configuration
+/// fingerprint, app and scale are one workload replay observed under
+/// different schemes; a partition with at least two distinct schemes
+/// becomes one lockstep [`WorkItem::Group`]. `Ideal` jobs never join a
+/// group (their oracle pass resolves through the baseline's memoized
+/// trace), and duplicate-scheme members ride along — the group's one lane
+/// per scheme serves them all through the memo table.
+fn plan_work(jobs: &[Job]) -> Vec<WorkItem> {
+    if !lockstep_enabled() {
+        return (0..jobs.len()).map(WorkItem::Single).collect();
+    }
+    let mut order: Vec<(u64, AppId, Scale)> = Vec::new();
+    let mut parts: HashMap<(u64, AppId, Scale), Vec<usize>> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        if job.scheme == Scheme::Ideal {
+            continue;
+        }
+        let part = (config_fingerprint(&job.config), job.app, job.scale);
+        parts
+            .entry(part)
+            .or_insert_with(|| {
+                order.push(part);
+                Vec::new()
+            })
+            .push(i);
+    }
+    let mut items = Vec::new();
+    let mut grouped = vec![false; jobs.len()];
+    for part in order {
+        let members = parts.remove(&part).expect("partition was just inserted");
+        let schemes: HashSet<Scheme> = members.iter().map(|&i| jobs[i].scheme).collect();
+        if schemes.len() >= 2 {
+            for &i in &members {
+                grouped[i] = true;
+            }
+            items.push(WorkItem::Group(members));
+        }
+    }
+    for (i, grouped) in grouped.into_iter().enumerate() {
+        if !grouped {
+            items.push(WorkItem::Single(i));
+        }
+    }
+    items
+}
+
+fn job_error(job: &Job, message: String) -> JobError {
+    JobError {
+        config_fp: effective_fingerprint(&job.config, job.scheme),
+        scheme: job.scheme,
+        app: job.app,
+        scale: job.scale,
+        message,
+    }
+}
+
+/// Runs one singleton job with its panic contained to a [`JobError`].
+///
+/// Unwind safety: `run_cached` only touches the process-wide tables in
+/// this module, all of which are insert-whole maps behind
+/// `lock_unpoisoned` (see its contract) or claim-gated `OnceLock` slots
+/// whose abandoned initialization is simply retried.
+fn run_single(job: &Job) -> Result<JobOutput, JobError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_cached(&job.config, job.scheme, job.app, job.scale)
+    }))
+    .map_err(|payload| job_error(job, panic_message(payload)))
+}
+
+/// Committed-instruction chunk in which a lockstep group's lanes advance.
+/// Mirrors the granularity of [`crate::run_lockstep`]; the runner drives
+/// its own round loop so it can contain each lane's panics to that lane.
+const LOCKSTEP_CHUNK: u64 = 32_768;
+
+/// Executes one lockstep group: one fully monomorphized lane per distinct
+/// member scheme, all replaying the same shared workload in
+/// [`LOCKSTEP_CHUNK`]-instruction rounds. Per lane, the claim/memo/
+/// persistent-cache protocol matches the singleton path exactly — a lane
+/// only simulates here if its key is unclaimed, unfilled and not on disk;
+/// anything already produced (or being produced elsewhere) is recalled
+/// through [`run_cached`] when the member outputs are read. A panicking
+/// lane fails exactly its own scheme's jobs; sibling lanes complete.
+fn run_group(jobs: &[Job], members: &[usize]) -> Vec<(usize, Result<JobOutput, JobError>)> {
+    let first = &jobs[members[0]];
+    let (config, app, scale) = (&first.config, first.app, first.scale);
+
+    // One lane per distinct scheme, in first-appearance order.
+    let mut schemes: Vec<Scheme> = Vec::new();
+    for &i in members {
+        if !schemes.contains(&jobs[i].scheme) {
+            schemes.push(jobs[i].scheme);
+        }
+    }
+
+    struct Lane {
+        scheme: Scheme,
+        key: MemoKey,
+        slot: Slot,
+        claim: KeyClaim,
+        rc_claim: Option<runcache::ClaimGuard>,
+        sim: Box<dyn LaneRun>,
+    }
+
+    let mut lanes: Vec<Option<Lane>> = Vec::new();
+    let mut failures: HashMap<Scheme, String> = HashMap::new();
+    for &scheme in &schemes {
+        let config_fp = effective_fingerprint(config, scheme);
+        let key = MemoKey {
+            config_fp,
+            scheme,
+            app,
+            scale,
+        };
+        let slot = memo_slot(key.clone());
+        let Some(claim) = claim_now(&slot, &key) else {
+            continue; // produced (or claimed) elsewhere
+        };
+        let mut rc_claim = None;
+        if let Some(cache) = runcache::active() {
+            if let Some(hit) = cache.load(config_fp, scheme, app, scale) {
+                let _ = slot.set(entry_from_hit(hit));
+                continue;
+            }
+            match cache.claim(config_fp, scheme, app, scale) {
+                runcache::ClaimOutcome::Held(guard) => rc_claim = Some(guard),
+                // Another process is simulating this key; don't stall the
+                // whole group on it — the member output read waits instead.
+                runcache::ClaimOutcome::Busy => continue,
+                runcache::ClaimOutcome::Unavailable => {}
+            }
+        }
+        let with_recorder = scheme == Scheme::Baseline && trace_wanted(&key);
+        match catch_unwind(AssertUnwindSafe(|| {
+            fault::on_execute(config.zombie_sample_interval.is_some());
+            SIM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+            if scheme == Scheme::Baseline {
+                BASELINE_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::build_lane(
+                config,
+                scheme,
+                cached_workload(app, scale),
+                None,
+                with_recorder,
+            )
+            .unwrap_or_else(|e| panic!("invalid energy configuration: {e}"))
+        })) {
+            Ok(sim) => lanes.push(Some(Lane {
+                scheme,
+                key,
+                slot,
+                claim,
+                rc_claim,
+                sim,
+            })),
+            Err(payload) => {
+                failures.insert(scheme, panic_message(payload));
+            }
+        }
+    }
+
+    // Drive the lanes in lockstep rounds. `advance_until` never truncates
+    // a burst at its target, so each lane's event stream — and therefore
+    // its result — is bit-identical to an uninterrupted independent run.
+    let wall_start = std::time::Instant::now();
+    let mut target = LOCKSTEP_CHUNK;
+    loop {
+        let mut all_done = true;
+        for entry in &mut lanes {
+            let Some(lane) = entry else { continue };
+            if lane.sim.done() {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| lane.sim.advance_until(target))) {
+                Ok(()) => all_done &= lane.sim.done(),
+                Err(payload) => {
+                    // Dropping the lane releases its claims with the slot
+                    // still empty: the failure stays retryable, and only
+                    // this scheme's jobs report it.
+                    failures.insert(lane.scheme, panic_message(payload));
+                    *entry = None;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        target = target.saturating_add(LOCKSTEP_CHUNK);
+    }
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    // Publish each surviving lane: entry, counters, persistent store.
+    for lane in lanes.into_iter().flatten() {
+        let Lane {
+            scheme,
+            key,
+            slot,
+            claim,
+            rc_claim,
+            sim,
+        } = lane;
+        let published = catch_unwind(AssertUnwindSafe(|| {
+            let mut outcome = sim.finish_collecting();
+            if wall > 0.0 {
+                outcome.result.sim_mips = outcome.result.committed as f64 / wall / 1e6;
+            }
+            record_executed(key.config_fp, scheme, app, scale);
+            let entry = MemoEntry {
+                result: outcome.result,
+                trace: match outcome.trace {
+                    Some(t) => OnceLock::from(Arc::new(t)),
+                    None => OnceLock::new(),
+                },
+                zombies: config
+                    .zombie_sample_interval
+                    .is_some()
+                    .then(|| Arc::new(outcome.zombie_samples)),
+            };
+            if let Some(cache) = runcache::active() {
+                let stored = cache.store(
+                    key.config_fp,
+                    scheme,
+                    app,
+                    scale,
+                    &entry.result,
+                    entry.zombies.as_deref().map(Vec::as_slice),
+                );
+                if stored {
+                    cache.journal_append(&runcache::entry_stem(key.config_fp, scheme, app, scale));
+                }
+            }
+            let _ = slot.set(entry);
+        }));
+        if let Err(payload) = published {
+            failures.insert(scheme, panic_message(payload));
+        }
+        drop(rc_claim);
+        drop(claim);
+    }
+
+    // Member outputs: a failed lane fails exactly its own jobs; everything
+    // else reads through the ordinary memoized path (which also covers
+    // lanes this group ceded to another producer).
+    members
+        .iter()
+        .map(|&i| {
+            let job = &jobs[i];
+            let outcome = match failures.get(&job.scheme) {
+                Some(msg) => Err(job_error(job, msg.clone())),
+                None => run_single(job),
+            };
+            (i, outcome)
+        })
+        .collect()
+}
+
 /// [`run_jobs_outputs`], but a panicking job is contained to its own
 /// result slot instead of taking the whole pool (and every sibling
 /// experiment) down: the worker catches the unwind, records a [`JobError`]
@@ -522,38 +901,34 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn try_run_jobs_outputs(jobs: &[Job], threads: usize) -> Vec<Result<JobOutput, JobError>> {
     assert!(threads >= 1, "need at least one thread");
     // Longest-estimated-first work queue (stable index tie-break) so a big
-    // job cannot land last on a drained pool. Results still fill their
+    // item cannot land last on a drained pool. Results still fill their
     // input-order slots, so the ordering is invisible to callers.
     register_trace_demands(jobs);
-    let costs: Vec<f64> = jobs.iter().map(Job::estimated_cost).collect();
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    let items = plan_work(jobs);
+    let costs: Vec<f64> = items.iter().map(|it| it.estimated_cost(jobs)).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
     let results: Vec<Mutex<Option<Result<JobOutput, JobError>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
+        for _ in 0..threads.min(items.len().max(1)) {
             scope.spawn(|| loop {
                 let rank = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = order.get(rank) else {
+                let Some(&it) = order.get(rank) else {
                     break;
                 };
-                let job = &jobs[i];
-                // Unwind safety: `run_cached` only touches the process-wide
-                // tables in this module, all of which are insert-whole maps
-                // behind `lock_unpoisoned` (see its contract) or `OnceLock`
-                // slots whose abandoned initialization is simply retried.
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_cached(&job.config, job.scheme, job.app, job.scale)
-                }))
-                .map_err(|payload| JobError {
-                    config_fp: effective_fingerprint(&job.config, job.scheme),
-                    scheme: job.scheme,
-                    app: job.app,
-                    scale: job.scale,
-                    message: panic_message(payload),
-                });
-                *lock_unpoisoned(&results[i]) = Some(outcome);
+                match &items[it] {
+                    WorkItem::Single(i) => {
+                        let outcome = run_single(&jobs[*i]);
+                        *lock_unpoisoned(&results[*i]) = Some(outcome);
+                    }
+                    WorkItem::Group(members) => {
+                        for (i, outcome) in run_group(jobs, members) {
+                            *lock_unpoisoned(&results[i]) = Some(outcome);
+                        }
+                    }
+                }
             });
         }
     });

@@ -29,6 +29,21 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every scheme, in declaration order. The kernel-matrix test pins
+    /// that each entry resolves to a monomorphized lane, and the lockstep
+    /// throughput row replays all of them over one workload.
+    pub const ALL: [Scheme; 9] = [
+        Scheme::Baseline,
+        Scheme::Sdbp,
+        Scheme::Decay,
+        Scheme::Edbp,
+        Scheme::DecayEdbp,
+        Scheme::Amc,
+        Scheme::AmcEdbp,
+        Scheme::Ideal,
+        Scheme::LeakageOff80,
+    ];
+
     /// The five schemes of the paper's headline comparison (Figs. 7–8 order).
     pub const HEADLINE: [Scheme; 5] = [
         Scheme::Baseline,

@@ -4,9 +4,9 @@ use crate::{EnergyBreakdown, MemorySystem, RunResult, Scheme, SystemConfig};
 use edbp_core::{
     AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig,
     GenerationTrace, LeakagePredictor, NullPredictor, OraclePredictor, OracleRecorder, PagedTable,
-    PredictionLedger, ReusePredictor, ReusePredictorConfig, TickOutcome, WakeHint,
+    Pair, PredictionLedger, ReusePredictor, ReusePredictorConfig, TickOutcome, WakeHint,
 };
-use ehs_cache::{AccessKind, Cache};
+use ehs_cache::{with_policy_kernel, AccessKind, Cache, PolicyKernel};
 use ehs_cpu::{Core, CoreState, Effect, INSTRUCTION_BYTES};
 use ehs_energy::{BurstPlan, EnergyConfigError, EnergySystem, StepEvent};
 use ehs_units::{Energy, Power, Time};
@@ -125,6 +125,20 @@ impl LeakCache {
     }
 }
 
+/// [`WakeHint::due`] with the voltage comparison evaluated in the energy
+/// domain ([`EnergySystem::voltage_strictly_below`]): bit-exactly the same
+/// answer with no square root. The hot loop asks this after every burst and
+/// every reference cycle; the actual voltage is derived only on the rare
+/// iterations where the hint fires and a tick needs it.
+#[inline]
+fn hint_due(hint: &WakeHint, cycle: u64, energy: &mut EnergySystem) -> bool {
+    hint.every_cycle
+        || hint.at_cycle.is_some_and(|c| cycle >= c)
+        || hint
+            .below_voltage
+            .is_some_and(|w| energy.voltage_strictly_below(w))
+}
+
 /// Everything one simulator execution can produce, returned by
 /// [`Simulation::run_collecting`]. The memoized run layer stores the whole
 /// outcome so a single execution can serve as a figure's result row, the
@@ -144,15 +158,23 @@ pub struct RunOutcome {
 /// One in-flight simulation. Most users want [`run_app`]; construct a
 /// `Simulation` directly to customize the workload or inject an oracle
 /// trace.
+///
+/// The data-cache predictor type `P` defaults to a boxed trait object —
+/// the flexible, dynamically-dispatched flavor every existing caller gets.
+/// Performance-critical paths instead resolve the scheme to a concrete
+/// predictor type once via [`build_lane`], so the per-access and per-tick
+/// hot loops compile with static dispatch (a `NullPredictor` baseline's
+/// hooks inline to nothing; `Pair` composes two predictors without a
+/// vtable hop per event).
 #[derive(Debug)]
-pub struct Simulation {
+pub struct Simulation<P: LeakagePredictor = Box<dyn LeakagePredictor>> {
     config: SystemConfig,
     scheme: Scheme,
     workload: Workload,
     mem: MemorySystem,
     core: Core,
     energy: EnergySystem,
-    d_pred: Box<dyn LeakagePredictor>,
+    d_pred: P,
     i_pred: Option<Box<dyn LeakagePredictor>>,
     ledger: PredictionLedger,
     /// SDBP's reuse predictor (checkpoint filter).
@@ -179,6 +201,8 @@ pub struct Simulation {
     /// their high-water capacity once and then stay).
     tick_scratch: TickOutcome,
     completed: bool,
+    /// The energy source never recovered from an outage; the run is over.
+    aborted: bool,
 }
 
 /// Builds the data-cache predictor for a scheme.
@@ -245,12 +269,31 @@ impl Simulation {
         workload: Workload,
         oracle_trace: Option<GenerationTrace>,
     ) -> Result<Self, EnergyConfigError> {
+        Simulation::try_new_with(config, scheme, workload, |cfg, cache| {
+            build_dcache_predictor(scheme, cfg, cache, oracle_trace)
+        })
+    }
+}
+
+impl<P: LeakagePredictor> Simulation<P> {
+    /// [`Simulation::try_new`] with a caller-supplied data-cache predictor
+    /// builder, which fixes the concrete predictor type `P`. The builder
+    /// receives the effective configuration (after scheme-specific
+    /// adjustments such as [`Scheme::LeakageOff80`]'s leakage scale) and
+    /// the constructed D-cache. [`build_lane`] maps each scheme to its
+    /// concrete predictor type through this entry point.
+    pub fn try_new_with(
+        config: &SystemConfig,
+        scheme: Scheme,
+        workload: Workload,
+        build_d_pred: impl FnOnce(&SystemConfig, &Cache) -> P,
+    ) -> Result<Self, EnergyConfigError> {
         let mut config = config.clone();
         if scheme == Scheme::LeakageOff80 {
             config.dcache_leakage_scale = 0.2;
         }
         let mem = MemorySystem::new(&config);
-        let d_pred = build_dcache_predictor(scheme, &config, &mem.dcache, oracle_trace);
+        let d_pred = build_d_pred(&config, &mem.dcache);
         let i_pred: Option<Box<dyn LeakagePredictor>> =
             if config.predict_icache && !config.icache_tech.is_nonvolatile() {
                 // The Ideal scheme is only defined for the data cache.
@@ -288,6 +331,7 @@ impl Simulation {
             spill: ShadowArena::new(block_bytes),
             tick_scratch: TickOutcome::default(),
             completed: false,
+            aborted: false,
             workload,
             config,
         })
@@ -316,15 +360,25 @@ impl Simulation {
         let wall_start = std::time::Instant::now();
         self.run_loop();
         let wall = wall_start.elapsed().as_secs_f64();
+        let mut outcome = self.finish_collecting();
+        if wall > 0.0 {
+            outcome.result.sim_mips = outcome.result.committed as f64 / wall / 1e6;
+        }
+        outcome
+    }
+
+    /// Assembles the [`RunOutcome`] of a simulation that has already been
+    /// driven to completion (see [`Simulation::advance_until`] and
+    /// [`Simulation::done`]). `sim_mips` is left at zero — an external
+    /// driver that owns the wall clock (the lockstep runner times a whole
+    /// lane group at once) fills it in afterwards.
+    pub fn finish_collecting(mut self) -> RunOutcome {
         let zombie_samples = self
             .zombie
             .take()
             .map(crate::ZombieAnalysis::finish)
             .unwrap_or_default();
-        let (mut result, trace) = self.finish();
-        if wall > 0.0 {
-            result.sim_mips = result.committed as f64 / wall / 1e6;
-        }
+        let (result, trace) = self.finish();
         RunOutcome {
             result,
             trace,
@@ -680,6 +734,14 @@ impl Simulation {
         self.core.halted()
     }
 
+    /// True once [`Simulation::advance_until`] can make no further
+    /// progress: the workload halted, the instruction budget is exhausted,
+    /// or the energy source never recovered from an outage. Incremental
+    /// drivers (the lockstep runner) poll this between chunks.
+    pub fn done(&self) -> bool {
+        self.core.halted() || self.aborted || self.core.committed() >= self.config.max_instructions
+    }
+
     /// Pre-sizes the zombie-analysis sample pools so a bounded measured
     /// window performs no further growth (testing/benchmarking aid; no-op
     /// unless [`SystemConfig::zombie_sample_interval`] is set).
@@ -699,6 +761,16 @@ impl Simulation {
     /// incrementally driven run bit-identical to one uninterrupted
     /// `advance_until(u64::MAX)`.
     pub fn advance_until(&mut self, target: u64) {
+        // Resolve the D-cache's replacement-policy kernel once per call;
+        // the entire hot loop below then runs with the probe and rank
+        // update statically dispatched (and, when `P` is concrete, with
+        // every predictor hook statically dispatched too).
+        with_policy_kernel!(self.config.dcache.policy, K => self.advance_until_k::<K>(target));
+    }
+
+    /// [`Simulation::advance_until`] monomorphized over the D-cache's
+    /// replacement-policy kernel `K`.
+    fn advance_until_k<K: PolicyKernel>(&mut self, target: u64) {
         let sim = self;
         let program = Arc::clone(&sim.workload.program);
         let cycle_time = sim.config.cycle_time();
@@ -780,8 +852,8 @@ impl Simulation {
                             sim.breakdown.memory += params.standby_e_cycle;
                         }
                         let cycle = (sim.energy.now() * frequency) as u64;
-                        let v = sim.energy.voltage();
-                        if hint.due(cycle, v) {
+                        if hint_due(&hint, cycle, &mut sim.energy) {
+                            let v = sim.energy.voltage();
                             // An executed tick may gate frames (including
                             // invalid ones, which never appear in the
                             // outcome), so it always invalidates the
@@ -807,6 +879,7 @@ impl Simulation {
                             StepEvent::Running => {}
                             StepEvent::CheckpointRequested => {
                                 if !sim.ride_out_outage(true) {
+                                    sim.aborted = true;
                                     break;
                                 }
                                 leak.dirty = true;
@@ -815,6 +888,7 @@ impl Simulation {
                             StepEvent::BrownOut => {
                                 sim.brownouts += 1;
                                 if !sim.ride_out_outage(false) {
+                                    sim.aborted = true;
                                     break;
                                 }
                                 leak.dirty = true;
@@ -850,7 +924,7 @@ impl Simulation {
             match effect {
                 Effect::Compute | Effect::Halted => {}
                 Effect::Load { addr, dst } => {
-                    let access = sim.mem.data_access(addr, AccessKind::Read, 0);
+                    let access = sim.mem.data_access_k::<K>(addr, AccessKind::Read, 0);
                     sim.core.finish_load(dst, access.value);
                     stall += access.stall;
                     load_energy += access.dcache_energy + access.memory_energy;
@@ -861,7 +935,7 @@ impl Simulation {
                     hint_dirty = true;
                 }
                 Effect::Store { addr, value } => {
-                    let access = sim.mem.data_access(addr, AccessKind::Write, value);
+                    let access = sim.mem.data_access_k::<K>(addr, AccessKind::Write, value);
                     stall += access.stall;
                     load_energy += access.dcache_energy + access.memory_energy;
                     sim.breakdown.dcache_dynamic += access.dcache_energy;
@@ -894,15 +968,15 @@ impl Simulation {
             sim.breakdown.capacitor += drawn.saturating_sub(load_energy);
 
             let cycle = (sim.energy.now() * frequency) as u64;
-            let v = sim.energy.voltage();
             if !cycle_accurate && hint_dirty {
                 hint = sim.wake_hint();
                 hint_dirty = false;
             }
-            if cycle_accurate || hint.due(cycle, v) {
+            if cycle_accurate || hint_due(&hint, cycle, &mut sim.energy) {
                 // See the burst path: executed ticks can gate invalid
                 // frames without reporting them, so they unconditionally
                 // invalidate the leakage cache.
+                let v = sim.energy.voltage();
                 let mut tick = std::mem::take(&mut sim.tick_scratch);
                 tick.clear();
                 sim.d_pred
@@ -925,7 +999,7 @@ impl Simulation {
                 if z.due(committed) {
                     z.sample(
                         committed,
-                        v.as_volts(),
+                        sim.energy.voltage().as_volts(),
                         sim.mem.dcache.resident_addrs_iter(),
                     );
                 }
@@ -935,6 +1009,7 @@ impl Simulation {
                 StepEvent::Running => {}
                 StepEvent::CheckpointRequested => {
                     if !sim.ride_out_outage(true) {
+                        sim.aborted = true;
                         break;
                     }
                     leak.dirty = true;
@@ -943,6 +1018,7 @@ impl Simulation {
                 StepEvent::BrownOut => {
                     sim.brownouts += 1;
                     if !sim.ride_out_outage(false) {
+                        sim.aborted = true;
                         break;
                     }
                     leak.dirty = true;
@@ -951,6 +1027,192 @@ impl Simulation {
             }
         }
     }
+}
+
+/// An erased, incrementally drivable simulation lane.
+///
+/// [`build_lane`] resolves a scheme to a fully monomorphized
+/// `Simulation<P>` behind this object-safe interface: dynamic dispatch
+/// happens once per driving chunk (tens of thousands of instructions),
+/// while everything inside [`LaneRun::advance_until`] — predictor hooks,
+/// wake hints, tag probes, rank updates — is statically dispatched.
+pub trait LaneRun {
+    /// See [`Simulation::advance_until`].
+    fn advance_until(&mut self, target: u64);
+    /// See [`Simulation::committed`].
+    fn committed(&self) -> u64;
+    /// See [`Simulation::done`].
+    fn done(&self) -> bool;
+    /// The scheme this lane simulates.
+    fn scheme(&self) -> Scheme;
+    /// See [`Simulation::finish_collecting`].
+    fn finish_collecting(self: Box<Self>) -> RunOutcome;
+}
+
+impl<P: LeakagePredictor> LaneRun for Simulation<P> {
+    fn advance_until(&mut self, target: u64) {
+        Simulation::advance_until(self, target);
+    }
+
+    fn committed(&self) -> u64 {
+        Simulation::committed(self)
+    }
+
+    fn done(&self) -> bool {
+        Simulation::done(self)
+    }
+
+    fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    fn finish_collecting(self: Box<Self>) -> RunOutcome {
+        Simulation::finish_collecting(*self)
+    }
+}
+
+/// Builds a simulation lane for `scheme` with the predictor type resolved
+/// at compile time — the enum-to-generic dispatch table. Each arm
+/// instantiates `Simulation<P>` with a concrete `P`, so the baseline's
+/// no-op hooks inline away entirely and composed schemes ([`Pair`]) lose
+/// the per-event vtable hop the boxed [`CombinedPredictor`] pays.
+///
+/// The lane observes exactly the event sequence the equivalent
+/// dynamically-dispatched `Simulation::try_new` run observes, so its
+/// [`RunOutcome`] is bit-identical (the `lockstep` differential suite
+/// asserts this for every scheme).
+pub fn build_lane(
+    config: &SystemConfig,
+    scheme: Scheme,
+    workload: Workload,
+    oracle_trace: Option<GenerationTrace>,
+    with_recorder: bool,
+) -> Result<Box<dyn LaneRun>, EnergyConfigError> {
+    fn erase<P: LeakagePredictor + 'static>(
+        sim: Simulation<P>,
+        with_recorder: bool,
+    ) -> Box<dyn LaneRun> {
+        if with_recorder {
+            Box::new(sim.with_recorder())
+        } else {
+            Box::new(sim)
+        }
+    }
+    let edbp = |cfg: &SystemConfig, cache: &Cache| {
+        Edbp::new(
+            cfg.edbp
+                .clone()
+                .unwrap_or_else(|| EdbpConfig::for_cache(cache)),
+        )
+    };
+    Ok(match scheme {
+        Scheme::Baseline | Scheme::Sdbp | Scheme::LeakageOff80 => erase(
+            Simulation::try_new_with(config, scheme, workload, |_, _| NullPredictor::new())?,
+            with_recorder,
+        ),
+        Scheme::Decay => erase(
+            Simulation::try_new_with(config, scheme, workload, |cfg, c| {
+                CacheDecay::new(cfg.decay, c)
+            })?,
+            with_recorder,
+        ),
+        Scheme::Edbp => erase(
+            Simulation::try_new_with(config, scheme, workload, edbp)?,
+            with_recorder,
+        ),
+        Scheme::DecayEdbp => erase(
+            Simulation::try_new_with(config, scheme, workload, |cfg, c| {
+                Pair::new(CacheDecay::new(cfg.decay, c), edbp(cfg, c))
+            })?,
+            with_recorder,
+        ),
+        Scheme::Amc => erase(
+            Simulation::try_new_with(config, scheme, workload, |_, c| {
+                AdaptiveModeControl::new(AmcConfig::default(), c)
+            })?,
+            with_recorder,
+        ),
+        Scheme::AmcEdbp => erase(
+            Simulation::try_new_with(config, scheme, workload, |cfg, c| {
+                Pair::new(
+                    AdaptiveModeControl::new(AmcConfig::default(), c),
+                    edbp(cfg, c),
+                )
+            })?,
+            with_recorder,
+        ),
+        Scheme::Ideal => erase(
+            Simulation::try_new_with(config, scheme, workload, |_, _| {
+                OraclePredictor::new(
+                    oracle_trace.expect("the Ideal scheme requires a recorded generation trace"),
+                )
+            })?,
+            with_recorder,
+        ),
+    })
+}
+
+/// Committed-instruction chunk in which [`run_lockstep`] rotates between
+/// lanes. Large enough that the per-chunk dynamic dispatch and `done()`
+/// polls are noise; small enough that all lanes of a group stay warm in
+/// cache together.
+const LOCKSTEP_CHUNK: u64 = 32_768;
+
+/// Drives one monomorphized lane to completion under its own wall clock —
+/// the [`build_lane`] counterpart of [`Simulation::run_collecting`]. This
+/// is the hot path behind [`run_workload`] and the memoized runner: the
+/// enum-to-generic dispatch happens once in [`build_lane`], and the whole
+/// run executes with statically dispatched predictor hooks.
+pub fn run_lane(mut lane: Box<dyn LaneRun>) -> RunOutcome {
+    let wall_start = std::time::Instant::now();
+    lane.advance_until(u64::MAX);
+    debug_assert!(lane.done());
+    let wall = wall_start.elapsed().as_secs_f64();
+    let mut outcome = lane.finish_collecting();
+    if wall > 0.0 {
+        outcome.result.sim_mips = outcome.result.committed as f64 / wall / 1e6;
+    }
+    outcome
+}
+
+/// Drives a group of lanes over the same workload in lockstep: each lane
+/// advances in [`LOCKSTEP_CHUNK`]-instruction rounds until every lane is
+/// [`LaneRun::done`]. One wall-clock measurement covers the whole group;
+/// each lane's `sim_mips` is its own committed count over that shared
+/// wall time.
+///
+/// Bit-exactness: [`Simulation::advance_until`] never truncates a burst
+/// at its target, so an incrementally driven lane performs the identical
+/// f64 operation sequence as one uninterrupted run — every [`RunOutcome`]
+/// equals the outcome of an independent [`Simulation::run_collecting`]
+/// (modulo `sim_mips`, which is wall-clock-derived in both regimes).
+pub fn run_lockstep(mut lanes: Vec<Box<dyn LaneRun>>) -> Vec<RunOutcome> {
+    let wall_start = std::time::Instant::now();
+    let mut target = LOCKSTEP_CHUNK;
+    loop {
+        let mut all_done = true;
+        for lane in &mut lanes {
+            if !lane.done() {
+                lane.advance_until(target);
+                all_done &= lane.done();
+            }
+        }
+        if all_done {
+            break;
+        }
+        target = target.saturating_add(LOCKSTEP_CHUNK);
+    }
+    let wall = wall_start.elapsed().as_secs_f64();
+    lanes
+        .into_iter()
+        .map(|lane| {
+            let mut outcome = lane.finish_collecting();
+            if wall > 0.0 {
+                outcome.result.sim_mips = outcome.result.committed as f64 / wall / 1e6;
+            }
+            outcome
+        })
+        .collect()
 }
 
 /// Wrapper making a boxed source usable where `EnergySystem` wants a
@@ -965,6 +1227,10 @@ impl ehs_energy::EnergySource for SourceBox {
 
     fn segment_of(&self, t: Time) -> Option<u64> {
         self.0.segment_of(t)
+    }
+
+    fn segment_end(&self, t: Time) -> Option<Time> {
+        self.0.segment_end(t)
     }
 
     fn name(&self) -> &str {
@@ -987,9 +1253,9 @@ pub fn run_workload(config: &SystemConfig, scheme: Scheme, workload: Workload) -
     let trace = scheme
         .needs_oracle_trace()
         .then(|| record_generation_trace(config, workload.clone()));
-    let sim = Simulation::new(config, scheme, workload, trace);
-    let (result, _) = sim.run();
-    result
+    let lane = build_lane(config, scheme, workload, trace, false)
+        .unwrap_or_else(|e| panic!("invalid energy configuration: {e}"));
+    run_lane(lane).result
 }
 
 /// Pass 1 of the Ideal scheme: runs the baseline while recording every
@@ -1007,7 +1273,11 @@ pub fn run_baseline_with_trace(
     config: &SystemConfig,
     workload: Workload,
 ) -> (RunResult, GenerationTrace) {
-    let sim = Simulation::new(config, Scheme::Baseline, workload, None).with_recorder();
-    let (result, trace) = sim.run();
-    (result, trace.expect("recorder was attached"))
+    let lane = build_lane(config, Scheme::Baseline, workload, None, true)
+        .unwrap_or_else(|e| panic!("invalid energy configuration: {e}"));
+    let outcome = run_lane(lane);
+    (
+        outcome.result,
+        outcome.trace.expect("recorder was attached"),
+    )
 }

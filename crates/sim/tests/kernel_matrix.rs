@@ -1,0 +1,82 @@
+//! Exhaustive kernel-matrix suite for the monomorphized dispatch table.
+//!
+//! [`build_lane`] resolves every (`Scheme`, `ReplacementPolicy`) pair to a
+//! fully monomorphized `Simulation<P>` once per run; these tests prove the
+//! table is **exhaustive** (every pair builds and runs — a missing match arm
+//! is a compile error, a mis-wired one fails here) and **faithful**: each
+//! monomorphized lane's [`RunResult`] is bit-identical to the
+//! dynamic-dispatch `Simulation::new` construction path it replaced on the
+//! hot paths.
+
+use ehs_cache::ReplacementPolicy;
+use ehs_sim::{
+    build_lane, record_generation_trace, run_lane, Scheme, Simulation, SourceKind, SystemConfig,
+};
+use ehs_workloads::{build, AppId, Scale};
+use proptest::prelude::*;
+
+/// Paper defaults with the D-cache policy swapped and the run bounded so the
+/// 45-cell matrix stays fast; equality holds for truncated runs too.
+fn config_with(policy: ReplacementPolicy, seed: u64) -> SystemConfig {
+    let mut c = SystemConfig::paper_default();
+    c.dcache.policy = policy;
+    c.max_instructions = 120_000;
+    if let SourceKind::Preset { preset, scale, .. } = c.source {
+        c.source = SourceKind::Preset {
+            preset,
+            seed,
+            scale,
+        };
+    }
+    c
+}
+
+/// Runs one (scheme, policy) cell both ways and asserts bit-equality.
+fn assert_mono_matches_dyn(config: &SystemConfig, scheme: Scheme, app: AppId) {
+    let workload = build(app, Scale::Tiny);
+    let oracle = scheme
+        .needs_oracle_trace()
+        .then(|| record_generation_trace(config, workload.clone()));
+    let lane = build_lane(config, scheme, workload.clone(), oracle.clone(), false)
+        .expect("paper-default energy configuration is valid");
+    assert_eq!(
+        lane.scheme(),
+        scheme,
+        "dispatch table routed {scheme} to the wrong lane"
+    );
+    let mono = run_lane(lane).result;
+    let dyn_result = Simulation::new(config, scheme, workload, oracle)
+        .run_collecting()
+        .result;
+    assert_eq!(
+        mono, dyn_result,
+        "monomorphized lane diverged from dyn dispatch: scheme {scheme} policy {:?}",
+        config.dcache.policy
+    );
+}
+
+#[test]
+fn every_scheme_policy_pair_monomorphizes_and_matches_dyn() {
+    for policy in ReplacementPolicy::ALL {
+        let config = config_with(policy, 42);
+        for scheme in Scheme::ALL {
+            assert_mono_matches_dyn(&config, scheme, AppId::Crc32);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Randomized corner of the same property: arbitrary trace seeds and
+    // matrix cells, on a second app, must also agree bit for bit.
+    #[test]
+    fn mono_matches_dyn_under_random_seeds(
+        seed in 0u64..10_000,
+        scheme_idx in 0usize..Scheme::ALL.len(),
+        policy_idx in 0usize..ReplacementPolicy::ALL.len(),
+    ) {
+        let config = config_with(ReplacementPolicy::ALL[policy_idx], seed);
+        assert_mono_matches_dyn(&config, Scheme::ALL[scheme_idx], AppId::Bitcount);
+    }
+}
