@@ -11,15 +11,67 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use edbp_core::{
     FxHashMap, LeakagePredictor, OraclePredictor, OracleRecorder, PagedTable, TickOutcome,
 };
+use ehs_cache::probe::{
+    avx2_available, force_impl, probe, probe_portable, probe_scalar, ProbeImpl,
+};
 use ehs_cache::{AccessKind, BlockId, Cache, CacheConfig, ReplacementPolicy};
 use ehs_sim::{
-    build_lane, record_generation_trace, run_lane, run_lockstep, Scheme, Simulation, SystemConfig,
+    build_lane, record_generation_trace, run_lane, run_lockstep_with, LockstepMode, Scheme,
+    Simulation, SystemConfig,
 };
 use ehs_units::Voltage;
 use ehs_workloads::{build, AppId, Scale};
 use std::hint::black_box;
 
 const BLOCK: u64 = 16;
+
+/// The wide tag probe against its scalar reference, per associativity.
+/// Every d-cache access pays exactly one of these; the portable path is
+/// written to autovectorize, the AVX2 path is explicit `core::arch` behind
+/// runtime detection. The mix alternates hits and misses so the comparison
+/// outcome is not branch-predictable into irrelevance.
+fn tag_probe(c: &mut Criterion) {
+    const PROBES: u64 = 1024;
+    let mut group = c.benchmark_group("tag_probe");
+    group.throughput(Throughput::Elements(PROBES));
+    for ways in [1usize, 2, 4, 8, 16] {
+        let tags: Vec<u64> = (0..ways as u64).map(|w| 0x1000 + w).collect();
+        // Cycles through every way plus one guaranteed miss.
+        let needle = |i: u64| 0x1000 + i % (ways as u64 + 1);
+        group.bench_function(&format!("scalar_w{ways}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..PROBES {
+                    acc ^= probe_scalar(black_box(&tags), black_box(needle(i)));
+                }
+                acc
+            })
+        });
+        group.bench_function(&format!("portable_w{ways}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..PROBES {
+                    acc ^= probe_portable(black_box(&tags), black_box(needle(i)));
+                }
+                acc
+            })
+        });
+        if avx2_available() {
+            force_impl(Some(ProbeImpl::Avx2));
+            group.bench_function(&format!("avx2_w{ways}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for i in 0..PROBES {
+                        acc ^= probe(black_box(&tags), black_box(needle(i)));
+                    }
+                    acc
+                })
+            });
+            force_impl(None);
+        }
+    }
+    group.finish();
+}
 
 /// The per-hit replacement-rank update. Every policy keeps its per-set rank
 /// state in one packed `u64` word (4-bit lane per way), so a hit's
@@ -106,6 +158,31 @@ fn shadow_table_lookup(c: &mut Criterion) {
                 table.insert(addr, i as u32);
             }
             table.len()
+        })
+    });
+    group.bench_function("paged_remove_batch_1k", |b| {
+        // The batch cursor on its target shape: an ascending block-aligned
+        // drain (resident-set walks, tick gate lists) resolves each
+        // 1024-slot page once instead of per address.
+        let mut table: PagedTable<u32> = PagedTable::for_block_bytes(BLOCK as u32);
+        b.iter(|| {
+            table.fill_batch((0..PROBES).map(|i| i * BLOCK), 1);
+            let mut drained = 0u64;
+            table.remove_batch((0..PROBES).map(|i| i * BLOCK), |_, _| drained += 1);
+            drained
+        })
+    });
+    group.bench_function("paged_remove_scalar_1k", |b| {
+        let mut table: PagedTable<u32> = PagedTable::for_block_bytes(BLOCK as u32);
+        b.iter(|| {
+            for i in 0..PROBES {
+                table.insert(i * BLOCK, 1);
+            }
+            let mut drained = 0u64;
+            for i in 0..PROBES {
+                drained += u64::from(table.remove(i * BLOCK).is_some());
+            }
+            drained
         })
     });
     group.bench_function("fxhash_insert_remove_1k", |b| {
@@ -207,10 +284,12 @@ fn dispatch_dyn_vs_mono(c: &mut Criterion) {
     group.finish();
 }
 
-/// Lockstep amortization: the same bounded workload replayed by one lane vs
-/// the full nine-scheme roster in one interleaved group. Throughput counts
-/// *total* committed instructions, so `lanes_9` shows how much of the
-/// single-lane per-instruction cost the shared replay amortizes away.
+/// Lockstep amortization: the same bounded workload replayed by 1, 4 and 9
+/// scheme lanes, in both group drives — interleaved (each lane decodes and
+/// steps the core itself) and transposed (the lead lane records its
+/// instruction stream; siblings replay it without touching the core).
+/// Throughput counts *total* committed instructions, so the wide rosters
+/// show how much per-instruction cost the shared stream amortizes away.
 fn lockstep_scaling(c: &mut Criterion) {
     const BUDGET: u64 = 20_000;
     let mut config = SystemConfig::paper_default();
@@ -232,23 +311,33 @@ fn lockstep_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("lockstep");
     for (label, schemes) in [
         ("lanes_1", &[Scheme::DecayEdbp][..]),
+        (
+            "lanes_4",
+            &[Scheme::Baseline, Scheme::Decay, Scheme::Edbp, Scheme::Ideal][..],
+        ),
         ("lanes_9", &Scheme::ALL[..]),
     ] {
         group.throughput(Throughput::Elements(BUDGET * schemes.len() as u64));
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                run_lockstep(lanes(schemes))
-                    .iter()
-                    .map(|o| o.result.committed)
-                    .sum::<u64>()
-            })
-        });
+        for (mode_label, mode) in [
+            ("interleaved", LockstepMode::Interleaved),
+            ("transposed", LockstepMode::Transposed),
+        ] {
+            group.bench_function(&format!("{mode_label}_{label}"), |b| {
+                b.iter(|| {
+                    run_lockstep_with(lanes(schemes), mode)
+                        .iter()
+                        .map(|o| o.result.committed)
+                        .sum::<u64>()
+                })
+            });
+        }
     }
     group.finish();
 }
 
 criterion_group!(
     kernels,
+    tag_probe,
     policy_rank_update,
     shadow_table_lookup,
     oracle_generation_advance,

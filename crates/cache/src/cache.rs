@@ -256,6 +256,13 @@ impl Cache {
             g.associativity as usize <= MAX_WAYS && g.associativity > 0,
             "packed policy state caps associativity at {MAX_WAYS} ways"
         );
+        assert!(
+            g.associativity <= crate::probe::PROBE_MASK_BITS,
+            "wide tag probe returns a u32 hit mask; associativity {} exceeds \
+             the {} ways it can cover",
+            g.associativity,
+            crate::probe::PROBE_MASK_BITS,
+        );
         let ways = g.associativity as u8;
         let n_sets = g.sets() as usize;
         let init = with_policy_kernel!(config.policy, K => K::init(ways));
@@ -368,13 +375,11 @@ impl Cache {
         let (set, tag) = self.split(addr);
         let ways = usize::from(self.ways());
         let base = set as usize * ways;
-        self.tags[base..base + ways]
-            .iter()
-            .position(|&t| t == tag)
-            .map(|way| BlockId {
-                set,
-                way: way as u8,
-            })
+        let mask = crate::probe::probe(&self.tags[base..base + ways], tag);
+        (mask != 0).then(|| BlockId {
+            set,
+            way: mask.trailing_zeros() as u8,
+        })
     }
 
     /// Performs an access. On a miss, the victim frame is evicted
@@ -443,12 +448,11 @@ impl Cache {
         let ways = self.ways();
         let base = s * usize::from(ways);
 
-        // Branchless probe: empty (invalid or gated) frames hold TAG_NONE,
-        // so a tag match is a powered, valid hit — no mask check needed.
-        let mut match_mask = 0u32;
-        for (w, &t) in self.tags[base..base + usize::from(ways)].iter().enumerate() {
-            match_mask |= u32::from(t == tag) << w;
-        }
+        // Wide probe: empty (invalid or gated) frames hold TAG_NONE, so a
+        // tag match is a powered, valid hit — no mask check needed, and the
+        // whole set compares in one SIMD op (scalar reference under
+        // EHS_NO_SIMD=1; see the `probe` module).
+        let match_mask = crate::probe::probe(&self.tags[base..base + usize::from(ways)], tag);
         if match_mask != 0 {
             let way_idx = match_mask.trailing_zeros() as u8;
             let bit = 1u16 << way_idx;

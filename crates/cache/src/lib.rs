@@ -39,11 +39,15 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the wide tag probe's AVX2 dispatch needs one
+// scoped `#[allow(unsafe_code)]` for its feature-gated intrinsic call (see
+// `probe::probe_avx2_dispatch`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
 mod policy;
+pub mod probe;
 mod stats;
 
 pub use cache::{

@@ -1,0 +1,217 @@
+//! Pins every wide tag-probe implementation to the scalar reference.
+//!
+//! The `probe` module's contract is that [`probe_scalar`] defines the
+//! semantics and the portable/AVX2 paths are pure accelerations. These
+//! proptests drive whole caches — random power-of-two geometries up to
+//! `MAX_WAYS`, sentinel `TAG_NONE` frames from cold sets and evictions,
+//! and gated/valid/dirty mask combinations from interleaved gates and
+//! power failures — under each forced implementation and require the
+//! *entire observable behaviour* (hit/miss outcome, victim choice,
+//! write-backs, statistics, final way views) to be bit-identical.
+
+use ehs_cache::probe::{self, ProbeImpl};
+use ehs_cache::{
+    AccessKind, BlockId, Cache, CacheConfig, CacheGeometry, GateResult, LookupResult,
+    ReplacementPolicy, WayView, MAX_WAYS,
+};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// The forced probe implementation is process-global; serialize the tests
+/// that flip it so parallel test threads never observe a half-switched
+/// comparison. (All implementations are bit-identical, so *other* tests in
+/// this binary would still pass mid-flip — the lock keeps the comparisons
+/// themselves honest.)
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+fn forced(imp: ProbeImpl) -> MutexGuard<'static, ()> {
+    let guard = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    probe::force_impl(Some(imp));
+    guard
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lookup { addr_idx: usize, write: bool },
+    Gate { set: u32, way: u8 },
+    PowerFail,
+}
+
+/// One trace step's observable result, comparable across probe impls.
+#[derive(Debug, PartialEq)]
+enum Observed {
+    Hit {
+        set: u32,
+        way: u8,
+        was_dirty: bool,
+    },
+    Miss {
+        set: u32,
+        way: u8,
+        evicted: Option<u64>,
+        wb: Option<(u64, Vec<u8>)>,
+        filled: (u32, u8),
+    },
+    Gated(GateResult),
+    Failed(u32),
+}
+
+/// Small deterministic generator for trace shapes (the vendored proptest
+/// shim has no flat-map, so geometry-dependent ops are derived from one
+/// sampled seed).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        // xorshift64*; fine for test-case variety.
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Addresses drawn from a pool spanning `3 × sets` distinct blocks so every
+/// set sees conflict misses (evictions plant fresh `TAG_NONE` frames and
+/// exercise the policy victim path) alongside re-references (hits).
+fn addr_pool(g: CacheGeometry) -> Vec<u64> {
+    let sets = u64::from(g.sets());
+    let block = u64::from(g.block_bytes);
+    (0..sets * 3).map(|i| i * block).collect()
+}
+
+fn trace_from_seed(seed: u64) -> (CacheConfig, Vec<Op>) {
+    let mut g = Gen(seed | 1);
+    let ways = 1u32 << g.below(5); // 1, 2, 4, 8, 16
+    let sets = 1u32 << g.below(3); // 1, 2, 4
+    let policy = ReplacementPolicy::ALL[g.below(ReplacementPolicy::ALL.len() as u64) as usize];
+    let geometry = CacheGeometry::new(sets * ways * 16, ways, 16).expect("power-of-two shape");
+    let pool_len = (sets as u64) * 3;
+    let n_ops = 1 + g.below(200) as usize;
+    let ops = (0..n_ops)
+        .map(|_| match g.below(11) {
+            0..=7 => Op::Lookup {
+                addr_idx: g.below(pool_len) as usize,
+                write: g.below(2) == 1,
+            },
+            8 | 9 => Op::Gate {
+                set: g.below(u64::from(sets)) as u32,
+                way: g.below(u64::from(ways)) as u8,
+            },
+            _ => Op::PowerFail,
+        })
+        .collect();
+    (CacheConfig { geometry, policy }, ops)
+}
+
+/// Runs `ops` on a fresh cache under the already-forced probe impl,
+/// recording everything an implementation difference could perturb.
+fn run_trace(config: CacheConfig, ops: &[Op]) -> (Vec<Observed>, Vec<Vec<WayView>>, String) {
+    let pool = addr_pool(config.geometry);
+    let mut cache = Cache::new(config);
+    let mut seen = Vec::with_capacity(ops.len());
+    for op in ops {
+        seen.push(match *op {
+            Op::Lookup { addr_idx, write } => {
+                let addr = pool[addr_idx];
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let mut wb = None;
+                match cache.lookup_with(addr, kind, |a, d| wb = Some((a, d.to_vec()))) {
+                    LookupResult::Hit(h) => Observed::Hit {
+                        set: h.block.set,
+                        way: h.block.way,
+                        was_dirty: h.was_dirty,
+                    },
+                    LookupResult::Miss(m) => {
+                        let fill = [addr as u8; 16];
+                        let filled = cache.fill(addr, &fill, write);
+                        Observed::Miss {
+                            set: m.victim.set,
+                            way: m.victim.way,
+                            evicted: m.evicted,
+                            wb,
+                            filled: (filled.set, filled.way),
+                        }
+                    }
+                }
+            }
+            Op::Gate { set, way } => {
+                Observed::Gated(cache.gate_with(BlockId { set, way }, |_, _| ()))
+            }
+            Op::PowerFail => Observed::Failed(cache.power_fail()),
+        });
+    }
+    let mut views = Vec::new();
+    for set in 0..cache.sets() {
+        let mut buf = [WayView::default(); MAX_WAYS];
+        let n = cache.set_view_into(set, &mut buf);
+        views.push(buf[..n].to_vec());
+    }
+    (seen, views, format!("{:?}", cache.stats()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Full-cache differential: scalar vs portable vs AVX2 (when the host
+    // has it) on identical traces — hit masks, victim choices, write-backs
+    // and final state must agree exactly.
+    #[test]
+    fn wide_probe_preserves_cache_behaviour(seed in any::<u64>()) {
+        let (config, ops) = trace_from_seed(seed);
+        let reference = {
+            let _g = forced(ProbeImpl::Scalar);
+            run_trace(config, &ops)
+        };
+        let portable = {
+            let _g = forced(ProbeImpl::Portable);
+            run_trace(config, &ops)
+        };
+        prop_assert_eq!(&reference, &portable, "portable probe diverged from scalar");
+        if probe::avx2_available() {
+            let avx2 = {
+                let _g = forced(ProbeImpl::Avx2);
+                run_trace(config, &ops)
+            };
+            prop_assert_eq!(&reference, &avx2, "avx2 probe diverged from scalar");
+        }
+        probe::force_impl(None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Direct mask-level pinning on random tag columns: sentinel frames,
+    // value duplication, and needle-absent cases, across every length up to
+    // MAX_WAYS (not just the power-of-two shapes real caches use).
+    #[test]
+    fn probe_masks_match_scalar_reference(
+        len0 in 0usize..MAX_WAYS,
+        raw in proptest::collection::vec(prop_oneof![
+            3 => Just(u64::MAX),          // TAG_NONE sentinel
+            5 => 0u64..6,                 // small tags, frequent collisions
+            1 => any::<u64>(),
+        ], MAX_WAYS..MAX_WAYS + 1),
+        needle in prop_oneof![4 => 0u64..6, 1 => any::<u64>()],
+    ) {
+        let tags = &raw[..len0 + 1];
+        let want = probe::probe_scalar(tags, needle);
+        prop_assert_eq!(probe::probe_portable(tags, needle), want,
+            "portable mask diverged on {:?} / {}", tags, needle);
+        if probe::avx2_available() {
+            let _g = forced(ProbeImpl::Avx2);
+            prop_assert_eq!(probe::probe(tags, needle), want,
+                "avx2 mask diverged on {:?} / {}", tags, needle);
+            probe::force_impl(None);
+        }
+    }
+}

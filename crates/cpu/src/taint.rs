@@ -1,0 +1,229 @@
+//! Static data-independence analysis: does a program's access stream
+//! depend only on constants?
+//!
+//! The transposed lockstep path in `ehs-sim` replays one lane's recorded
+//! `(pc, kind, address)` stream for every sibling lane. That is sound only
+//! if the stream is a function of the *architectural position* (number of
+//! committed instructions since reset) alone — never of loaded data values,
+//! which differ per lane because each lane's memory sees different outage
+//! and write-back histories.
+//!
+//! [`stream_is_data_independent`] proves this with a forward taint fixpoint
+//! over the program's control-flow graph. A register is *tainted* when its
+//! value may derive from a `Load` result; the program passes when
+//!
+//! * every `Load`/`Store` **base address** register is untainted,
+//! * every conditional **branch operand** is untainted.
+//!
+//! Under those two rules control flow and every effective address are
+//! computed from immediates alone (registers reset to zero, `Li`
+//! constants, and arithmetic over them), so two cores at the same
+//! architectural position — regardless of what their loads returned —
+//! fetch the same pc, produce the same effect kind and address, and halt
+//! at the same instruction. Tainted values may still flow through
+//! accumulators into *store data*; that is fine because no simulation
+//! statistic depends on data values.
+//!
+//! The analysis is conservative: `false` never breaks correctness, it only
+//! keeps a lane on the live per-lane stepper.
+
+use crate::isa::{Instruction, Program, Reg};
+
+/// Per-pc taint state: bit `i` set = register `i` may hold load-derived
+/// data on entry to that pc.
+type TaintMask = u16;
+
+#[inline]
+fn bit(r: Reg) -> TaintMask {
+    1 << r.index()
+}
+
+/// True if the program's `(pc, effect kind, address)` stream is provably
+/// independent of loaded data values — see the module docs for the exact
+/// obligation and why it makes cross-lane stream replay sound.
+pub fn stream_is_data_independent(program: &Program) -> bool {
+    let len = program.len();
+    // entry[pc] = known-possible taint at entry; `seen` distinguishes
+    // "no taint" from "not yet reached".
+    let mut entry: Vec<TaintMask> = vec![0; len];
+    let mut seen: Vec<bool> = vec![false; len];
+    let mut work: Vec<u32> = vec![0];
+    seen[0] = true; // registers reset to zero: nothing tainted at pc 0
+
+    while let Some(pc) = work.pop() {
+        let taint = entry[pc as usize];
+        let mut out = taint;
+        let mut targets: [Option<u32>; 2] = [None, None];
+        match program.fetch(pc) {
+            Instruction::Li(rd, _) => {
+                out &= !bit(rd);
+                targets[0] = Some(pc + 1);
+            }
+            Instruction::Addi(rd, rs, _)
+            | Instruction::Shl(rd, rs, _)
+            | Instruction::Shr(rd, rs, _) => {
+                out = (out & !bit(rd)) | if taint & bit(rs) != 0 { bit(rd) } else { 0 };
+                targets[0] = Some(pc + 1);
+            }
+            Instruction::Add(rd, a, b)
+            | Instruction::Sub(rd, a, b)
+            | Instruction::Mul(rd, a, b)
+            | Instruction::Xor(rd, a, b)
+            | Instruction::And(rd, a, b)
+            | Instruction::Or(rd, a, b) => {
+                out = (out & !bit(rd))
+                    | if taint & (bit(a) | bit(b)) != 0 {
+                        bit(rd)
+                    } else {
+                        0
+                    };
+                targets[0] = Some(pc + 1);
+            }
+            Instruction::Load(rd, base, _) => {
+                if taint & bit(base) != 0 {
+                    return false; // data-dependent load address
+                }
+                out |= bit(rd);
+                targets[0] = Some(pc + 1);
+            }
+            Instruction::Store(_, base, _) => {
+                // Store *data* may be tainted (no statistic reads values);
+                // the address must not be.
+                if taint & bit(base) != 0 {
+                    return false;
+                }
+                targets[0] = Some(pc + 1);
+            }
+            Instruction::Bne(a, b, t) | Instruction::Beq(a, b, t) | Instruction::Blt(a, b, t) => {
+                if taint & (bit(a) | bit(b)) != 0 {
+                    return false; // data-dependent control flow
+                }
+                targets = [Some(pc + 1), Some(t)];
+            }
+            Instruction::Jmp(t) => {
+                targets[0] = Some(t);
+            }
+            Instruction::Halt => {}
+        }
+        for t in targets.into_iter().flatten() {
+            let Some(slot) = entry.get_mut(t as usize) else {
+                // Fall-through past the last instruction: such a path would
+                // crash the core's fetch, not silently diverge; ignore it
+                // here (builder programs always end in Halt).
+                continue;
+            };
+            let merged = *slot | out;
+            if !seen[t as usize] || merged != *slot {
+                *slot = merged;
+                seen[t as usize] = true;
+                work.push(t);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn straight_line_constant_program_passes() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 5);
+        b.add(Reg::R2, Reg::R1, Reg::R1);
+        b.halt();
+        assert!(stream_is_data_independent(&b.build()));
+    }
+
+    #[test]
+    fn accumulator_loop_with_untainted_induction_passes() {
+        // for i in 0..4 { acc ^= mem[base + 4*i] } — the classic shape of
+        // the shipped workload kernels: loaded data only reaches the
+        // accumulator, never an address or branch.
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0); // i
+        b.li(Reg::R2, 4); // bound
+        b.li(Reg::R3, 0x100); // base
+        b.li(Reg::R4, 0); // acc
+        let top = b.label_here();
+        b.load(Reg::R5, Reg::R3, 0);
+        b.xor(Reg::R4, Reg::R4, Reg::R5);
+        b.store(Reg::R4, Reg::R3, 0);
+        b.addi(Reg::R3, Reg::R3, 4);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        assert!(stream_is_data_independent(&b.build()));
+    }
+
+    #[test]
+    fn load_dependent_address_fails() {
+        // Pointer chase: mem[mem[base]].
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0x100);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.load(Reg::R3, Reg::R2, 0);
+        b.halt();
+        assert!(!stream_is_data_independent(&b.build()));
+    }
+
+    #[test]
+    fn load_dependent_branch_fails() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0x100);
+        b.li(Reg::R2, 0);
+        b.load(Reg::R3, Reg::R1, 0);
+        let out = b.forward_label();
+        b.beq(Reg::R3, Reg::R2, out);
+        b.place(out);
+        b.halt();
+        assert!(!stream_is_data_independent(&b.build()));
+    }
+
+    #[test]
+    fn taint_clears_when_overwritten_by_constant() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0x100);
+        b.load(Reg::R2, Reg::R1, 0); // R2 tainted...
+        b.li(Reg::R2, 7); // ...then overwritten by a constant
+        let out = b.forward_label();
+        b.beq(Reg::R2, Reg::R2, out);
+        b.place(out);
+        b.halt();
+        assert!(stream_is_data_independent(&b.build()));
+    }
+
+    #[test]
+    fn taint_survives_merge_points() {
+        // One path taints R2, the other does not; after the join a branch
+        // on R2 must still be rejected.
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0x100);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 1);
+        let join = b.forward_label();
+        let skip = b.forward_label();
+        b.beq(Reg::R3, Reg::R3, skip); // always taken, but both succs analysed
+        b.load(Reg::R2, Reg::R1, 0); // taints R2 on the fall-through path
+        b.place(skip);
+        b.jmp(join);
+        b.place(join);
+        let out = b.forward_label();
+        b.beq(Reg::R2, Reg::R1, out); // R2 may be tainted at the join
+        b.place(out);
+        b.halt();
+        assert!(!stream_is_data_independent(&b.build()));
+    }
+
+    #[test]
+    fn tainted_store_value_is_allowed() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::R1, 0x100);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.store(Reg::R2, Reg::R1, 4); // tainted data, untainted address
+        b.halt();
+        assert!(stream_is_data_independent(&b.build()));
+    }
+}

@@ -42,6 +42,7 @@ pub mod fault;
 mod fingerprint;
 mod memory_system;
 pub mod planner;
+mod replay;
 pub mod report;
 pub mod runcache;
 pub mod runner;
@@ -53,10 +54,12 @@ mod zombie;
 pub use config::{CheckpointCosts, SourceKind, SystemConfig};
 pub use fingerprint::config_fingerprint;
 pub use memory_system::MemorySystem;
+pub use replay::StreamWindow;
 pub use scheme::Scheme;
 pub use stats::{EnergyBreakdown, RunResult};
 pub use system::{
-    build_lane, record_generation_trace, run_app, run_baseline_with_trace, run_lane, run_lockstep,
-    run_workload, LaneRun, RunOutcome, Simulation,
+    build_lane, default_lockstep_mode, record_generation_trace, run_app, run_baseline_with_trace,
+    run_lane, run_lockstep, run_lockstep_with, run_workload, LaneRun, LockstepMode, RunOutcome,
+    Simulation,
 };
 pub use zombie::{zombie_ratio_by_voltage, ZombieAnalysis, ZombieSample};

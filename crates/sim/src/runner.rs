@@ -703,9 +703,11 @@ fn run_single(job: &Job) -> Result<JobOutput, JobError> {
     .map_err(|payload| job_error(job, panic_message(payload)))
 }
 
-/// Committed-instruction chunk in which a lockstep group's lanes advance.
-/// Mirrors the granularity of [`crate::run_lockstep`]; the runner drives
-/// its own round loop so it can contain each lane's panics to that lane.
+/// Committed-instruction chunk in which an interleaved lockstep group's
+/// lanes advance (the transposed drive rounds by the smaller
+/// [`crate::system::TRANSPOSED_CHUNK`]). Mirrors the granularity of
+/// [`crate::run_lockstep`]; the runner drives its own round loop so it can
+/// contain each lane's panics to that lane.
 const LOCKSTEP_CHUNK: u64 = 32_768;
 
 /// Executes one lockstep group: one fully monomorphized lane per distinct
@@ -797,31 +799,142 @@ fn run_group(jobs: &[Job], members: &[usize]) -> Vec<(usize, Result<JobOutput, J
 
     // Drive the lanes in lockstep rounds. `advance_until` never truncates
     // a burst at its target, so each lane's event stream — and therefore
-    // its result — is bit-identical to an uninterrupted independent run.
+    // its result — is bit-identical to an uninterrupted independent run;
+    // the transposed mode preserves that bit-for-bit through stream replay
+    // (see `Simulation::advance_replay`). Each lane's panics stay contained
+    // to that lane in both modes; a recorder panic additionally discards
+    // the round's half-recorded window, costing the siblings one replay
+    // opportunity and nothing else.
     let wall_start = std::time::Instant::now();
-    let mut target = LOCKSTEP_CHUNK;
-    loop {
-        let mut all_done = true;
-        for entry in &mut lanes {
-            let Some(lane) = entry else { continue };
-            if lane.sim.done() {
-                continue;
+    match crate::default_lockstep_mode() {
+        crate::LockstepMode::Interleaved => {
+            let mut target = LOCKSTEP_CHUNK;
+            loop {
+                let mut all_done = true;
+                for entry in &mut lanes {
+                    let Some(lane) = entry else { continue };
+                    if lane.sim.done() {
+                        continue;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| lane.sim.advance_until(target))) {
+                        Ok(()) => all_done &= lane.sim.done(),
+                        Err(payload) => {
+                            // Dropping the lane releases its claims with
+                            // the slot still empty: the failure stays
+                            // retryable, and only this scheme's jobs
+                            // report it.
+                            failures.insert(lane.scheme, panic_message(payload));
+                            *entry = None;
+                        }
+                    }
+                }
+                if all_done {
+                    break;
+                }
+                target = target.saturating_add(LOCKSTEP_CHUNK);
             }
-            match catch_unwind(AssertUnwindSafe(|| lane.sim.advance_until(target))) {
-                Ok(()) => all_done &= lane.sim.done(),
-                Err(payload) => {
-                    // Dropping the lane releases its claims with the slot
-                    // still empty: the failure stays retryable, and only
-                    // this scheme's jobs report it.
-                    failures.insert(lane.scheme, panic_message(payload));
-                    *entry = None;
+        }
+        crate::LockstepMode::Transposed => {
+            // The round protocol of `run_lockstep_with`, with per-lane
+            // panic isolation: recorder = lowest-position eligible lane,
+            // siblings inside the window replay it, ineligible lanes step
+            // live, eligible lanes ahead of the window wait.
+            let mut window = crate::StreamWindow::default();
+            loop {
+                let mut recorder: Option<usize> = None;
+                let mut eligible = 0usize;
+                for (i, entry) in lanes.iter().enumerate() {
+                    let Some(lane) = entry else { continue };
+                    if lane.sim.done() || !lane.sim.wide_eligible() {
+                        continue;
+                    }
+                    eligible += 1;
+                    let best = recorder
+                        .and_then(|r| lanes[r].as_ref())
+                        .map(|l| l.sim.arch_pos());
+                    if best.is_none_or(|b| lane.sim.arch_pos() < b) {
+                        recorder = Some(i);
+                    }
+                }
+                let mut progressed = false;
+                if let Some(r) = recorder {
+                    progressed = true;
+                    let rec_scheme = lanes[r].as_ref().expect("recorder exists").scheme;
+                    let target = lanes[r]
+                        .as_ref()
+                        .expect("recorder exists")
+                        .sim
+                        .committed()
+                        .saturating_add(crate::system::TRANSPOSED_CHUNK);
+                    window.invalidate();
+                    let lane = lanes[r].as_mut().expect("recorder exists");
+                    let recorded = if eligible >= 2 {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            lane.sim.advance_recording(target, &mut window)
+                        }))
+                    } else {
+                        // A lone eligible lane records for nobody.
+                        catch_unwind(AssertUnwindSafe(|| lane.sim.advance_until(target)))
+                    };
+                    match recorded {
+                        Ok(()) => {
+                            let (start, len) = (window.start(), window.len() as u64);
+                            if len > 0 {
+                                for (i, entry) in lanes.iter_mut().enumerate() {
+                                    if i == r {
+                                        continue;
+                                    }
+                                    let Some(lane) = entry else { continue };
+                                    if lane.sim.done() || !lane.sim.wide_eligible() {
+                                        continue;
+                                    }
+                                    let pos = lane.sim.arch_pos();
+                                    if pos < start || pos >= start + len {
+                                        continue;
+                                    }
+                                    let replayed = catch_unwind(AssertUnwindSafe(|| {
+                                        lane.sim.advance_replay(&window)
+                                    }));
+                                    if let Err(payload) = replayed {
+                                        failures.insert(lane.scheme, panic_message(payload));
+                                        *entry = None;
+                                    }
+                                }
+                            }
+                        }
+                        Err(payload) => {
+                            window.invalidate();
+                            failures.insert(rec_scheme, panic_message(payload));
+                            lanes[r] = None;
+                        }
+                    }
+                }
+                for (i, entry) in lanes.iter_mut().enumerate() {
+                    if Some(i) == recorder {
+                        continue;
+                    }
+                    let Some(lane) = entry else { continue };
+                    if lane.sim.done() || lane.sim.wide_eligible() {
+                        continue;
+                    }
+                    let target = lane
+                        .sim
+                        .committed()
+                        .saturating_add(crate::system::TRANSPOSED_CHUNK);
+                    match catch_unwind(AssertUnwindSafe(|| lane.sim.advance_until(target))) {
+                        Ok(()) => {}
+                        Err(payload) => {
+                            failures.insert(lane.scheme, panic_message(payload));
+                            *entry = None;
+                        }
+                    }
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
                 }
             }
         }
-        if all_done {
-            break;
-        }
-        target = target.saturating_add(LOCKSTEP_CHUNK);
     }
     let wall = wall_start.elapsed().as_secs_f64();
 

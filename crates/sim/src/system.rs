@@ -1,5 +1,6 @@
 //! The full-system simulation loop.
 
+use crate::replay::{StreamSink, StreamWindow, REC_COMPUTE, REC_HALT, REC_LOAD, REC_STORE};
 use crate::{EnergyBreakdown, MemorySystem, RunResult, Scheme, SystemConfig};
 use edbp_core::{
     AdaptiveModeControl, AmcConfig, CacheDecay, CombinedPredictor, Edbp, EdbpConfig,
@@ -7,7 +8,7 @@ use edbp_core::{
     Pair, PredictionLedger, ReusePredictor, ReusePredictorConfig, TickOutcome, WakeHint,
 };
 use ehs_cache::{with_policy_kernel, AccessKind, Cache, PolicyKernel};
-use ehs_cpu::{Core, CoreState, Effect, INSTRUCTION_BYTES};
+use ehs_cpu::{stream_is_data_independent, Core, CoreState, Effect, INSTRUCTION_BYTES};
 use ehs_energy::{BurstPlan, EnergyConfigError, EnergySystem, StepEvent};
 use ehs_units::{Energy, Power, Time};
 use ehs_workloads::{build, AppId, Scale, Workload};
@@ -203,6 +204,20 @@ pub struct Simulation<P: LeakagePredictor = Box<dyn LeakagePredictor>> {
     completed: bool,
     /// The energy source never recovered from an outage; the run is over.
     aborted: bool,
+    /// The workload's `(pc, kind, addr)` stream is provably independent of
+    /// loaded data (see [`stream_is_data_independent`]), making this lane
+    /// eligible for transposed stream replay.
+    stream_invariant: bool,
+    /// `committed + arch_offset` = architectural position on the canonical
+    /// rewind-free instruction stream. Committed counts re-executed
+    /// instructions after a restore; the offset subtracts them back out.
+    arch_offset: i64,
+    /// Architectural position of `last_ckpt` (meaningful only while
+    /// `last_ckpt` is `Some`).
+    ckpt_arch: u64,
+    /// Pooled buffer of this lane's own load values observed while
+    /// replaying a [`StreamWindow`] (feeds the re-decode fallback).
+    replay_loads: Vec<u32>,
 }
 
 /// Builds the data-cache predictor for a scheme.
@@ -312,6 +327,7 @@ impl<P: LeakagePredictor> Simulation<P> {
             .zombie_sample_interval
             .map(crate::ZombieAnalysis::new);
         let block_bytes = config.dcache.geometry.block_bytes as usize;
+        let stream_invariant = stream_is_data_independent(&workload.program);
         Ok(Self {
             scheme,
             mem,
@@ -332,6 +348,10 @@ impl<P: LeakagePredictor> Simulation<P> {
             tick_scratch: TickOutcome::default(),
             completed: false,
             aborted: false,
+            stream_invariant,
+            arch_offset: 0,
+            ckpt_arch: 0,
+            replay_loads: Vec::new(),
             workload,
             config,
         })
@@ -461,12 +481,21 @@ impl<P: LeakagePredictor> Simulation<P> {
     /// accesses observe correct values (see DESIGN.md).
     fn apply_tick(&mut self, tick: &TickOutcome, is_dcache: bool) {
         if is_dcache {
-            for g in &tick.gated {
-                self.ledger.on_gate(g.addr);
-                if let Some(z) = &mut self.zombie {
+            // Ticks gate in cache-walk order, so the addresses are
+            // page-local: drain each side table with the paged batch
+            // cursor (one spine resolution per page run). Per-table event
+            // order is unchanged, so classification and training are
+            // bit-identical to the per-address loop.
+            let gated = tick.gated.iter().map(|g| g.addr);
+            self.ledger.on_gate_batch(gated.clone());
+            if let Some(z) = &mut self.zombie {
+                for g in &tick.gated {
                     z.on_generation_end(g.addr);
                 }
-                self.train_reuse(g.addr);
+            }
+            if let Some(r) = &mut self.reuse {
+                self.reuse_flags
+                    .remove_batch(gated, |addr, reused| r.train(addr, reused));
             }
         }
         for (addr, data) in tick.writebacks.iter() {
@@ -556,6 +585,7 @@ impl<P: LeakagePredictor> Simulation<P> {
                 mem.drain_parked(|addr, data| shadow.push(addr, data, false));
             }
             self.last_ckpt = Some(self.core.checkpoint());
+            self.ckpt_arch = self.arch_pos();
         }
 
         // --- Lose volatile state ---
@@ -570,11 +600,9 @@ impl<P: LeakagePredictor> Simulation<P> {
                 ..
             } = self;
             if let Some(r) = reuse {
-                for addr in mem.dcache.resident_addrs_iter() {
-                    if let Some(reused) = reuse_flags.remove(addr) {
-                        r.train(addr, reused);
-                    }
-                }
+                reuse_flags.remove_batch(mem.dcache.resident_addrs_iter(), |addr, reused| {
+                    r.train(addr, reused)
+                });
             }
         }
         self.ledger.on_power_fail();
@@ -607,6 +635,10 @@ impl<P: LeakagePredictor> Simulation<P> {
             self.energy
                 .elapse_operation(self.config.ckpt.restore_latency);
             self.core.restore(&state);
+            // The restore rewinds the architectural position to the
+            // checkpoint's while `committed` keeps counting re-executed
+            // instructions; the offset reconciles the two.
+            self.arch_offset = self.ckpt_arch as i64 - self.core.committed() as i64;
             // Temporarily move the arena out so the loop body can borrow
             // `self` mutably; put it back after (same allocation).
             let shadow = std::mem::take(&mut self.shadow);
@@ -645,7 +677,10 @@ impl<P: LeakagePredictor> Simulation<P> {
             self.last_ckpt = Some(state);
         } else {
             // Brown-out before any checkpoint: restart from program entry.
+            // `Core::new` zeroes `committed`, so the position offset resets
+            // with it.
             self.core = Core::new(&self.workload.program);
+            self.arch_offset = 0;
         }
         true
     }
@@ -764,13 +799,26 @@ impl<P: LeakagePredictor> Simulation<P> {
         // Resolve the D-cache's replacement-policy kernel once per call;
         // the entire hot loop below then runs with the probe and rank
         // update statically dispatched (and, when `P` is concrete, with
-        // every predictor hook statically dispatched too).
-        with_policy_kernel!(self.config.dcache.policy, K => self.advance_until_k::<K>(target));
+        // every predictor hook statically dispatched too). The `()` sink
+        // compiles every recording call to nothing, so this is the same
+        // allocation-free loop the solo path always ran.
+        with_policy_kernel!(self.config.dcache.policy, K => self.advance_until_k::<K, ()>(target, &mut ()));
+    }
+
+    /// Advances like [`Simulation::advance_until`] while recording every
+    /// committed instruction into `window` for sibling lanes to replay
+    /// (the transposed lockstep recorder role). The window's start is this
+    /// lane's current architectural position; an outage seals it; a clean
+    /// exit stores the end-of-window core snapshot for replayers to adopt.
+    pub fn advance_recording(&mut self, target: u64, window: &mut StreamWindow) {
+        window.begin(self.arch_pos());
+        with_policy_kernel!(self.config.dcache.policy, K => self.advance_until_k::<K, StreamWindow>(target, window));
+        window.finish(self.core.checkpoint());
     }
 
     /// [`Simulation::advance_until`] monomorphized over the D-cache's
-    /// replacement-policy kernel `K`.
-    fn advance_until_k<K: PolicyKernel>(&mut self, target: u64) {
+    /// replacement-policy kernel `K` and the stream sink `S`.
+    fn advance_until_k<K: PolicyKernel, S: StreamSink>(&mut self, target: u64, sink: &mut S) {
         let sim = self;
         let program = Arc::clone(&sim.workload.program);
         let cycle_time = sim.config.cycle_time();
@@ -832,6 +880,7 @@ impl<P: LeakagePredictor> Simulation<P> {
                             wake_at_cycle: hint.at_cycle,
                             wake_below_voltage: hint.below_voltage,
                         };
+                        let pc0 = sim.core.pc();
                         let (taken, event) =
                             sim.energy.step_burst(&plan, &mut sim.breakdown.capacitor);
                         for _ in 0..taken {
@@ -841,6 +890,14 @@ impl<P: LeakagePredictor> Simulation<P> {
                                 Effect::Compute,
                                 "burst lookahead admitted a non-compute step"
                             );
+                        }
+                        if S::ACTIVE {
+                            sink.record_burst(pc0, taken);
+                            // Record boundary with the core fully stepped:
+                            // the only point a mid-window snapshot is valid.
+                            if sink.snapshot_due() {
+                                sink.snapshot(sim.core.checkpoint());
+                            }
                         }
                         // Replay the per-cycle breakdown accumulation: the
                         // same addend `taken` times in sequence, exactly as
@@ -878,6 +935,7 @@ impl<P: LeakagePredictor> Simulation<P> {
                         match event {
                             StepEvent::Running => {}
                             StepEvent::CheckpointRequested => {
+                                sink.seal();
                                 if !sim.ride_out_outage(true) {
                                     sim.aborted = true;
                                     break;
@@ -886,6 +944,7 @@ impl<P: LeakagePredictor> Simulation<P> {
                                 hint_dirty = true;
                             }
                             StepEvent::BrownOut => {
+                                sink.seal();
                                 sim.brownouts += 1;
                                 if !sim.ride_out_outage(false) {
                                     sim.aborted = true;
@@ -920,9 +979,19 @@ impl<P: LeakagePredictor> Simulation<P> {
             sim.breakdown.memory += fetch.memory_energy;
             let mut load_energy = fetch.icache_energy + fetch.memory_energy;
 
+            let pc = sim.core.pc();
             let effect = sim.core.step(&program);
             match effect {
-                Effect::Compute | Effect::Halted => {}
+                Effect::Compute => {
+                    if S::ACTIVE {
+                        sink.record_compute(pc);
+                    }
+                }
+                Effect::Halted => {
+                    if S::ACTIVE {
+                        sink.record_halt(pc);
+                    }
+                }
                 Effect::Load { addr, dst } => {
                     let access = sim.mem.data_access_k::<K>(addr, AccessKind::Read, 0);
                     sim.core.finish_load(dst, access.value);
@@ -933,6 +1002,9 @@ impl<P: LeakagePredictor> Simulation<P> {
                     leak.dirty |= !access.hit;
                     sim.note_data_access(&access);
                     hint_dirty = true;
+                    if S::ACTIVE {
+                        sink.record_load(pc, addr);
+                    }
                 }
                 Effect::Store { addr, value } => {
                     let access = sim.mem.data_access_k::<K>(addr, AccessKind::Write, value);
@@ -943,7 +1015,15 @@ impl<P: LeakagePredictor> Simulation<P> {
                     leak.dirty |= !access.hit;
                     sim.note_data_access(&access);
                     hint_dirty = true;
+                    if S::ACTIVE {
+                        sink.record_store(pc, addr, value);
+                    }
                 }
+            }
+            // Record boundary with the core fully stepped (including
+            // `finish_load`): the only point a mid-window snapshot is valid.
+            if S::ACTIVE && sink.snapshot_due() {
+                sink.snapshot(sim.core.checkpoint());
             }
 
             let dt = cycle_time + stall;
@@ -1008,6 +1088,7 @@ impl<P: LeakagePredictor> Simulation<P> {
             match event {
                 StepEvent::Running => {}
                 StepEvent::CheckpointRequested => {
+                    sink.seal();
                     if !sim.ride_out_outage(true) {
                         sim.aborted = true;
                         break;
@@ -1016,6 +1097,7 @@ impl<P: LeakagePredictor> Simulation<P> {
                     hint_dirty = true;
                 }
                 StepEvent::BrownOut => {
+                    sink.seal();
                     sim.brownouts += 1;
                     if !sim.ride_out_outage(false) {
                         sim.aborted = true;
@@ -1027,6 +1109,418 @@ impl<P: LeakagePredictor> Simulation<P> {
             }
         }
     }
+
+    /// This lane's position on the canonical rewind-free instruction
+    /// stream. `committed` counts instructions re-executed after a restore;
+    /// the offset maintained by [`Simulation::ride_out_outage`] subtracts
+    /// them back out, so two lanes at equal `arch_pos` are about to execute
+    /// the same instruction (for stream-invariant workloads).
+    pub fn arch_pos(&self) -> u64 {
+        (self.core.committed() as i64 + self.arch_offset) as u64
+    }
+
+    /// True when this lane may participate in transposed stream replay:
+    /// the workload's access stream is provably data-independent and
+    /// nothing demands per-instruction observation of this specific lane
+    /// (cycle-accurate mode and zombie sampling both key off exact per-lane
+    /// instruction positions, so those lanes stay on the live stepper).
+    pub fn wide_eligible(&self) -> bool {
+        self.stream_invariant && !self.config.force_cycle_accurate && self.zombie.is_none()
+    }
+
+    /// Advances this lane by replaying a sibling's recorded [`StreamWindow`]
+    /// instead of decoding instructions: the recorded `(pc, kind, addr)`
+    /// stream drives this lane's own fetches, data accesses, predictor
+    /// hooks, ticks and energy stepping — bit-identical to live execution
+    /// by stream invariance — while the core sits untouched. Architectural
+    /// state is re-synchronized at the window end by adopting the
+    /// recorder's snapshot (or, for sealed windows and mid-window exits, by
+    /// re-decoding the replayed records against this lane's own buffered
+    /// load values). Outages fall out to [`Simulation::ride_out_outage`]
+    /// and rejoin the window where the restored position lands in it.
+    pub fn advance_replay(&mut self, window: &StreamWindow) {
+        with_policy_kernel!(self.config.dcache.policy, K => self.advance_replay_k::<K>(window));
+    }
+
+    /// [`Simulation::advance_replay`] monomorphized over the D-cache's
+    /// replacement-policy kernel `K`. Mirrors [`Simulation::advance_until_k`]
+    /// exactly — same hoisting, same per-cycle f64 operation order — with
+    /// `core.step` replaced by window records and virtual counters.
+    fn advance_replay_k<K: PolicyKernel>(&mut self, window: &StreamWindow) {
+        let sim = self;
+        let program = Arc::clone(&sim.workload.program);
+        let cycle_time = sim.config.cycle_time();
+        let frequency = sim.config.frequency;
+        let mcu_power = sim.config.mcu_power();
+        let standby = sim.mem.memory_standby();
+        let params = LeakParams {
+            d_leak_full: sim.mem.dcache_characteristics().leakage * sim.config.dcache_leakage_scale,
+            i_leak_full: sim.mem.icache_characteristics().leakage * sim.config.icache_leakage_scale,
+            gated_frac: sim.config.gated_leak_fraction,
+            d_blocks: f64::from(sim.mem.dcache.blocks()),
+            i_blocks: f64::from(sim.mem.icache.blocks()),
+            cycle_time,
+            mcu_e_cycle: mcu_power * cycle_time,
+            standby_e_cycle: standby * cycle_time,
+        };
+        let max_instructions = sim.config.max_instructions;
+        let i_block = u64::from(sim.mem.icache.block_bytes());
+        let start = window.start();
+        let len = window.len();
+
+        // Each `'window` iteration enters with the core fully synchronized
+        // (entry by protocol; re-entry after an outage by the re-decode
+        // below) and locates the cursor from the architectural position.
+        'window: loop {
+            if sim.core.halted() {
+                sim.completed = true;
+                return;
+            }
+            if sim.aborted || sim.core.committed() >= max_instructions {
+                return;
+            }
+            let pos = sim.arch_pos();
+            if pos < start || pos >= start + len as u64 {
+                // Rewound before the window (brown-out to an older
+                // checkpoint) or consumed it entirely: back to the caller.
+                return;
+            }
+            let synced_at = (pos - start) as usize;
+            let mut cursor = synced_at;
+            // Virtual architectural state: the core is not stepped during
+            // replay, so these shadow what it *would* hold. Loads buffer
+            // this lane's own observed values for the re-decode fallback.
+            let mut virt_committed = sim.core.committed();
+            let mut virt_loads = sim.core.loads();
+            let mut virt_stores = sim.core.stores();
+            let mut virt_halted = false;
+            sim.replay_loads.clear();
+            let mut leak = LeakCache::new();
+            let mut hint = sim.wake_hint();
+            let mut hint_dirty = false;
+
+            loop {
+                if virt_halted || virt_committed >= max_instructions || cursor >= len {
+                    if virt_halted {
+                        sim.completed = true;
+                    }
+                    if cursor > synced_at {
+                        match window.end_state() {
+                            // Clean window end: adopt the recorder's
+                            // snapshot (exact for pc/halted and every
+                            // untainted register; tainted registers cannot
+                            // influence the stream or any statistic).
+                            Some(end) if cursor >= len => {
+                                sim.core.adopt(end, virt_committed, virt_loads, virt_stores);
+                            }
+                            // Sealed window or mid-window exit: walk the
+                            // core through the replayed records, feeding
+                            // this lane's own load values.
+                            _ => {
+                                let loads = std::mem::take(&mut sim.replay_loads);
+                                resync_core(
+                                    &mut sim.core,
+                                    &program,
+                                    window,
+                                    synced_at,
+                                    cursor,
+                                    &loads,
+                                );
+                                sim.replay_loads = loads;
+                                debug_assert_eq!(sim.core.committed(), virt_committed);
+                            }
+                        }
+                    }
+                    return;
+                }
+
+                // ---- Burst fast path (replayed) ----
+                if hint_dirty {
+                    hint = sim.wake_hint();
+                    hint_dirty = false;
+                }
+                let pc = window.pcs[cursor];
+                let fa = u64::from(program.fetch_addr(pc));
+                if !hint.every_cycle && sim.mem.buffered_block() == Some(fa & !(i_block - 1)) {
+                    let slots = (i_block - (fa & (i_block - 1))) / u64::from(INSTRUCTION_BYTES);
+                    // Capped additionally at the window end: a split burst
+                    // performs the identical per-cycle f64 sequence as the
+                    // unsplit one (DESIGN.md §8), and the remainder resumes
+                    // in the next advance.
+                    let cap = slots
+                        .min(max_instructions - virt_committed)
+                        .min((len - cursor) as u64) as u32;
+                    let run = program.compute_run_len(pc, cap);
+                    if run >= 1 {
+                        leak.refresh(&sim.mem, &params);
+                        let plan = BurstPlan {
+                            max_cycles: u64::from(run),
+                            dt: cycle_time,
+                            load: leak.cycle_load,
+                            frequency,
+                            wake_at_cycle: hint.at_cycle,
+                            wake_below_voltage: hint.below_voltage,
+                        };
+                        let (taken, event) =
+                            sim.energy.step_burst(&plan, &mut sim.breakdown.capacitor);
+                        debug_assert!(
+                            window.kinds[cursor..cursor + taken as usize]
+                                .iter()
+                                .all(|&k| k == REC_COMPUTE),
+                            "replayed burst covered a non-compute record"
+                        );
+                        cursor += taken as usize;
+                        virt_committed += taken;
+                        for _ in 0..taken {
+                            sim.breakdown.dcache_static += leak.d_static_cycle;
+                            sim.breakdown.icache_static += leak.i_static_cycle;
+                            sim.breakdown.mcu += params.mcu_e_cycle;
+                            sim.breakdown.memory += params.standby_e_cycle;
+                        }
+                        let cycle = (sim.energy.now() * frequency) as u64;
+                        if hint_due(&hint, cycle, &mut sim.energy) {
+                            let v = sim.energy.voltage();
+                            let mut tick = std::mem::take(&mut sim.tick_scratch);
+                            tick.clear();
+                            sim.d_pred
+                                .tick_into(&mut sim.mem.dcache, v, cycle, &mut tick);
+                            sim.apply_tick(&tick, true);
+                            if let Some(ip) = &mut sim.i_pred {
+                                tick.clear();
+                                ip.tick_into(&mut sim.mem.icache, v, cycle, &mut tick);
+                                sim.apply_tick(&tick, false);
+                            }
+                            sim.tick_scratch = tick;
+                            leak.dirty = true;
+                            hint_dirty = true;
+                        }
+                        match event {
+                            StepEvent::Running => {}
+                            StepEvent::CheckpointRequested | StepEvent::BrownOut => {
+                                // The outage machinery needs the real core
+                                // (checkpoint snapshot, committed counters):
+                                // re-synchronize before riding it out.
+                                if cursor > synced_at {
+                                    let loads = std::mem::take(&mut sim.replay_loads);
+                                    resync_core(
+                                        &mut sim.core,
+                                        &program,
+                                        window,
+                                        synced_at,
+                                        cursor,
+                                        &loads,
+                                    );
+                                    sim.replay_loads = loads;
+                                }
+                                let jit = event == StepEvent::CheckpointRequested;
+                                if !jit {
+                                    sim.brownouts += 1;
+                                }
+                                if !sim.ride_out_outage(jit) {
+                                    sim.aborted = true;
+                                    return;
+                                }
+                                continue 'window;
+                            }
+                        }
+                        continue;
+                    }
+                }
+
+                // ---- Reference path: one recorded cycle at a time ----
+                let fetch = sim.mem.ifetch(program.fetch_addr(pc));
+                leak.dirty |= !fetch.hit;
+                if let Some(ip) = sim.i_pred.as_mut().filter(|_| !fetch.buffered) {
+                    if fetch.hit {
+                        ip.on_hit(&sim.mem.icache, fetch.frame, fetch.block_addr);
+                    } else {
+                        ip.on_miss(fetch.block_addr);
+                        if let Some(ev) = fetch.evicted {
+                            ip.on_evict(ev);
+                        }
+                        ip.on_fill(&sim.mem.icache, fetch.frame, fetch.block_addr);
+                    }
+                    hint_dirty = true;
+                }
+                let mut stall = fetch.stall;
+                sim.breakdown.icache_dynamic += fetch.icache_energy;
+                sim.breakdown.memory += fetch.memory_energy;
+                let mut load_energy = fetch.icache_energy + fetch.memory_energy;
+
+                match window.kinds[cursor] {
+                    REC_COMPUTE => {
+                        virt_committed += 1;
+                    }
+                    REC_LOAD => {
+                        let addr = window.addrs[cursor];
+                        let access = sim.mem.data_access_k::<K>(addr, AccessKind::Read, 0);
+                        sim.replay_loads.push(access.value);
+                        stall += access.stall;
+                        load_energy += access.dcache_energy + access.memory_energy;
+                        sim.breakdown.dcache_dynamic += access.dcache_energy;
+                        sim.breakdown.memory += access.memory_energy;
+                        leak.dirty |= !access.hit;
+                        sim.note_data_access(&access);
+                        hint_dirty = true;
+                        virt_committed += 1;
+                        virt_loads += 1;
+                    }
+                    REC_STORE => {
+                        let access = sim.mem.data_access_k::<K>(
+                            window.addrs[cursor],
+                            AccessKind::Write,
+                            window.values[cursor],
+                        );
+                        stall += access.stall;
+                        load_energy += access.dcache_energy + access.memory_energy;
+                        sim.breakdown.dcache_dynamic += access.dcache_energy;
+                        sim.breakdown.memory += access.memory_energy;
+                        leak.dirty |= !access.hit;
+                        sim.note_data_access(&access);
+                        hint_dirty = true;
+                        virt_committed += 1;
+                        virt_stores += 1;
+                    }
+                    kind => {
+                        debug_assert_eq!(kind, REC_HALT, "corrupt stream record");
+                        // Halt nets its commit back out and is always the
+                        // window's final record.
+                        virt_halted = true;
+                    }
+                }
+                cursor += 1;
+
+                let dt = cycle_time + stall;
+                leak.refresh(&sim.mem, &params);
+                let d_static = params.d_leak_full * leak.d_frac * dt;
+                let i_static = params.i_leak_full * leak.i_frac * dt;
+                let mcu_e = mcu_power * dt;
+                let standby_e = standby * dt;
+                sim.breakdown.dcache_static += d_static;
+                sim.breakdown.icache_static += i_static;
+                sim.breakdown.mcu += mcu_e;
+                sim.breakdown.memory += standby_e;
+                load_energy += d_static + i_static + mcu_e + standby_e;
+
+                let consumed_before = sim.energy.stats().consumed;
+                let event = sim.energy.step(dt, load_energy);
+                let drawn = sim.energy.stats().consumed - consumed_before;
+                sim.breakdown.capacitor += drawn.saturating_sub(load_energy);
+
+                let cycle = (sim.energy.now() * frequency) as u64;
+                if hint_dirty {
+                    hint = sim.wake_hint();
+                    hint_dirty = false;
+                }
+                if hint_due(&hint, cycle, &mut sim.energy) {
+                    let v = sim.energy.voltage();
+                    let mut tick = std::mem::take(&mut sim.tick_scratch);
+                    tick.clear();
+                    sim.d_pred
+                        .tick_into(&mut sim.mem.dcache, v, cycle, &mut tick);
+                    sim.apply_tick(&tick, true);
+                    if let Some(ip) = &mut sim.i_pred {
+                        tick.clear();
+                        ip.tick_into(&mut sim.mem.icache, v, cycle, &mut tick);
+                        sim.apply_tick(&tick, false);
+                    }
+                    sim.tick_scratch = tick;
+                    leak.dirty = true;
+                    hint_dirty = true;
+                }
+
+                match event {
+                    StepEvent::Running => {}
+                    StepEvent::CheckpointRequested | StepEvent::BrownOut => {
+                        if cursor > synced_at {
+                            let loads = std::mem::take(&mut sim.replay_loads);
+                            resync_core(&mut sim.core, &program, window, synced_at, cursor, &loads);
+                            sim.replay_loads = loads;
+                        }
+                        let jit = event == StepEvent::CheckpointRequested;
+                        if !jit {
+                            sim.brownouts += 1;
+                        }
+                        if !sim.ride_out_outage(jit) {
+                            sim.aborted = true;
+                            return;
+                        }
+                        continue 'window;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-synchronizes `core` with replayed records `[from, to)`: adopts the
+/// recorder's closest in-range snapshot (sound for the same taint reason
+/// as end-of-window adoption — tainted registers cannot influence the
+/// stream or any statistic) and walks only the remaining tail through
+/// [`redecode_records`]. This bounds the per-event resync cost by the
+/// snapshot interval; without it, outage-heavy runs re-decode nearly every
+/// record and transposed replay degenerates to live stepping. Counter
+/// deltas for the skipped span come from the record kinds themselves
+/// (`REC_HALT` commits nothing, exactly as live execution nets it out).
+fn resync_core(
+    core: &mut Core,
+    program: &ehs_cpu::Program,
+    window: &StreamWindow,
+    from: usize,
+    to: usize,
+    loads: &[u32],
+) {
+    let Some((snap, state)) = window.best_snapshot(from, to) else {
+        redecode_records(core, program, window, from, to, loads);
+        return;
+    };
+    let mut committed = 0u64;
+    let mut nloads = 0usize;
+    let mut stores = 0u64;
+    for &k in &window.kinds[from..snap] {
+        committed += u64::from(k != REC_HALT);
+        nloads += usize::from(k == REC_LOAD);
+        stores += u64::from(k == REC_STORE);
+    }
+    core.adopt(
+        state,
+        core.committed() + committed,
+        core.loads() + nloads as u64,
+        core.stores() + stores,
+    );
+    redecode_records(core, program, window, snap, to, &loads[nloads..]);
+}
+
+/// Steps `core` through window records `[from, to)`, feeding this lane's
+/// own buffered load values (`loads`, one per `REC_LOAD` record in the
+/// range, in order). Store effects are dropped — the replay already
+/// performed the data accesses — and the committed/load/store counters
+/// advance exactly as live execution would have advanced them.
+fn redecode_records(
+    core: &mut Core,
+    program: &ehs_cpu::Program,
+    window: &StreamWindow,
+    from: usize,
+    to: usize,
+    loads: &[u32],
+) {
+    let mut next_load = 0;
+    for i in from..to {
+        debug_assert_eq!(
+            core.pc(),
+            window.pcs[i],
+            "re-decode diverged from the recorded stream"
+        );
+        match core.step(program) {
+            Effect::Compute | Effect::Halted => {}
+            Effect::Load { dst, .. } => {
+                core.finish_load(dst, loads[next_load]);
+                next_load += 1;
+            }
+            Effect::Store { .. } => {}
+        }
+    }
+    debug_assert_eq!(next_load, loads.len(), "buffered load values left over");
 }
 
 /// An erased, incrementally drivable simulation lane.
@@ -1047,6 +1541,14 @@ pub trait LaneRun {
     fn scheme(&self) -> Scheme;
     /// See [`Simulation::finish_collecting`].
     fn finish_collecting(self: Box<Self>) -> RunOutcome;
+    /// See [`Simulation::arch_pos`].
+    fn arch_pos(&self) -> u64;
+    /// See [`Simulation::wide_eligible`].
+    fn wide_eligible(&self) -> bool;
+    /// See [`Simulation::advance_recording`].
+    fn advance_recording(&mut self, target: u64, window: &mut StreamWindow);
+    /// See [`Simulation::advance_replay`].
+    fn advance_replay(&mut self, window: &StreamWindow);
 }
 
 impl<P: LeakagePredictor> LaneRun for Simulation<P> {
@@ -1068,6 +1570,22 @@ impl<P: LeakagePredictor> LaneRun for Simulation<P> {
 
     fn finish_collecting(self: Box<Self>) -> RunOutcome {
         Simulation::finish_collecting(*self)
+    }
+
+    fn arch_pos(&self) -> u64 {
+        Simulation::arch_pos(self)
+    }
+
+    fn wide_eligible(&self) -> bool {
+        Simulation::wide_eligible(self)
+    }
+
+    fn advance_recording(&mut self, target: u64, window: &mut StreamWindow) {
+        Simulation::advance_recording(self, target, window);
+    }
+
+    fn advance_replay(&mut self, window: &StreamWindow) {
+        Simulation::advance_replay(self, window);
     }
 }
 
@@ -1158,6 +1676,13 @@ pub fn build_lane(
 /// cache together.
 const LOCKSTEP_CHUNK: u64 = 32_768;
 
+/// Round size for the transposed drive, deliberately smaller than
+/// [`LOCKSTEP_CHUNK`]: a replayed round touches four parallel record
+/// columns plus every lane's caches, so shorter rounds keep the window
+/// columns L1/L2-resident across the recorder pass and all replayer
+/// passes. Measured on the 9-lane bench, 4k rounds beat both 8k and 32k.
+pub(crate) const TRANSPOSED_CHUNK: u64 = 4_096;
+
 /// Drives one monomorphized lane to completion under its own wall clock —
 /// the [`build_lane`] counterpart of [`Simulation::run_collecting`]. This
 /// is the hot path behind [`run_workload`] and the memoized runner: the
@@ -1175,32 +1700,133 @@ pub fn run_lane(mut lane: Box<dyn LaneRun>) -> RunOutcome {
     outcome
 }
 
-/// Drives a group of lanes over the same workload in lockstep: each lane
-/// advances in [`LOCKSTEP_CHUNK`]-instruction rounds until every lane is
-/// [`LaneRun::done`]. One wall-clock measurement covers the whole group;
-/// each lane's `sim_mips` is its own committed count over that shared
-/// wall time.
+/// How [`run_lockstep`] advances the lanes of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockstepMode {
+    /// Transposed (access-major): one lane records its instruction stream
+    /// per round and the sibling lanes replay it without decoding. Falls
+    /// back to interleaved stepping for ineligible lanes. The default.
+    Transposed,
+    /// Interleaved (lane-major): every lane decodes and executes
+    /// independently in [`LOCKSTEP_CHUNK`] rounds. Forced by
+    /// `EHS_NO_SIMD=1` and used as the semantic reference in the
+    /// divergence gates.
+    Interleaved,
+}
+
+/// The process-default lockstep mode: [`LockstepMode::Transposed`] unless
+/// `EHS_NO_SIMD=1` demands the scalar/interleaved reference regime. Read
+/// once and cached (matching the tag-probe selector's semantics).
+pub fn default_lockstep_mode() -> LockstepMode {
+    static MODE: std::sync::OnceLock<LockstepMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        if std::env::var("EHS_NO_SIMD").is_ok_and(|v| v == "1") {
+            LockstepMode::Interleaved
+        } else {
+            LockstepMode::Transposed
+        }
+    })
+}
+
+/// Drives a group of lanes over the same workload in lockstep until every
+/// lane is [`LaneRun::done`], in the process-default [`LockstepMode`]. One
+/// wall-clock measurement covers the whole group; each lane's `sim_mips`
+/// is its own committed count over that shared wall time.
 ///
 /// Bit-exactness: [`Simulation::advance_until`] never truncates a burst
 /// at its target, so an incrementally driven lane performs the identical
 /// f64 operation sequence as one uninterrupted run — every [`RunOutcome`]
 /// equals the outcome of an independent [`Simulation::run_collecting`]
-/// (modulo `sim_mips`, which is wall-clock-derived in both regimes).
-pub fn run_lockstep(mut lanes: Vec<Box<dyn LaneRun>>) -> Vec<RunOutcome> {
+/// (modulo `sim_mips`, which is wall-clock-derived in both regimes). The
+/// transposed mode preserves this bit-for-bit (the `lockstep` suite
+/// asserts both modes against solo runs for every scheme).
+pub fn run_lockstep(lanes: Vec<Box<dyn LaneRun>>) -> Vec<RunOutcome> {
+    run_lockstep_with(lanes, default_lockstep_mode())
+}
+
+/// [`run_lockstep`] with an explicit [`LockstepMode`].
+pub fn run_lockstep_with(mut lanes: Vec<Box<dyn LaneRun>>, mode: LockstepMode) -> Vec<RunOutcome> {
     let wall_start = std::time::Instant::now();
-    let mut target = LOCKSTEP_CHUNK;
-    loop {
-        let mut all_done = true;
-        for lane in &mut lanes {
-            if !lane.done() {
-                lane.advance_until(target);
-                all_done &= lane.done();
+    match mode {
+        LockstepMode::Interleaved => {
+            let mut target = LOCKSTEP_CHUNK;
+            loop {
+                let mut all_done = true;
+                for lane in &mut lanes {
+                    if !lane.done() {
+                        lane.advance_until(target);
+                        all_done &= lane.done();
+                    }
+                }
+                if all_done {
+                    break;
+                }
+                target = target.saturating_add(LOCKSTEP_CHUNK);
             }
         }
-        if all_done {
-            break;
+        LockstepMode::Transposed => {
+            // Round protocol (mirrored with per-lane panic isolation in the
+            // fault-tolerant runner):
+            //
+            // 1. The *recorder* — the eligible unfinished lane with the
+            //    lowest architectural position — advances one chunk live,
+            //    recording its stream (when it has at least one eligible
+            //    sibling; alone it advances unrecorded).
+            // 2. Every other eligible lane whose position falls inside the
+            //    window replays it without decoding; eligible lanes ahead
+            //    of the window skip the round until the rest catch up.
+            // 3. Ineligible lanes (zombie sampling, cycle-accurate,
+            //    data-dependent streams) advance one chunk on the live
+            //    per-lane stepper.
+            let mut window = StreamWindow::default();
+            loop {
+                let mut recorder: Option<usize> = None;
+                let mut eligible = 0usize;
+                for (i, lane) in lanes.iter().enumerate() {
+                    if lane.done() || !lane.wide_eligible() {
+                        continue;
+                    }
+                    eligible += 1;
+                    if recorder.is_none_or(|r| lane.arch_pos() < lanes[r].arch_pos()) {
+                        recorder = Some(i);
+                    }
+                }
+                let mut progressed = false;
+                if let Some(r) = recorder {
+                    progressed = true;
+                    let target = lanes[r].committed().saturating_add(TRANSPOSED_CHUNK);
+                    if eligible >= 2 {
+                        lanes[r].advance_recording(target, &mut window);
+                        let (start, len) = (window.start(), window.len() as u64);
+                        if len > 0 {
+                            for (i, lane) in lanes.iter_mut().enumerate() {
+                                if i == r || lane.done() || !lane.wide_eligible() {
+                                    continue;
+                                }
+                                let pos = lane.arch_pos();
+                                if pos >= start && pos < start + len {
+                                    lane.advance_replay(&window);
+                                }
+                            }
+                        }
+                    } else {
+                        // A lone eligible lane records for nobody.
+                        lanes[r].advance_until(target);
+                    }
+                }
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    if Some(i) == recorder || lane.done() || lane.wide_eligible() {
+                        continue;
+                    }
+                    let target = lane.committed().saturating_add(TRANSPOSED_CHUNK);
+                    lane.advance_until(target);
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
         }
-        target = target.saturating_add(LOCKSTEP_CHUNK);
     }
     let wall = wall_start.elapsed().as_secs_f64();
     lanes

@@ -1,0 +1,29 @@
+//! Stream-invariance gate for every shipped workload kernel.
+//!
+//! The transposed lockstep path in `ehs-sim` replays one lane's recorded
+//! `(pc, kind, addr)` stream for its siblings, which is only sound for
+//! programs whose access stream is independent of loaded data values
+//! (`ehs_cpu::stream_is_data_independent`). Every kernel in the roster is
+//! deliberately written that way — induction variables, addresses and
+//! loop bounds derive from constants, and loaded data only flows into
+//! accumulators and store values. This test pins that property so a
+//! future kernel edit that silently makes a stream data-dependent (and
+//! thereby drops the app out of the wide path) is a visible decision, not
+//! an accident.
+
+use ehs_cpu::stream_is_data_independent;
+use ehs_workloads::{build, AppId, Scale};
+
+#[test]
+fn every_shipped_kernel_has_a_data_independent_stream() {
+    for &app in &AppId::ALL {
+        for scale in [Scale::Tiny, Scale::Small] {
+            let workload = build(app, scale);
+            assert!(
+                stream_is_data_independent(&workload.program),
+                "{app:?} at {scale:?} has a data-dependent access stream; \
+                 it would silently fall off the transposed lockstep path"
+            );
+        }
+    }
+}
