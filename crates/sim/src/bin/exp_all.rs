@@ -7,6 +7,13 @@
 //! binary prints. The persistent result cache under `results/.runcache/`
 //! makes warm re-runs near-instant; `--no-cache` disables it and
 //! `--expect-cached` fails the run if any simulation actually executed.
+//!
+//! Fleet execution over a shared cache directory (`EHS_RUNCACHE_DIR`):
+//! `--worker` work-steals the job set via heartbeat-renewed leases,
+//! `--shard I/N` runs one deterministic cost-balanced shard, and
+//! `--finalize [--wait SECS] [--verify DIR]` waits for completeness, then
+//! renders and byte-verifies every figure. See the multi-machine runbook
+//! in `EXPERIMENTS.md`.
 
 fn main() {
     ehs_sim::planner::suite_main();

@@ -100,6 +100,140 @@ where
     Ok(opts)
 }
 
+/// How a `exp_all` invocation participates in a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetMode {
+    /// Plan, run and report everything in this one process (the historical
+    /// behavior). Compacts the shared journal at startup.
+    Coordinator,
+    /// Work-steal the deduplicated job set through the shared cache
+    /// directory; produce entries, not figures (`--worker`).
+    Worker,
+    /// Like `Worker`, but restricted to one deterministic cost-balanced
+    /// shard of the job set (`--shard I/N`, 0-based).
+    Shard {
+        /// This process's shard (0-based).
+        index: usize,
+        /// Total number of shards.
+        count: usize,
+    },
+    /// Wait for the job set to be complete in the shared directory, then
+    /// render and verify every figure (`--finalize`).
+    Finalize,
+}
+
+/// The full `exp_all` option surface: the shared [`CliOptions`] plus the
+/// fleet-mode flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteOptions {
+    /// The options every experiment binary shares.
+    pub cli: CliOptions,
+    /// Fleet participation mode.
+    pub mode: FleetMode,
+    /// `--expect-cached`: fail unless the run was a pure cache replay.
+    pub expect_cached: bool,
+    /// `--expect-resumable`: fail if a journaled job re-simulated.
+    pub expect_resumable: bool,
+    /// `--wait SECS`: how long `--finalize` waits for completeness.
+    pub wait: std::time::Duration,
+    /// `--verify DIR`: reference directory for per-figure byte comparison.
+    pub verify: Option<std::path::PathBuf>,
+    /// `--max-retries N`: transient-fault retry bound for worker modes.
+    pub max_retries: Option<u32>,
+}
+
+/// The usage line for `exp_all`.
+pub fn suite_usage() -> String {
+    format!(
+        "{}\n       exp_all [scale] --worker | --shard I/N | --finalize [--wait SECS] \
+         [--verify DIR] [--max-retries N] [--expect-cached] [--expect-resumable]",
+        usage("exp_all")
+    )
+}
+
+/// Parses the `exp_all` argument list (without the leading program name):
+/// the fleet flags documented on [`SuiteOptions`], with everything else
+/// delegated to [`parse`].
+pub fn parse_suite<I>(args: I) -> Result<SuiteOptions, CliError>
+where
+    I: IntoIterator,
+    I::Item: Into<String>,
+{
+    let mut rest: Vec<String> = Vec::new();
+    let mut worker = false;
+    let mut finalize = false;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut expect_cached = false;
+    let mut expect_resumable = false;
+    let mut wait = std::time::Duration::from_secs(60);
+    let mut verify = None;
+    let mut max_retries = None;
+    let mut args = args.into_iter().map(Into::into);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| CliError::Invalid(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--worker" => worker = true,
+            "--finalize" => finalize = true,
+            "--expect-cached" => expect_cached = true,
+            "--expect-resumable" => expect_resumable = true,
+            "--shard" => {
+                let value = value_of("--shard")?;
+                let parsed = value.split_once('/').and_then(|(i, n)| {
+                    let index = i.parse::<usize>().ok()?;
+                    let count = n.parse::<usize>().ok()?;
+                    (count >= 1 && index < count).then_some((index, count))
+                });
+                shard = Some(parsed.ok_or_else(|| {
+                    CliError::Invalid(format!("--shard needs I/N with 0 <= I < N, got {value:?}"))
+                })?);
+            }
+            "--wait" => {
+                let value = value_of("--wait")?;
+                wait = value
+                    .parse::<u64>()
+                    .ok()
+                    .map(std::time::Duration::from_secs)
+                    .ok_or_else(|| {
+                        CliError::Invalid(format!("--wait needs whole seconds, got {value:?}"))
+                    })?;
+            }
+            "--verify" => verify = Some(std::path::PathBuf::from(value_of("--verify")?)),
+            "--max-retries" => {
+                let value = value_of("--max-retries")?;
+                max_retries = Some(value.parse::<u32>().map_err(|_| {
+                    CliError::Invalid(format!(
+                        "--max-retries needs a non-negative integer, got {value:?}"
+                    ))
+                })?);
+            }
+            _ => rest.push(arg),
+        }
+    }
+    if finalize && (worker || shard.is_some()) {
+        return Err(CliError::Invalid(
+            "--finalize cannot combine with --worker/--shard".into(),
+        ));
+    }
+    let mode = match (shard, worker, finalize) {
+        (Some((index, count)), _, _) => FleetMode::Shard { index, count },
+        (None, true, _) => FleetMode::Worker,
+        (None, false, true) => FleetMode::Finalize,
+        (None, false, false) => FleetMode::Coordinator,
+    };
+    Ok(SuiteOptions {
+        cli: parse(rest)?,
+        mode,
+        expect_cached,
+        expect_resumable,
+        wait,
+        verify,
+        max_retries,
+    })
+}
+
 /// Parses [`std::env::args`] for binary `name`; prints usage and exits on
 /// `--help` (code 0) or any invalid argument (code 2).
 pub fn parse_or_exit(name: &str) -> CliOptions {
@@ -168,5 +302,53 @@ mod tests {
     fn help_is_not_an_error_message() {
         assert_eq!(parse(["--help"]), Err(CliError::Help));
         assert_eq!(parse(["-h"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn suite_defaults_to_coordinator_mode() {
+        let opts = parse_suite(["tiny"]).unwrap();
+        assert_eq!(opts.mode, FleetMode::Coordinator);
+        assert_eq!(opts.cli.scale, Scale::Tiny);
+        assert!(!opts.expect_cached && !opts.expect_resumable);
+        assert_eq!(opts.wait, std::time::Duration::from_secs(60));
+        assert_eq!(opts.verify, None);
+        assert_eq!(opts.max_retries, None);
+    }
+
+    #[test]
+    fn suite_parses_fleet_modes() {
+        assert_eq!(parse_suite(["--worker"]).unwrap().mode, FleetMode::Worker);
+        assert_eq!(
+            parse_suite(["--shard", "2/4"]).unwrap().mode,
+            FleetMode::Shard { index: 2, count: 4 }
+        );
+        let fin = parse_suite(["--finalize", "--wait", "5", "--verify", "/tmp/ref"]).unwrap();
+        assert_eq!(fin.mode, FleetMode::Finalize);
+        assert_eq!(fin.wait, std::time::Duration::from_secs(5));
+        assert_eq!(fin.verify, Some(std::path::PathBuf::from("/tmp/ref")));
+        let retried = parse_suite(["--worker", "--max-retries", "0"]).unwrap();
+        assert_eq!(retried.max_retries, Some(0));
+    }
+
+    #[test]
+    fn suite_rejects_bad_fleet_flags() {
+        assert!(matches!(
+            parse_suite(["--shard", "4/4"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_suite(["--shard", "x"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse_suite(["--finalize", "--worker"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(parse_suite(["--wait"]), Err(CliError::Invalid(_))));
+        // Unknown arguments still fall through to the shared parser.
+        assert!(matches!(
+            parse_suite(["--bogus"]),
+            Err(CliError::Invalid(_))
+        ));
     }
 }

@@ -35,12 +35,19 @@
 //! | `kill`  | `std::process::exit(137)` — the process dies on the spot,    |
 //! |         | as if SIGKILLed (137 = 128 + SIGKILL, the shell convention)  |
 //!
-//! | site     | counted occurrence                                          |
-//! |----------|-------------------------------------------------------------|
-//! | `exec`   | one real simulation execution (memo/cache hits don't count) |
-//! | `zombie` | one zombie-instrumented execution (only Fig. 4 runs these,  |
-//! |          | so `panic@zombie=1` poisons exactly one figure of a suite)  |
-//! | `store`  | one persistent-cache entry store                            |
+//! | site        | counted occurrence                                          |
+//! |-------------|-------------------------------------------------------------|
+//! | `exec`      | one real simulation execution (memo/cache hits don't count) |
+//! | `zombie`    | one zombie-instrumented execution (only Fig. 4 runs these,  |
+//! |             | so `panic@zombie=1` poisons exactly one figure of a suite)  |
+//! | `store`     | one persistent-cache entry store                            |
+//! | `lease`     | one lease acquisition attempt (`RunCache::claim`); `io`     |
+//! |             | makes the attempt report `Unavailable` (claim contention)   |
+//! | `steal`     | one expired-lease steal attempt; `io` loses the steal race, |
+//! |             | `kill` dies holding the breaker lock (tests its staleness)  |
+//! | `heartbeat` | one lease heartbeat renewal; `io` skips that renewal (a     |
+//! |             | missed heartbeat), `panic` kills the heartbeat thread so    |
+//! |             | the lease silently expires mid-run, `kill` dies on the spot |
 //!
 //! Counters are process-global and monotonic, so a plan is deterministic
 //! for a deterministic workload ordering (e.g. `--threads 1`), and
@@ -86,6 +93,12 @@ pub enum Site {
     ZombieExec,
     /// A persistent-cache entry store.
     Store,
+    /// A lease acquisition attempt (`RunCache::claim`).
+    LeaseAcquire,
+    /// An expired-lease steal attempt (breaker lock held).
+    Steal,
+    /// A lease heartbeat renewal.
+    Heartbeat,
 }
 
 impl Site {
@@ -94,6 +107,9 @@ impl Site {
             Self::Exec => "exec",
             Self::ZombieExec => "zombie",
             Self::Store => "store",
+            Self::LeaseAcquire => "lease",
+            Self::Steal => "steal",
+            Self::Heartbeat => "heartbeat",
         }
     }
 }
@@ -140,9 +156,13 @@ impl FailPlan {
                 "exec" => Site::Exec,
                 "zombie" => Site::ZombieExec,
                 "store" => Site::Store,
+                "lease" => Site::LeaseAcquire,
+                "steal" => Site::Steal,
+                "heartbeat" => Site::Heartbeat,
                 other => {
                     return Err(format!(
-                        "fault spec {clause:?}: unknown site {other:?} (exec|zombie|store)"
+                        "fault spec {clause:?}: unknown site {other:?} \
+                         (exec|zombie|store|lease|steal|heartbeat)"
                     ))
                 }
             };
@@ -194,6 +214,9 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 static EXEC_HITS: AtomicU64 = AtomicU64::new(0);
 static ZOMBIE_HITS: AtomicU64 = AtomicU64::new(0);
 static STORE_HITS: AtomicU64 = AtomicU64::new(0);
+static LEASE_HITS: AtomicU64 = AtomicU64::new(0);
+static STEAL_HITS: AtomicU64 = AtomicU64::new(0);
+static HEARTBEAT_HITS: AtomicU64 = AtomicU64::new(0);
 
 /// Installs `plan` for the whole process. The first installation wins
 /// (mirroring [`crate::runcache::install`]); returns `true` when this call
@@ -242,6 +265,9 @@ fn hit(site: Site) -> Option<FaultKind> {
         Site::Exec => &EXEC_HITS,
         Site::ZombieExec => &ZOMBIE_HITS,
         Site::Store => &STORE_HITS,
+        Site::LeaseAcquire => &LEASE_HITS,
+        Site::Steal => &STEAL_HITS,
+        Site::Heartbeat => &HEARTBEAT_HITS,
     };
     let occurrence = counter.fetch_add(1, Ordering::Relaxed) + 1;
     let plan = PLAN.get()?;
@@ -295,6 +321,49 @@ pub(crate) fn on_store() -> Option<FaultKind> {
     }
 }
 
+/// Instrumentation hook for lease acquisition attempts. `Panic`/`Kill`
+/// detonate in place; `IoError` flows back so the claim path reports
+/// `Unavailable` (the shape of real claim contention / an unwritable
+/// directory).
+pub(crate) fn on_lease_acquire() -> Option<FaultKind> {
+    if !armed() {
+        return None;
+    }
+    match hit(Site::LeaseAcquire)? {
+        kind @ (FaultKind::Panic | FaultKind::Kill) => detonate(kind, "lease acquisition"),
+        kind => Some(kind),
+    }
+}
+
+/// Instrumentation hook for expired-lease steal attempts, fired while the
+/// breaker lock is held. `Kill` dies on the spot — leaving the breaker
+/// behind, which the staleness sweep must recover — and `IoError` flows
+/// back so the stealer loses the race (treated as `Busy`).
+pub(crate) fn on_steal() -> Option<FaultKind> {
+    if !armed() {
+        return None;
+    }
+    match hit(Site::Steal)? {
+        kind @ (FaultKind::Panic | FaultKind::Kill) => detonate(kind, "lease steal"),
+        kind => Some(kind),
+    }
+}
+
+/// Instrumentation hook for lease heartbeat renewals, fired on the
+/// heartbeat thread. `IoError` flows back so the renewal is skipped (one
+/// missed heartbeat — the lease must survive it while within its TTL);
+/// `Panic` kills only the heartbeat thread, so the lease silently expires
+/// while its job keeps running; `Kill` dies on the spot.
+pub(crate) fn on_heartbeat() -> Option<FaultKind> {
+    if !armed() {
+        return None;
+    }
+    match hit(Site::Heartbeat)? {
+        kind @ (FaultKind::Panic | FaultKind::Kill) => detonate(kind, "lease heartbeat"),
+        kind => Some(kind),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +375,21 @@ mod tests {
         assert_eq!(plan.to_string(), "panic@exec=3,short@store=7,kill@store=1");
         assert!(FailPlan::parse("").unwrap().is_empty());
         assert!(FailPlan::parse("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_the_lease_protocol_sites() {
+        let plan =
+            FailPlan::parse("io@lease=1,kill@steal=2,io@heartbeat=3,kill@heartbeat=4").unwrap();
+        assert_eq!(plan.specs.len(), 4);
+        assert_eq!(
+            plan.to_string(),
+            "io@lease=1,kill@steal=2,io@heartbeat=3,kill@heartbeat=4"
+        );
+        // Short writes stay a store-only concept, even at the new sites.
+        for bad in ["short@lease=1", "short@steal=1", "short@heartbeat=1"] {
+            assert!(FailPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -20,20 +20,33 @@
 //! * Dedup accounting is exact: a cache-cold `run_suite` executes exactly
 //!   [`crate::runner::count_unique`] simulations (asserted by a test).
 
-use crate::cli::{self, CliOptions};
+use crate::cli::{self, FleetMode, SuiteOptions};
 use crate::experiments::ExperimentOptions;
 use crate::experiments::{headline, motivation, sensitivity};
 use crate::fault;
 use crate::report::Table;
 use crate::runcache;
 use crate::runner::{
-    count_unique, executed_entry_stems, simulations_executed, try_run_jobs_outputs, Job, JobError,
-    JobOutput,
+    count_unique, effective_fingerprint, executed_entry_stems, run_workers, shard_jobs,
+    simulations_executed, try_run_jobs_outputs, unique_jobs, Job, JobError, JobOutput, RetryPolicy,
 };
 use ehs_workloads::Scale;
 use std::collections::HashSet;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Exit code: one or more jobs failed (a figure was not written, a worker
+/// exhausted retries, or a `--expect-*` assertion tripped).
+pub const EXIT_JOB_FAILURE: i32 = 1;
+/// Exit code: bad usage or a malformed `$EHS_FAILPLAN`.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: `--finalize` timed out waiting for the job set to become
+/// complete in the shared directory.
+pub const EXIT_INCOMPLETE_JOURNAL: i32 = 3;
+/// Exit code: `--finalize --verify` found a figure whose bytes differ from
+/// the reference directory.
+pub const EXIT_MERGE_MISMATCH: i32 = 4;
 
 /// One registered experiment: the library form of an `exp_*` binary.
 pub struct Experiment {
@@ -358,6 +371,18 @@ pub fn experiment_main(name: &str) {
 /// structured per-figure failure summary on stderr. A killed run resumes
 /// on re-invocation through the persistent cache plus the suite journal.
 ///
+/// Fleet modes (see `EXPERIMENTS.md` for the multi-machine runbook):
+///
+/// * *(default)* — coordinator: compact the shared journal, then plan, run
+///   and report everything in this process.
+/// * `--worker` — work-steal the deduplicated job set through the shared
+///   cache directory's lease protocol; populate entries, write no figures.
+/// * `--shard I/N` — like `--worker`, restricted to deterministic
+///   cost-balanced shard `I` of `N` (see [`shard_jobs`]).
+/// * `--finalize [--wait SECS] [--verify DIR]` — wait for the job set to
+///   complete, render every figure from the merged cache, optionally
+///   assert per-figure byte-identity against a reference directory.
+///
 /// Extra flags:
 ///
 /// * `--expect-cached` exits non-zero if any simulation actually executed —
@@ -365,31 +390,213 @@ pub fn experiment_main(name: &str) {
 /// * `--expect-resumable` exits non-zero if any job recorded in the suite
 ///   journal (i.e. completed *and persisted* by an earlier, possibly
 ///   killed, run) was re-simulated — the explicit resume contract.
+/// * `--max-retries N` bounds worker-mode transient-fault retries.
+///
+/// Exit codes: `0` success, [`EXIT_JOB_FAILURE`], [`EXIT_USAGE`],
+/// [`EXIT_INCOMPLETE_JOURNAL`], [`EXIT_MERGE_MISMATCH`].
 pub fn suite_main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut take_flag = |flag: &str| {
-        let before = args.len();
-        args.retain(|a| a != flag);
-        args.len() != before
-    };
-    let expect_cached = take_flag("--expect-cached");
-    let expect_resumable = take_flag("--expect-resumable");
-    let extra_usage = " [--expect-cached] [--expect-resumable]";
-    let cli: CliOptions = match cli::parse(args) {
+    let opts = match cli::parse_suite(std::env::args().skip(1)) {
         Ok(opts) => opts,
         Err(cli::CliError::Help) => {
-            println!("{}{extra_usage}", cli::usage("exp_all"));
+            println!("{}", cli::suite_usage());
             return;
         }
         Err(cli::CliError::Invalid(msg)) => {
             eprintln!("{msg}");
-            eprintln!("{}{extra_usage}", cli::usage("exp_all"));
-            std::process::exit(2);
+            eprintln!("{}", cli::suite_usage());
+            std::process::exit(EXIT_USAGE);
         }
     };
     arm_fault_plan_or_exit();
-    if !cli.no_cache {
+    if !opts.cli.no_cache {
         runcache::install_default();
+    }
+    match opts.mode {
+        FleetMode::Worker | FleetMode::Shard { .. } => worker_main(&opts),
+        FleetMode::Finalize => finalize_main(&opts),
+        FleetMode::Coordinator => coordinator_main(&opts),
+    }
+}
+
+/// The `--worker` / `--shard I/N` entry: populate the shared cache
+/// directory (work-stealing through the lease protocol), print the
+/// structured per-worker summary, write no figures.
+fn worker_main(opts: &SuiteOptions) -> ! {
+    let plan = plan_suite(opts.cli.scale);
+    let jobs = match opts.mode {
+        FleetMode::Shard { index, count } => {
+            let shard = shard_jobs(&plan.jobs, index, count);
+            println!(
+                "shard {index}/{count}: {} of {} unique job(s)",
+                shard.len(),
+                count_unique(&plan.jobs)
+            );
+            shard
+        }
+        _ => unique_jobs(&plan.jobs),
+    };
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = opts.max_retries {
+        policy.max_retries = n;
+    }
+    let start = std::time::Instant::now();
+    let report = run_workers(&jobs, &policy, opts.cli.threads);
+    println!("{report} wall={:.1}s", start.elapsed().as_secs_f64());
+    if !report.failures.is_empty() {
+        eprintln!("worker failure summary ({} job(s)):", report.failures.len());
+        for e in &report.failures {
+            eprintln!("  {e}");
+        }
+        std::process::exit(EXIT_JOB_FAILURE);
+    }
+    std::process::exit(0);
+}
+
+/// The `--finalize` entry: wait (up to `--wait`) until every unique job of
+/// the suite is present in the shared directory — journaled, or loadable
+/// for a job whose journal line was lost to a crash — then render every
+/// figure from the merged cache and, with `--verify DIR`, assert each
+/// written figure is byte-identical to the reference copy.
+///
+/// Exit codes, most specific first: [`EXIT_INCOMPLETE_JOURNAL`] if the job
+/// set never completed, [`EXIT_JOB_FAILURE`] if rendering hit failed jobs,
+/// [`EXIT_MERGE_MISMATCH`] if any figure differed from the reference.
+fn finalize_main(opts: &SuiteOptions) -> ! {
+    let Some(cache) = runcache::active() else {
+        eprintln!("--finalize needs the persistent cache (drop --no-cache)");
+        std::process::exit(EXIT_USAGE);
+    };
+    let plan = plan_suite(opts.cli.scale);
+    let needed = unique_jobs(&plan.jobs);
+    let deadline = std::time::Instant::now() + opts.wait;
+    loop {
+        let journaled = cache.journal_entries();
+        let missing: Vec<String> = needed
+            .iter()
+            .filter_map(|job| {
+                let fp = effective_fingerprint(&job.config, job.scheme);
+                let stem = runcache::entry_stem(fp, job.scheme, job.app, job.scale);
+                let present = journaled.contains(&stem)
+                    || cache.load(fp, job.scheme, job.app, job.scale).is_some();
+                (!present).then_some(stem)
+            })
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            eprintln!(
+                "--finalize: job set incomplete after {}s: {} of {} job(s) missing:",
+                opts.wait.as_secs(),
+                missing.len(),
+                needed.len()
+            );
+            for stem in missing.iter().take(10) {
+                eprintln!("  {stem}");
+            }
+            if missing.len() > 10 {
+                eprintln!("  ... and {} more", missing.len() - 10);
+            }
+            std::process::exit(EXIT_INCOMPLETE_JOURNAL);
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    println!(
+        "finalize: all {} unique job(s) present; rendering figures",
+        needed.len()
+    );
+    let run = run_suite(opts.cli.experiment_options());
+    let dir = write_figures(&run, opts);
+    let failures = run.failures();
+    if !failures.is_empty() {
+        eprintln!(
+            "failure summary ({} figure(s) not written):",
+            failures.len()
+        );
+        for (name, errs) in &failures {
+            eprintln!("  {name}: {} failed job(s)", errs.len());
+            for e in *errs {
+                eprintln!("    {e}");
+            }
+        }
+        std::process::exit(EXIT_JOB_FAILURE);
+    }
+    if let Some(reference) = &opts.verify {
+        let mut mismatched = 0usize;
+        for exp in REGISTRY {
+            let mut names = vec![format!("{}.txt", exp.name)];
+            if opts.cli.csv {
+                names.push(format!("{}.csv", exp.name));
+            }
+            for name in names {
+                let ours = std::fs::read(dir.join(&name)).ok();
+                let theirs = std::fs::read(reference.join(&name)).ok();
+                if ours != theirs || ours.is_none() {
+                    eprintln!(
+                        "--verify: {name} differs from {}",
+                        reference.join(&name).display()
+                    );
+                    mismatched += 1;
+                }
+            }
+        }
+        if mismatched > 0 {
+            eprintln!("--verify: {mismatched} figure file(s) mismatched");
+            std::process::exit(EXIT_MERGE_MISMATCH);
+        }
+        println!(
+            "verify: every figure byte-identical to {}",
+            reference.display()
+        );
+    }
+    std::process::exit(0);
+}
+
+/// Writes every successfully reported figure of `run` to the results
+/// directory (atomically); exits [`EXIT_JOB_FAILURE`] on an unwritable
+/// directory. Returns the directory.
+fn write_figures(run: &SuiteRun, opts: &SuiteOptions) -> PathBuf {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "error: cannot create results directory {} ({e}); \
+             set {RESULTS_ENV_VAR} to a writable location",
+            dir.display()
+        );
+        std::process::exit(EXIT_JOB_FAILURE);
+    }
+    for (exp, table) in REGISTRY.iter().zip(&run.tables) {
+        let Ok(table) = table else {
+            continue; // summarized by the caller; unaffected figures land
+        };
+        let path = dir.join(format!("{}.txt", exp.name));
+        let mut wrote = write_atomic(&path, render_titled(exp.title, table).as_bytes());
+        if opts.cli.csv && wrote.is_ok() {
+            let path = dir.join(format!("{}.csv", exp.name));
+            wrote = write_atomic(&path, table.to_csv().as_bytes());
+        }
+        if let Err(e) = wrote {
+            eprintln!(
+                "error: cannot write figure {} ({e}); \
+                 set {RESULTS_ENV_VAR} to a writable location",
+                path.display()
+            );
+            std::process::exit(EXIT_JOB_FAILURE);
+        }
+        println!("wrote {}", path.display());
+    }
+    dir
+}
+
+/// The historical single-process entry: plan, run, report — now also the
+/// fleet *coordinator*, which compacts the shared journal at startup.
+fn coordinator_main(opts: &SuiteOptions) -> ! {
+    if let Some(cache) = runcache::active() {
+        match cache.compact_journal() {
+            Ok(0) => {}
+            Ok(removed) => println!("journal: compacted ({removed} duplicate/torn line(s))"),
+            Err(e) => eprintln!("warning: journal compaction failed ({e}); continuing"),
+        }
     }
 
     // Snapshot the journal before running: these jobs were completed and
@@ -406,36 +613,8 @@ pub fn suite_main() {
     }
 
     let start = std::time::Instant::now();
-    let run = run_suite(cli.experiment_options());
-    let dir = results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!(
-            "error: cannot create results directory {} ({e}); \
-             set {RESULTS_ENV_VAR} to a writable location",
-            dir.display()
-        );
-        std::process::exit(1);
-    }
-    for (exp, table) in REGISTRY.iter().zip(&run.tables) {
-        let Ok(table) = table else {
-            continue; // summarized below; unaffected figures still land
-        };
-        let path = dir.join(format!("{}.txt", exp.name));
-        let mut wrote = write_atomic(&path, render_titled(exp.title, table).as_bytes());
-        if cli.csv && wrote.is_ok() {
-            let path = dir.join(format!("{}.csv", exp.name));
-            wrote = write_atomic(&path, table.to_csv().as_bytes());
-        }
-        if let Err(e) = wrote {
-            eprintln!(
-                "error: cannot write figure {} ({e}); \
-                 set {RESULTS_ENV_VAR} to a writable location",
-                path.display()
-            );
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
-    }
+    let run = run_suite(opts.cli.experiment_options());
+    write_figures(&run, opts);
     let failures = run.failures();
     let failed_jobs: usize = failures.iter().map(|(_, errs)| errs.len()).sum();
     println!(
@@ -451,7 +630,7 @@ pub fn suite_main() {
 
     let mut exit_code = 0;
     if !failures.is_empty() {
-        exit_code = 1;
+        exit_code = EXIT_JOB_FAILURE;
         eprintln!(
             "failure summary ({} figure(s) not written):",
             failures.len()
@@ -463,14 +642,14 @@ pub fn suite_main() {
             }
         }
     }
-    if expect_cached && run.executed != 0 {
+    if opts.expect_cached && run.executed != 0 {
         eprintln!(
             "--expect-cached: expected a pure cache replay but {} simulation(s) executed",
             run.executed
         );
-        exit_code = 1;
+        exit_code = EXIT_JOB_FAILURE;
     }
-    if expect_resumable {
+    if opts.expect_resumable {
         let re_simulated: Vec<String> = executed_entry_stems()
             .into_iter()
             .filter(|stem| journaled_before.contains(stem))
@@ -483,12 +662,10 @@ pub fn suite_main() {
             for stem in re_simulated {
                 eprintln!("  {stem}");
             }
-            exit_code = 1;
+            exit_code = EXIT_JOB_FAILURE;
         }
     }
-    if exit_code != 0 {
-        std::process::exit(exit_code);
-    }
+    std::process::exit(exit_code);
 }
 
 #[cfg(test)]

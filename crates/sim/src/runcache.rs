@@ -75,12 +75,12 @@ use edbp_core::{FxBuildHasher, PredictionSummary};
 use ehs_cache::CacheStats;
 use ehs_units::{Energy, Time};
 use ehs_workloads::{AppId, Scale};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hash, Hasher};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Bump when the on-disk layout or the semantics of any stored field
@@ -483,6 +483,7 @@ pub fn entry_stem(config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) -> S
 #[derive(Debug)]
 pub struct RunCache {
     dir: PathBuf,
+    lease: LeaseParams,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -501,36 +502,178 @@ fn warn_store_failure(path: &Path, err: &std::io::Error) {
     }
 }
 
-/// Age beyond which a `.claim` file is presumed to belong to a dead
-/// process and is broken. Claims are advisory — breaking one can only cost
-/// duplicate work, never correctness.
-const CLAIM_STALE: Duration = Duration::from_secs(60);
+/// Lease timing: how often a live holder renews its `.claim` file, and how
+/// long a non-renewed lease stays respected before any other worker may
+/// reclaim it.
+///
+/// The lease protocol replaces the old fixed 60 s mtime staleness rule,
+/// which had a live-claim theft hazard: a still-running job longer than the
+/// constant had its claim broken and its work duplicated. Under leases the
+/// two failure directions decouple — a live holder renews every
+/// `heartbeat`, so its lease mtime never ages anywhere near `ttl` no matter
+/// how long the job runs, while a SIGKILLed holder stops renewing and is
+/// reclaimed after at most `ttl` (a few heartbeats, not a minute).
+///
+/// Environment overrides (milliseconds): [`HEARTBEAT_ENV_VAR`] and
+/// [`TTL_ENV_VAR`]. The TTL is clamped to at least three heartbeats so one
+/// delayed renewal (scheduler hiccup, missed-heartbeat fault injection)
+/// can never read as death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseParams {
+    /// Interval between lease renewals by a live holder.
+    pub heartbeat: Duration,
+    /// Age beyond which a non-renewed lease is presumed dead and stealable.
+    pub ttl: Duration,
+}
 
-/// An advisory per-entry claim: while it exists, other harness processes
-/// briefly wait for the entry instead of duplicating the simulation.
-/// Dropped (removing the file) after the store, succeed or fail.
+/// Environment override (ms) for [`LeaseParams::heartbeat`].
+pub const HEARTBEAT_ENV_VAR: &str = "EHS_LEASE_HEARTBEAT_MS";
+/// Environment override (ms) for [`LeaseParams::ttl`].
+pub const TTL_ENV_VAR: &str = "EHS_LEASE_TTL_MS";
+
+impl Default for LeaseParams {
+    fn default() -> Self {
+        Self {
+            heartbeat: Duration::from_millis(500),
+            ttl: Duration::from_millis(2500),
+        }
+    }
+}
+
+impl LeaseParams {
+    /// The defaults, with any environment overrides applied and the TTL
+    /// floor (≥ 3 heartbeats) enforced.
+    pub fn from_env() -> Self {
+        let read = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms >= 1)
+                .map(Duration::from_millis)
+        };
+        let mut p = Self::default();
+        if let Some(hb) = read(HEARTBEAT_ENV_VAR) {
+            p.heartbeat = hb;
+        }
+        if let Some(ttl) = read(TTL_ENV_VAR) {
+            p.ttl = ttl;
+        }
+        p.normalized()
+    }
+
+    /// Enforces `ttl >= 3 * heartbeat` (one delayed or injected-missed
+    /// renewal must never be indistinguishable from holder death).
+    pub fn normalized(mut self) -> Self {
+        let floor = self.heartbeat.saturating_mul(3);
+        if self.ttl < floor {
+            self.ttl = floor;
+        }
+        self
+    }
+}
+
+/// A heartbeat-renewed per-entry lease: while it is renewed, other harness
+/// processes wait for (or skip past) the entry instead of duplicating the
+/// simulation. A background thread rewrites the lease file every
+/// [`LeaseParams::heartbeat`]; dropping the guard stops the thread and
+/// removes the file (only if it still carries this guard's token — a
+/// stolen lease is never removed out from under its new holder).
+///
+/// Leases are still *advisory* for correctness: stores are idempotent
+/// (identical bytes, atomic rename), so the worst a broken lease can cost
+/// is duplicated work. What the lease adds over the old mtime claims is a
+/// liveness signal — holders renew, so "stale" means "dead", not "slow".
 #[derive(Debug)]
-pub struct ClaimGuard {
+pub struct LeaseGuard {
     path: PathBuf,
+    token: u64,
+    stolen: bool,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    heartbeats: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseGuard {
+    /// True when acquiring this lease reclaimed an expired (dead-holder)
+    /// lease rather than finding the slot free.
+    pub fn stole_stale_lease(&self) -> bool {
+        self.stolen
+    }
+
+    /// Number of successful heartbeat renewals so far (test observability).
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.heartbeats.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for LeaseGuard {
+    fn drop(&mut self) {
+        let (flag, cv) = &*self.stop;
+        *lock_unpoisoned(flag) = true;
+        cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        // Remove only our own lease: if it expired and was stolen (the
+        // holder was presumed dead but is in fact us, late), the new
+        // holder's file must survive.
+        if read_lease_token(&self.path) == Some(self.token) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
 }
 
 /// Result of [`RunCache::claim`].
 #[derive(Debug)]
 pub enum ClaimOutcome {
-    /// This process holds the claim; simulate, store, then drop the guard.
-    Held(ClaimGuard),
-    /// Another live process holds a fresh claim — the entry is probably in
-    /// flight; waiting briefly beats duplicating the simulation.
+    /// This process holds the lease; simulate, store, then drop the guard.
+    Held(LeaseGuard),
+    /// Another holder's lease is live (renewed within its TTL) — the entry
+    /// is in flight; wait for it or move on to other work.
     Busy,
-    /// Claims cannot be taken here (unwritable directory, …); proceed
+    /// Leases cannot be taken here (unwritable directory, …); proceed
     /// unclaimed — duplicate work is safe, stalling is not.
     Unavailable,
 }
 
-impl Drop for ClaimGuard {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
-    }
+/// The `token=` field of a lease file, if it parses.
+fn read_lease_token(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.split_whitespace()
+        .find_map(|f| f.strip_prefix("token="))
+        .and_then(|t| u64::from_str_radix(t, 16).ok())
+}
+
+/// One lease-file line: holder identity plus a unique token and a renewal
+/// epoch. Diagnostic except for the token, which arbitrates steal races
+/// and guards release-after-steal.
+fn lease_line(token: u64, epoch: u64) -> String {
+    let host = std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown-host".into());
+    format!(
+        "pid={} host={host} epoch={epoch} token={token:016x}\n",
+        std::process::id()
+    )
+}
+
+/// A process-unique, time-salted lease token.
+pub(crate) fn fresh_token() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    splitmix(
+        nanos ^ (u64::from(std::process::id()) << 32) ^ COUNTER.fetch_add(1, Ordering::Relaxed),
+    )
+}
+
+/// One splitmix64 step — the deterministic mixer behind lease tokens and
+/// backoff jitter.
+pub(crate) fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RunCache {
@@ -542,9 +685,24 @@ impl RunCache {
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let cache = Self { dir };
+        let cache = Self {
+            dir,
+            lease: LeaseParams::from_env(),
+        };
         cache.sweep_debris();
         Ok(cache)
+    }
+
+    /// Overrides the lease timing (tests shrink the intervals to keep
+    /// steal/expiry campaigns fast; production uses the env-derived
+    /// defaults).
+    pub fn set_lease_params(&mut self, params: LeaseParams) {
+        self.lease = params.normalized();
+    }
+
+    /// The lease timing this cache operates under.
+    pub fn lease_params(&self) -> LeaseParams {
+        self.lease
     }
 
     fn sweep_debris(&self) {
@@ -554,7 +712,11 @@ impl RunCache {
         for entry in entries.flatten() {
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if !(name.starts_with(".tmp-") || name.ends_with(".claim")) {
+            if !(name.starts_with(".tmp-")
+                || name.ends_with(".claim")
+                || name.ends_with(".steal")
+                || name.ends_with(".lock"))
+            {
                 continue;
             }
             let stale = entry
@@ -681,17 +843,32 @@ impl RunCache {
         }
     }
 
-    /// Tries to claim an entry before simulating it, so concurrent harness
-    /// processes sharing this cache avoid duplicating the work. Advisory
-    /// only — correctness never depends on claims: a lost or broken claim
-    /// at worst duplicates a simulation whose stores are idempotent
-    /// (identical bytes, atomic rename, last writer wins). A stale claim
-    /// left by a dead process is broken on sight.
+    /// Tries to lease an entry before simulating it, so concurrent harness
+    /// processes (and machines sharing the directory) avoid duplicating the
+    /// work. Leases are heartbeat-renewed (see [`LeaseParams`]): a live
+    /// holder — however slow its job — is never preempted, while a lease
+    /// whose holder died (SIGKILL, power cut) stops renewing and is
+    /// reclaimed after at most one TTL.
+    ///
+    /// Stealing an expired lease is serialized through a sibling breaker
+    /// lock (`<stem>.claim.steal`): exactly one contender removes the dead
+    /// lease, and it re-verifies the lease is still the expired one it
+    /// observed before removing, so a holder that renews concurrently is
+    /// never evicted. Advisory for *correctness* throughout — stores are
+    /// idempotent, a broken lease can only duplicate work, never corrupt a
+    /// result.
     pub fn claim(&self, config_fp: u64, scheme: Scheme, app: AppId, scale: Scale) -> ClaimOutcome {
+        if fault::on_lease_acquire().is_some() {
+            // Injected claim contention: leases unavailable this attempt.
+            return ClaimOutcome::Unavailable;
+        }
         let path = self.dir.join(format!(
             "{}.claim",
             entry_stem(config_fp, scheme, app, scale)
         ));
+        let mut stolen = false;
+        // Up to two acquisition attempts: free path, and once more after a
+        // successful steal. Losing both reads as busy.
         for _ in 0..2 {
             match std::fs::OpenOptions::new()
                 .write(true)
@@ -699,20 +876,25 @@ impl RunCache {
                 .open(&path)
             {
                 Ok(mut f) => {
-                    let _ = writeln!(f, "{}", std::process::id());
-                    return ClaimOutcome::Held(ClaimGuard { path });
+                    let token = fresh_token();
+                    let _ = f.write_all(lease_line(token, 0).as_bytes());
+                    drop(f);
+                    return ClaimOutcome::Held(self.spawn_heartbeat(path, token, stolen));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let stale = std::fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|t| t.elapsed().ok())
-                        .is_none_or(|age| age > CLAIM_STALE);
-                    if !stale {
+                    let Ok(meta) = std::fs::metadata(&path) else {
+                        // Lease vanished between open and stat (released or
+                        // stolen): retry the free path.
+                        continue;
+                    };
+                    let age = meta.modified().ok().and_then(|t| t.elapsed().ok());
+                    if age.is_some_and(|age| age <= self.lease.ttl) {
+                        return ClaimOutcome::Busy; // live holder: never steal
+                    }
+                    if !self.steal_expired_lease(&path) {
                         return ClaimOutcome::Busy;
                     }
-                    // Dead claimant: break the claim and retry once.
-                    let _ = std::fs::remove_file(&path);
+                    stolen = true;
                 }
                 Err(_) => return ClaimOutcome::Unavailable,
             }
@@ -720,9 +902,115 @@ impl RunCache {
         ClaimOutcome::Busy
     }
 
-    /// Polls for an entry another process has claimed, up to `timeout`.
+    /// Removes an expired lease under the breaker lock. Returns `true` when
+    /// this caller performed the removal (and may retry acquisition).
+    fn steal_expired_lease(&self, lease: &Path) -> bool {
+        let observed = std::fs::read(lease).unwrap_or_default();
+        let mut breaker = lease.as_os_str().to_owned();
+        breaker.push(".steal");
+        let breaker = PathBuf::from(breaker);
+        // A breaker abandoned by a killed stealer must not wedge the entry
+        // forever: past one TTL it is debris and is swept.
+        let breaker_stale = std::fs::metadata(&breaker)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > self.lease.ttl);
+        if breaker_stale {
+            let _ = std::fs::remove_file(&breaker);
+        }
+        let Ok(_lock) = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&breaker)
+        else {
+            return false; // another stealer owns the breaker: they win
+        };
+        // Re-verify under the lock: the lease must still be the expired
+        // bytes we observed, still older than the TTL. A holder that
+        // renewed in between (new inode, fresh mtime, different epoch)
+        // survives untouched.
+        let unchanged = std::fs::read(lease).is_ok_and(|now| now == observed);
+        let still_expired = std::fs::metadata(lease)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_none_or(|age| age > self.lease.ttl);
+        let lost_race = fault::on_steal().is_some();
+        let stole = unchanged && still_expired && !lost_race;
+        if stole {
+            let _ = std::fs::remove_file(lease);
+        }
+        let _ = std::fs::remove_file(&breaker);
+        stole
+    }
+
+    /// Starts the heartbeat thread renewing `path` every
+    /// [`LeaseParams::heartbeat`] until the guard drops. Renewal rewrites
+    /// the lease via tmp + rename (the file is always a complete line) with
+    /// a bumped epoch; an injected heartbeat miss skips one renewal, which
+    /// the TTL floor (≥ 3 heartbeats) absorbs.
+    fn spawn_heartbeat(&self, path: PathBuf, token: u64, stolen: bool) -> LeaseGuard {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let heartbeats = Arc::new(AtomicU64::new(0));
+        let interval = self.lease.heartbeat;
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let heartbeats = Arc::clone(&heartbeats);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut epoch = 0u64;
+                loop {
+                    let (flag, cv) = &*stop;
+                    let mut stopped = lock_unpoisoned(flag);
+                    while !*stopped {
+                        let (guard, timeout) = cv
+                            .wait_timeout(stopped, interval)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        stopped = guard;
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    if fault::on_heartbeat().is_some() {
+                        continue; // injected miss: skip this renewal
+                    }
+                    epoch += 1;
+                    let mut tmp = path.as_os_str().to_owned();
+                    tmp.push(".hb");
+                    let tmp = PathBuf::from(tmp);
+                    let renewed = std::fs::write(&tmp, lease_line(token, epoch))
+                        .and_then(|()| std::fs::rename(&tmp, &path));
+                    if renewed.is_ok() {
+                        heartbeats.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let _ = std::fs::remove_file(&tmp);
+                    }
+                }
+            })
+        };
+        LeaseGuard {
+            path,
+            token,
+            stolen,
+            stop,
+            heartbeats,
+            thread: Some(thread),
+        }
+    }
+
+    /// Polls for an entry another process has leased, up to `timeout`.
     /// Returns the entry if it appears (and validates) in time; `None`
     /// tells the caller to simulate it itself after all.
+    ///
+    /// Polling backs off exponentially with jitter — 1 ms doubling up to
+    /// the lease heartbeat interval — so hundreds of workers waiting on one
+    /// shared directory spread their stat storms instead of thundering in
+    /// lockstep every 25 ms.
     pub fn wait_for_entry(
         &self,
         config_fp: u64,
@@ -732,14 +1020,23 @@ impl RunCache {
         timeout: Duration,
     ) -> Option<CachedRun> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut delay = Duration::from_millis(1);
+        let cap = self.lease.heartbeat.max(Duration::from_millis(1));
+        let mut jitter = fresh_token() ^ config_fp;
         loop {
             if let Some(hit) = self.load(config_fp, scheme, app, scale) {
                 return Some(hit);
             }
-            if std::time::Instant::now() >= deadline {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return None;
             }
-            std::thread::sleep(Duration::from_millis(25));
+            // Uniform in [delay/2, delay), then double toward the cap.
+            jitter = splitmix(jitter);
+            let nanos = delay.as_nanos() as u64;
+            let jittered = Duration::from_nanos(nanos / 2 + jitter % (nanos / 2).max(1));
+            std::thread::sleep(jittered.min(deadline - now));
+            delay = (delay * 2).min(cap);
         }
     }
 
@@ -781,6 +1078,86 @@ impl RunCache {
             .filter(|l| !l.is_empty())
             .map(str::to_string)
             .collect()
+    }
+
+    /// Every complete line of the journal with its occurrence count,
+    /// *without* deduplication — the raw record the fleet tests use to
+    /// assert that no job was executed-and-stored twice.
+    pub fn journal_occurrences(&self) -> HashMap<String, usize> {
+        let Ok(text) = std::fs::read_to_string(self.journal_path()) else {
+            return HashMap::new();
+        };
+        let complete = match text.rfind('\n') {
+            Some(last) => &text[..=last],
+            None => return HashMap::new(),
+        };
+        let mut counts = HashMap::new();
+        for line in complete.lines().filter(|l| !l.is_empty()) {
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Compacts the journal in place: deduplicates lines (first-seen order),
+    /// drops a torn final line, and rewrites atomically with the same
+    /// tmp + fsync + rename discipline as entry stores. Returns the number
+    /// of lines removed.
+    ///
+    /// The journal grows without bound across resumed runs — every resume
+    /// re-appends nothing, but retries and multi-process campaigns can
+    /// duplicate lines, and a torn final line otherwise persists forever.
+    /// Only the coordinator calls this, at startup, serialized against other
+    /// compactors by a `journal.lock` breaker; a worker appending
+    /// concurrently can at worst have one line dropped, which weakens
+    /// accounting (a job may re-verify on resume), never a result.
+    pub fn compact_journal(&self) -> std::io::Result<usize> {
+        let path = self.journal_path();
+        let lock = self.dir.join("journal.lock");
+        let Ok(_lock) = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock)
+        else {
+            return Ok(0); // another compactor is active: skip
+        };
+        let result = self.compact_journal_locked(&path);
+        let _ = std::fs::remove_file(&lock);
+        result
+    }
+
+    fn compact_journal_locked(&self, path: &Path) -> std::io::Result<usize> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let complete = match text.rfind('\n') {
+            Some(last) => &text[..=last],
+            None => "",
+        };
+        let before = text.lines().count();
+        let mut seen = HashSet::new();
+        let mut compacted = String::with_capacity(complete.len());
+        for line in complete.lines().filter(|l| !l.is_empty()) {
+            if seen.insert(line) {
+                compacted.push_str(line);
+                compacted.push('\n');
+            }
+        }
+        if before == seen.len() && text.ends_with('\n') {
+            return Ok(0); // already compact: leave the inode alone
+        }
+        let tmp = self.dir.join("journal.log.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(compacted.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Ok(dir) = std::fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        Ok(before - seen.len())
     }
 }
 

@@ -490,7 +490,17 @@ fn resolve(config: &SystemConfig, scheme: Scheme, app: AppId, scale: Scale) -> (
             return (slot, false);
         }
         match cache.claim(config_fp, scheme, app, scale) {
-            runcache::ClaimOutcome::Held(guard) => rc_claim = Some(guard),
+            runcache::ClaimOutcome::Held(guard) => {
+                // Re-check under the lease: a rival process may have
+                // stored (and journaled) this entry between our load
+                // check and the claim.
+                if let Some(hit) = cache.load(config_fp, scheme, app, scale) {
+                    drop(guard);
+                    let _ = slot.set(entry_from_hit(hit));
+                    return (slot, false);
+                }
+                rc_claim = Some(guard);
+            }
             runcache::ClaimOutcome::Busy => {
                 if let Some(hit) = cache.wait_for_entry(config_fp, scheme, app, scale, CLAIM_WAIT) {
                     let _ = slot.set(entry_from_hit(hit));
@@ -735,7 +745,7 @@ fn run_group(jobs: &[Job], members: &[usize]) -> Vec<(usize, Result<JobOutput, J
         key: MemoKey,
         slot: Slot,
         claim: KeyClaim,
-        rc_claim: Option<runcache::ClaimGuard>,
+        rc_claim: Option<runcache::LeaseGuard>,
         sim: Box<dyn LaneRun>,
     }
 
@@ -760,7 +770,16 @@ fn run_group(jobs: &[Job], members: &[usize]) -> Vec<(usize, Result<JobOutput, J
                 continue;
             }
             match cache.claim(config_fp, scheme, app, scale) {
-                runcache::ClaimOutcome::Held(guard) => rc_claim = Some(guard),
+                runcache::ClaimOutcome::Held(guard) => {
+                    // Re-check under the lease (see `resolve`): a rival
+                    // may have completed this key since our load check.
+                    if let Some(hit) = cache.load(config_fp, scheme, app, scale) {
+                        drop(guard);
+                        let _ = slot.set(entry_from_hit(hit));
+                        continue;
+                    }
+                    rc_claim = Some(guard);
+                }
                 // Another process is simulating this key; don't stall the
                 // whole group on it — the member output read waits instead.
                 runcache::ClaimOutcome::Busy => continue,
@@ -1237,6 +1256,518 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(1).max(1))
         .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Fleet execution: work-stealing workers over a shared cache directory.
+// ---------------------------------------------------------------------------
+
+/// Retry policy for transient per-job faults in [`run_worker`]: exponential
+/// backoff (`base`, doubling, capped at `cap`) with jitter in
+/// `[delay/2, delay)`, bounded by `max_retries` attempts beyond the first.
+/// Deterministic failures (a simulation panic reproduces identically on
+/// every attempt) fail fast instead — see [`classify_failure`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt of a job.
+    pub max_retries: u32,
+    /// First backoff delay.
+    pub base: std::time::Duration,
+    /// Backoff ceiling.
+    pub cap: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base: std::time::Duration::from_millis(10),
+            cap: std::time::Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff delay before retry number `attempt` (1-based).
+    fn delay(&self, attempt: u32, rng: &mut u64) -> std::time::Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20).saturating_sub(1));
+        let capped = exp.min(self.cap).max(std::time::Duration::from_micros(100));
+        *rng = runcache::splitmix(*rng);
+        let nanos = capped.as_nanos() as u64;
+        std::time::Duration::from_nanos(nanos / 2 + *rng % (nanos / 2).max(1))
+    }
+}
+
+/// How a failed job attempt should be handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Environmental: I/O trouble, lease contention, a torn store. The same
+    /// attempt can succeed on retry — back off and try again.
+    Transient,
+    /// Reproducible: the simulation itself panicked. Retrying re-executes
+    /// the identical deterministic run to the identical panic — fail fast.
+    Deterministic,
+}
+
+/// Classifies a job failure message for the retry policy. Simulation panics
+/// are deterministic (seeded workloads reproduce them exactly); everything
+/// the storage/lease layer reports — including injected I/O faults, whose
+/// messages name their site — is transient.
+pub fn classify_failure(message: &str) -> FailureClass {
+    const TRANSIENT_MARKERS: [&str; 6] = [
+        "I/O",
+        "io error",
+        "lease",
+        "heartbeat",
+        "steal",
+        "store failed",
+    ];
+    if TRANSIENT_MARKERS.iter().any(|m| message.contains(m)) {
+        FailureClass::Transient
+    } else {
+        FailureClass::Deterministic
+    }
+}
+
+/// Deduplicates `jobs` to one representative per distinct memo key, adding
+/// the implicit oracle-baseline job behind any `Ideal` key whose baseline is
+/// not itself requested — the exact unit set a fleet of workers must
+/// produce, in input order (baselines before the Ideal jobs that consume
+/// them). `unique_jobs(jobs).len() == count_unique(jobs)` always.
+pub fn unique_jobs(jobs: &[Job]) -> Vec<Job> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for job in jobs {
+        if job.scheme.needs_oracle_trace() {
+            let key = baseline_key(&job.config, job.app, job.scale);
+            if seen.insert(key) {
+                out.push(Job {
+                    config: Arc::clone(&job.config),
+                    scheme: Scheme::Baseline,
+                    app: job.app,
+                    scale: job.scale,
+                });
+            }
+        }
+        let key = MemoKey {
+            config_fp: effective_fingerprint(&job.config, job.scheme),
+            scheme: job.scheme,
+            app: job.app,
+            scale: job.scale,
+        };
+        if seen.insert(key) {
+            out.push(job.clone());
+        }
+    }
+    out
+}
+
+/// Partitions the deduplicated job set of `jobs` into `count` shards and
+/// returns shard `index` (0-based) — the `--shard i/n` planner.
+///
+/// Assignment is longest-processing-time greedy over *affinity groups*
+/// (an `Ideal` job travels with its oracle baseline, so the oracle pass
+/// replays a shard-local store instead of waiting on a sibling shard),
+/// each group placed on the currently lightest shard. Everything is
+/// derived from the jobs alone — cost model, entry-stem tiebreak, lowest-
+/// index-wins load ties — so every process that plans the same suite
+/// computes the identical partition with no coordination.
+///
+/// Cost bound: a shard's estimated load never exceeds
+/// `total/count + max_group`, where `max_group` is the largest single
+/// affinity group's cost (the classic greedy bound; the shard proptests
+/// assert it).
+pub fn shard_jobs(jobs: &[Job], index: usize, count: usize) -> Vec<Job> {
+    assert!(count >= 1, "need at least one shard");
+    assert!(
+        index < count,
+        "shard index {index} out of range for {count} shards"
+    );
+    let unique = unique_jobs(jobs);
+
+    // Affinity groups over unique-job indices. `unique_jobs` emits every
+    // oracle baseline before its first consumer, so the baseline's group
+    // always exists by the time an Ideal job looks it up.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut baseline_groups: HashMap<MemoKey, usize> = HashMap::new();
+    for (i, job) in unique.iter().enumerate() {
+        if job.scheme == Scheme::Baseline {
+            baseline_groups.insert(baseline_key(&job.config, job.app, job.scale), groups.len());
+            groups.push(vec![i]);
+        } else if job.scheme.needs_oracle_trace() {
+            match baseline_groups.get(&baseline_key(&job.config, job.app, job.scale)) {
+                Some(&g) => groups[g].push(i),
+                None => groups.push(vec![i]),
+            }
+        } else {
+            groups.push(vec![i]);
+        }
+    }
+
+    let costs: Vec<f64> = groups
+        .iter()
+        .map(|g| g.iter().map(|&i| unique[i].estimated_cost()).sum())
+        .collect();
+    let stems: Vec<String> = groups
+        .iter()
+        .map(|g| {
+            let job = &unique[g[0]];
+            runcache::entry_stem(
+                effective_fingerprint(&job.config, job.scheme),
+                job.scheme,
+                job.app,
+                job.scale,
+            )
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .total_cmp(&costs[a])
+            .then_with(|| stems[a].cmp(&stems[b]))
+    });
+
+    let mut load = vec![0.0f64; count];
+    let mut mine: Vec<usize> = Vec::new();
+    for &g in &order {
+        let lightest = (0..count)
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+            .expect("count >= 1");
+        load[lightest] += costs[g];
+        if lightest == index {
+            mine.extend(&groups[g]);
+        }
+    }
+    mine.sort_unstable(); // restore unique-job (baseline-before-Ideal) order
+    mine.into_iter().map(|i| unique[i].clone()).collect()
+}
+
+/// Structured outcome of one worker's sweep over the job set — the
+/// per-worker summary line the fleet campaign asserts against.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerReport {
+    /// Jobs this worker simulated and durably stored.
+    pub completed: usize,
+    /// Jobs found already on disk (produced by another worker).
+    pub adopted: usize,
+    /// Expired leases this worker reclaimed from dead holders.
+    pub stolen_leases: usize,
+    /// Sweep visits skipped because another live worker held the lease.
+    pub busy_skips: usize,
+    /// Transient-failure retries performed (with backoff).
+    pub retries: usize,
+    /// Jobs that exhausted retries or failed deterministically.
+    pub failures: Vec<JobError>,
+}
+
+impl WorkerReport {
+    /// Folds another worker's accounting into this one (the multi-threaded
+    /// worker merge). Failures are deduplicated by key: sibling sweeps that
+    /// each exhausted retries on the same job report it once.
+    pub fn absorb(&mut self, other: WorkerReport) {
+        self.completed += other.completed;
+        self.adopted += other.adopted;
+        self.stolen_leases += other.stolen_leases;
+        self.busy_skips += other.busy_skips;
+        self.retries += other.retries;
+        let mut seen: HashSet<(u64, Scheme, AppId, Scale)> = self
+            .failures
+            .iter()
+            .map(|e| (e.config_fp, e.scheme, e.app, e.scale))
+            .collect();
+        for e in other.failures {
+            if seen.insert((e.config_fp, e.scheme, e.app, e.scale)) {
+                self.failures.push(e);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker pid={}: completed={} adopted={} stolen_leases={} \
+             busy_skips={} retries={} failed={}",
+            std::process::id(),
+            self.completed,
+            self.adopted,
+            self.stolen_leases,
+            self.busy_skips,
+            self.retries,
+            self.failures.len()
+        )
+    }
+}
+
+/// Per-job worker state between sweeps.
+enum WorkState {
+    Pending { attempts: u32 },
+    Done,
+    Failed,
+}
+
+/// Work-steals the deduplicated job set through the shared cache directory
+/// until every job is durably on disk (or failed): the `--worker` mode of
+/// `exp_all`. Any number of workers — processes, machines — may run this
+/// concurrently over one directory; the lease protocol
+/// ([`runcache::RunCache::claim`]) gives each job exactly one live
+/// producer, and dead producers are reclaimed after one lease TTL.
+///
+/// The sweep visits jobs longest-estimated-first, rotated by PID so
+/// concurrent workers start at different offsets and collide less. Per
+/// visit: a job already on disk is *adopted*; a job with a live foreign
+/// lease is skipped (someone else is on it); otherwise this worker leases
+/// it, simulates, stores, journals. Transient failures (I/O, lease
+/// contention, a store that would not land) retry under `policy` with
+/// jittered exponential backoff; deterministic simulation panics fail
+/// fast. `Ideal` jobs are gated until their oracle baseline is loadable
+/// from disk, so the oracle pass replays the stored baseline instead of
+/// racing a second execution — the gate lifts unconditionally if the
+/// baseline can no longer arrive (its producer failed), trading one
+/// duplicate execution for progress.
+///
+/// Unlike [`try_run_jobs_outputs`], nothing is returned in job order: the
+/// worker's product is the populated cache directory; the report carries
+/// the accounting.
+pub fn run_worker(jobs: &[Job], policy: &RetryPolicy) -> WorkerReport {
+    let mut report = WorkerReport::default();
+    let Some(cache) = runcache::active() else {
+        // No shared directory: degrade to an ordinary in-process run.
+        for outcome in try_run_jobs_outputs(jobs, 1) {
+            match outcome {
+                Ok(_) => report.completed += 1,
+                Err(e) => report.failures.push(e),
+            }
+        }
+        return report;
+    };
+    let jobs = unique_jobs(jobs);
+    register_trace_demands(&jobs);
+
+    // Longest-first, rotated by PID: workers agree on the cost order but
+    // enter it at different points, so they fan out across the job set
+    // instead of convoying on the most expensive job's lease.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[b]
+            .estimated_cost()
+            .total_cmp(&jobs[a].estimated_cost())
+            .then(a.cmp(&b))
+    });
+    if !order.is_empty() {
+        // PID + a per-call sequence number: concurrent worker *processes*
+        // and sibling worker *threads* all enter the order at different
+        // offsets.
+        static WORKER_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let salt = WORKER_SEQ
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9e37_79b1);
+        let offset = (std::process::id() as usize).wrapping_add(salt) % order.len();
+        order.rotate_left(offset);
+    }
+
+    let mut states: Vec<WorkState> = jobs
+        .iter()
+        .map(|_| WorkState::Pending { attempts: 0 })
+        .collect();
+    let mut rng = runcache::fresh_token();
+    let mut idle_sweeps: u32 = 0;
+    let mut force_ungated = false;
+    loop {
+        let mut progressed = false;
+        let mut busy_now = 0usize;
+        let mut gated_now = 0usize;
+        for &i in &order {
+            let WorkState::Pending { attempts } = states[i] else {
+                continue;
+            };
+            let job = &jobs[i];
+            let config_fp = effective_fingerprint(&job.config, job.scheme);
+            if cache
+                .load(config_fp, job.scheme, job.app, job.scale)
+                .is_some()
+            {
+                states[i] = WorkState::Done;
+                report.adopted += 1;
+                progressed = true;
+                continue;
+            }
+            if !force_ungated && job.scheme.needs_oracle_trace() {
+                let bfp = effective_fingerprint(&job.config, Scheme::Baseline);
+                if cache
+                    .load(bfp, Scheme::Baseline, job.app, job.scale)
+                    .is_none()
+                {
+                    gated_now += 1;
+                    continue;
+                }
+            }
+            match cache.claim(config_fp, job.scheme, job.app, job.scale) {
+                runcache::ClaimOutcome::Busy => {
+                    report.busy_skips += 1;
+                    busy_now += 1;
+                }
+                runcache::ClaimOutcome::Unavailable => {
+                    let next = attempts + 1;
+                    if next > policy.max_retries {
+                        states[i] = WorkState::Failed;
+                        report.failures.push(job_error(
+                            job,
+                            "lease unavailable (claim contention)".into(),
+                        ));
+                    } else {
+                        states[i] = WorkState::Pending { attempts: next };
+                        report.retries += 1;
+                        std::thread::sleep(policy.delay(next, &mut rng));
+                    }
+                }
+                runcache::ClaimOutcome::Held(lease) => {
+                    if lease.stole_stale_lease() {
+                        report.stolen_leases += 1;
+                    }
+                    // The lease serializes completion: a rival may have
+                    // stored this entry between our load check and the
+                    // claim. Re-check under the lease so no job is ever
+                    // executed — or journaled — twice.
+                    if cache
+                        .load(config_fp, job.scheme, job.app, job.scale)
+                        .is_some()
+                    {
+                        states[i] = WorkState::Done;
+                        report.adopted += 1;
+                        progressed = true;
+                        drop(lease);
+                        continue;
+                    }
+                    match produce_on_disk(cache, job) {
+                        Ok(()) => {
+                            states[i] = WorkState::Done;
+                            report.completed += 1;
+                            progressed = true;
+                        }
+                        Err(e) => {
+                            let next = attempts + 1;
+                            let exhausted = next > policy.max_retries;
+                            if exhausted
+                                || classify_failure(&e.message) == FailureClass::Deterministic
+                            {
+                                states[i] = WorkState::Failed;
+                                report.failures.push(e);
+                            } else {
+                                states[i] = WorkState::Pending { attempts: next };
+                                report.retries += 1;
+                                std::thread::sleep(policy.delay(next, &mut rng));
+                            }
+                        }
+                    }
+                    drop(lease);
+                }
+            }
+        }
+        let open = states
+            .iter()
+            .filter(|s| matches!(s, WorkState::Pending { .. }))
+            .count();
+        if open == 0 {
+            break;
+        }
+        if progressed {
+            idle_sweeps = 0;
+            continue;
+        }
+        idle_sweeps += 1;
+        if busy_now == 0 && gated_now > 0 && idle_sweeps >= 2 {
+            // Every remaining job waits on a baseline that is neither on
+            // disk nor being produced: it failed elsewhere. Ungate — the
+            // oracle pass re-executes its baseline in-process instead.
+            force_ungated = true;
+            continue;
+        }
+        // Other workers hold every remaining lease (or a gated baseline is
+        // in flight): back off before re-polling the directory.
+        let wait = policy.delay(idle_sweeps.min(6), &mut rng);
+        std::thread::sleep(wait.min(cache.lease_params().heartbeat));
+    }
+    report
+}
+
+/// [`run_worker`] fanned out over `threads` sibling sweeps in one process,
+/// with their reports merged. Sibling threads coordinate exactly like
+/// sibling processes — through the shared directory's leases — plus the
+/// in-process memo table; a busy lease held by a sibling thread is an
+/// ordinary busy-skip.
+pub fn run_workers(jobs: &[Job], policy: &RetryPolicy, threads: usize) -> WorkerReport {
+    assert!(threads >= 1, "need at least one worker thread");
+    if threads == 1 {
+        return run_worker(jobs, policy);
+    }
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| run_worker(jobs, policy)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let mut merged = WorkerReport::default();
+    for report in reports {
+        merged.absorb(report);
+    }
+    merged
+}
+
+/// Produces one leased job onto disk: simulate (through the in-process memo
+/// table, so a retry after a failed store re-stores without re-executing),
+/// store, journal. The caller holds the job's disk lease.
+fn produce_on_disk(cache: &runcache::RunCache, job: &Job) -> Result<(), JobError> {
+    let config_fp = effective_fingerprint(&job.config, job.scheme);
+    let key = MemoKey {
+        config_fp,
+        scheme: job.scheme,
+        app: job.app,
+        scale: job.scale,
+    };
+    let slot = memo_slot(key.clone());
+    if slot.get().is_none() {
+        if let Some(claim) = claim_blocking(&slot, &key) {
+            let produced = catch_unwind(AssertUnwindSafe(|| {
+                execute(&job.config, job.scheme, job.app, job.scale)
+            }));
+            match produced {
+                Ok(entry) => {
+                    record_executed(config_fp, job.scheme, job.app, job.scale);
+                    let _ = slot.set(entry);
+                }
+                Err(payload) => {
+                    drop(claim);
+                    return Err(job_error(job, panic_message(payload)));
+                }
+            }
+            drop(claim);
+        }
+    }
+    let entry = slot.get().expect("slot was just produced");
+    let stored = cache.store(
+        config_fp,
+        job.scheme,
+        job.app,
+        job.scale,
+        &entry.result,
+        entry.zombies.as_deref().map(Vec::as_slice),
+    );
+    if !stored {
+        // The simulation result survives in the memo slot; a retry
+        // re-enters here and only repeats the store.
+        return Err(job_error(job, "store failed (I/O)".into()));
+    }
+    cache.journal_append(&runcache::entry_stem(
+        config_fp, job.scheme, job.app, job.scale,
+    ));
+    Ok(())
 }
 
 #[cfg(test)]

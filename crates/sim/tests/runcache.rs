@@ -7,11 +7,14 @@
 //! (a rejected entry triggering re-simulation inside the planner) is
 //! covered by `tests/planner.rs`.
 
-use ehs_sim::runcache::{checksum, ClaimOutcome, RunCache, SCHEMA_VERSION};
+use ehs_sim::runcache::{
+    checksum, entry_stem, ClaimOutcome, LeaseParams, RunCache, SCHEMA_VERSION,
+};
 use ehs_sim::runner::effective_fingerprint;
 use ehs_sim::{run_app, Scheme, SystemConfig, ZombieSample};
 use ehs_workloads::{AppId, Scale};
 use std::path::PathBuf;
+use std::time::Duration;
 
 const ALL_SCHEMES: [Scheme; 9] = [
     Scheme::Baseline,
@@ -223,6 +226,210 @@ fn wait_for_entry_sees_a_store_and_times_out_without_one() {
     assert!(cache
         .wait_for_entry(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny, timeout)
         .is_some());
+}
+
+/// A holder whose heartbeat keeps renewing the lease is never preempted,
+/// no matter how many TTLs its job outlasts — the live-claim theft hazard
+/// of the old fixed-staleness scheme, pinned shut.
+#[test]
+fn a_renewing_holder_is_never_preempted() {
+    let mut cache = tmp_cache("lease-renew");
+    let params = LeaseParams {
+        heartbeat: Duration::from_millis(50),
+        ttl: Duration::from_millis(250),
+    };
+    cache.set_lease_params(params);
+    let mut other = RunCache::new(cache.dir()).expect("second handle");
+    other.set_lease_params(params);
+    let config = SystemConfig::paper_default();
+    let fp = effective_fingerprint(&config, Scheme::Baseline);
+    let claim = |c: &RunCache| c.claim(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny);
+
+    let ClaimOutcome::Held(guard) = claim(&cache) else {
+        panic!("first claim on a fresh entry must be held");
+    };
+    // The "slow job": hold the lease across several TTLs while a rival
+    // polls for it. Every poll must read Busy — never a steal.
+    let deadline = std::time::Instant::now() + Duration::from_millis(900);
+    while std::time::Instant::now() < deadline {
+        let outcome = claim(&other);
+        assert!(
+            matches!(outcome, ClaimOutcome::Busy),
+            "a heartbeat-renewed lease must never be preempted"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        guard.heartbeats_sent() >= 3,
+        "the holder must have renewed across the hold ({} heartbeats)",
+        guard.heartbeats_sent()
+    );
+    drop(guard);
+    assert!(
+        matches!(claim(&other), ClaimOutcome::Held(_)),
+        "a released lease must be claimable again"
+    );
+}
+
+/// A lease whose holder died (no heartbeat thread ever renews it) is
+/// reclaimed promptly after the TTL — and the reclaim is visible on the
+/// guard, so worker reports can count steals.
+#[test]
+fn a_dead_holders_lease_is_reclaimed_after_the_ttl() {
+    let mut cache = tmp_cache("lease-reclaim");
+    let params = LeaseParams {
+        heartbeat: Duration::from_millis(50),
+        ttl: Duration::from_millis(150),
+    };
+    cache.set_lease_params(params);
+    let config = SystemConfig::paper_default();
+    let fp = effective_fingerprint(&config, Scheme::Baseline);
+    let stem = entry_stem(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny);
+    // A kill -9'd holder: its lease file exists, its heartbeats stopped.
+    let lease_path = cache.dir().join(format!("{stem}.claim"));
+    std::fs::write(
+        &lease_path,
+        "pid=0 host=dead-worker epoch=0 token=0000000000000000\n",
+    )
+    .expect("plant dead lease");
+    assert!(
+        matches!(
+            cache.claim(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny),
+            ClaimOutcome::Busy
+        ),
+        "a lease within its TTL reads busy even if the holder is dead"
+    );
+    std::thread::sleep(params.ttl + Duration::from_millis(100));
+    match cache.claim(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny) {
+        ClaimOutcome::Held(guard) => {
+            assert!(
+                guard.stole_stale_lease(),
+                "the reclaim must be visible as a steal"
+            );
+        }
+        other => panic!("expired dead lease must be reclaimable, got {other:?}"),
+    }
+}
+
+/// Token arbitration on release: a guard whose lease was stolen and
+/// re-acquired by someone else must not remove the new holder's file.
+#[test]
+fn drop_after_a_steal_leaves_the_new_holders_lease_intact() {
+    let mut cache = tmp_cache("lease-token");
+    // Huge heartbeat: the holder never renews during the test, so the
+    // manual overwrite below cannot race the heartbeat thread.
+    cache.set_lease_params(LeaseParams {
+        heartbeat: Duration::from_secs(10),
+        ttl: Duration::from_secs(30),
+    });
+    let config = SystemConfig::paper_default();
+    let fp = effective_fingerprint(&config, Scheme::Baseline);
+    let stem = entry_stem(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny);
+    let lease_path = cache.dir().join(format!("{stem}.claim"));
+
+    let ClaimOutcome::Held(guard) = cache.claim(fp, Scheme::Baseline, AppId::Crc32, Scale::Tiny)
+    else {
+        panic!("fresh claim must be held");
+    };
+    // Simulate a steal + re-acquisition: the file now carries a different
+    // holder's token.
+    let new_holder = "pid=1 host=rival epoch=0 token=ffffffffffffffff\n";
+    std::fs::write(&lease_path, new_holder).expect("overwrite lease");
+    drop(guard);
+    let survived = std::fs::read_to_string(&lease_path).expect("lease file must survive the drop");
+    assert_eq!(survived, new_holder, "a foreign token must not be removed");
+
+    // And the ordinary case: a drop with our own token still on file
+    // removes it (pinned here so the arbitration test cannot pass vacuously).
+    let ClaimOutcome::Held(guard) = cache.claim(fp, Scheme::Edbp, AppId::Crc32, Scale::Tiny) else {
+        panic!("fresh claim must be held");
+    };
+    let own_path = cache.dir().join(format!(
+        "{}.claim",
+        entry_stem(fp, Scheme::Edbp, AppId::Crc32, Scale::Tiny)
+    ));
+    assert!(own_path.exists());
+    drop(guard);
+    assert!(!own_path.exists(), "an unstolen lease is removed on drop");
+}
+
+/// `wait_for_entry`'s jittered backoff still catches a store that lands
+/// mid-wait (the polling is sparse, not absent).
+#[test]
+fn wait_for_entry_backs_off_and_still_catches_a_late_store() {
+    let cache = tmp_cache("wait-backoff");
+    let config = SystemConfig::paper_default();
+    let fp = effective_fingerprint(&config, Scheme::Baseline);
+    let result = run_app(&config, Scheme::Baseline, AppId::Crc32, Scale::Tiny);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(150));
+            cache.store(
+                fp,
+                Scheme::Baseline,
+                AppId::Crc32,
+                Scale::Tiny,
+                &result,
+                None,
+            );
+        });
+        let hit = cache.wait_for_entry(
+            fp,
+            Scheme::Baseline,
+            AppId::Crc32,
+            Scale::Tiny,
+            Duration::from_secs(10),
+        );
+        assert!(hit.is_some(), "the late store must be observed");
+    });
+}
+
+/// Compaction folds duplicate lines (first-seen order), drops the torn
+/// tail, rewrites atomically, and is idempotent; `journal_occurrences`
+/// exposes the raw pre-compaction counts the fleet tests assert on.
+#[test]
+fn journal_compaction_dedups_and_drops_the_torn_tail() {
+    let cache = tmp_cache("journal-compact");
+    for stem in ["aaaa-a", "bbbb-b", "aaaa-a", "cccc-c", "bbbb-b"] {
+        cache.journal_append(stem);
+    }
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(cache.journal_path())
+        .expect("open journal")
+        .write_all(b"dddd-torn")
+        .expect("append torn line");
+
+    let occurrences = cache.journal_occurrences();
+    assert_eq!(occurrences.get("aaaa-a"), Some(&2));
+    assert_eq!(occurrences.get("bbbb-b"), Some(&2));
+    assert_eq!(occurrences.get("cccc-c"), Some(&1));
+    assert_eq!(
+        occurrences.get("dddd-torn"),
+        None,
+        "torn line is not a record"
+    );
+
+    let removed = cache.compact_journal().expect("compaction succeeds");
+    assert_eq!(removed, 3, "two duplicates + one torn line removed");
+    let text = std::fs::read_to_string(cache.journal_path()).expect("journal readable");
+    assert_eq!(
+        text, "aaaa-a\nbbbb-b\ncccc-c\n",
+        "first-seen order, complete lines"
+    );
+    assert_eq!(
+        cache.compact_journal().expect("second compaction succeeds"),
+        0,
+        "compaction is idempotent"
+    );
+
+    // A concurrent compactor's breaker lock makes compaction a no-op
+    // instead of a race.
+    cache.journal_append("aaaa-a");
+    std::fs::write(cache.dir().join("journal.lock"), b"").expect("plant breaker");
+    assert_eq!(cache.compact_journal().expect("locked compaction skips"), 0);
+    assert_eq!(cache.journal_occurrences().get("aaaa-a"), Some(&2));
 }
 
 /// The journal deduplicates complete lines and skips a torn final line —

@@ -1,0 +1,192 @@
+//! Property tests for the fleet shard planner ([`ehs_sim::runner::shard_jobs`]).
+//!
+//! The partition is pure arithmetic over the job list, so N processes that
+//! plan the same suite agree on it with no coordination. These tests pin
+//! the three properties the fleet depends on, over random subsets of the
+//! real suite plan:
+//!
+//! 1. **Exactly-one**: the shards tile `unique_jobs` — every unique job in
+//!    exactly one shard, nothing invented.
+//! 2. **Determinism**: the partition is a pure function of the job *set* —
+//!    recomputation and input reordering change nothing.
+//! 3. **Balance**: no shard's estimated cost exceeds
+//!    `total/count + max_group` (the documented greedy bound), where a
+//!    group is a job plus any oracle baseline that must travel with it.
+
+use ehs_sim::planner::plan_suite;
+use ehs_sim::runcache::entry_stem;
+use ehs_sim::runner::{count_unique, effective_fingerprint, shard_jobs, unique_jobs, Job};
+use ehs_sim::Scheme;
+use ehs_workloads::Scale;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn stem_of(job: &Job) -> String {
+    entry_stem(
+        effective_fingerprint(&job.config, job.scheme),
+        job.scheme,
+        job.app,
+        job.scale,
+    )
+}
+
+/// A deterministic pool of real jobs: the whole Tiny suite plan.
+fn pool() -> Vec<Job> {
+    plan_suite(Scale::Tiny).jobs
+}
+
+/// Samples a non-empty subset of `pool` from the seeds.
+fn subset(pool: &[Job], seeds: &[u64]) -> Vec<Job> {
+    let mut jobs: Vec<Job> = seeds
+        .iter()
+        .map(|&s| pool[(s as usize) % pool.len()].clone())
+        .collect();
+    if jobs.is_empty() {
+        jobs.push(pool[0].clone());
+    }
+    jobs
+}
+
+/// The affinity-group cost ceiling: each job's cost, plus its oracle
+/// baseline's when the scheme needs one (the planner keeps those together).
+fn max_group_cost(jobs: &[Job]) -> f64 {
+    let unique = unique_jobs(jobs);
+    let mut baseline_cost: HashMap<String, f64> = HashMap::new();
+    for job in &unique {
+        if job.scheme == Scheme::Baseline {
+            baseline_cost.insert(stem_of(job), job.estimated_cost());
+        }
+    }
+    let mut group: HashMap<String, f64> = HashMap::new();
+    for job in &unique {
+        let anchor = if job.scheme.needs_oracle_trace() {
+            let mut base = job.clone();
+            base.scheme = Scheme::Baseline;
+            stem_of(&base)
+        } else {
+            stem_of(job)
+        };
+        let cost = if job.scheme == Scheme::Baseline && baseline_cost.contains_key(&anchor) {
+            0.0 // counted once via the map below
+        } else {
+            job.estimated_cost()
+        };
+        *group
+            .entry(anchor.clone())
+            .or_insert_with(|| baseline_cost.get(&anchor).copied().unwrap_or(0.0)) += cost;
+    }
+    group.values().fold(0.0f64, |a, &b| a.max(b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_unique_job_lands_in_exactly_one_shard(
+        seeds in proptest::collection::vec(any::<u64>(), 1..40),
+        count_seed in 1u64..8,
+    ) {
+        let pool = pool();
+        let jobs = subset(&pool, &seeds);
+        let count = count_seed as usize;
+        let expected: HashSet<String> = unique_jobs(&jobs).iter().map(stem_of).collect();
+        prop_assert_eq!(expected.len(), count_unique(&jobs));
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for index in 0..count {
+            for job in shard_jobs(&jobs, index, count) {
+                *seen.entry(stem_of(&job)).or_insert(0) += 1;
+            }
+        }
+        for stem in &expected {
+            prop_assert_eq!(
+                seen.get(stem).copied().unwrap_or(0),
+                1,
+                "unique job {} must land in exactly one shard",
+                stem
+            );
+        }
+        prop_assert_eq!(seen.len(), expected.len(), "no shard may invent jobs");
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_order_invariant(
+        seeds in proptest::collection::vec(any::<u64>(), 1..40),
+        count_seed in 1u64..8,
+        rotation in any::<u64>(),
+    ) {
+        let pool = pool();
+        let jobs = subset(&pool, &seeds);
+        let count = count_seed as usize;
+        let mut rotated = jobs.clone();
+        rotated.rotate_left(rotation as usize % jobs.len().max(1));
+        for index in 0..count {
+            let a: HashSet<String> =
+                shard_jobs(&jobs, index, count).iter().map(stem_of).collect();
+            let b: HashSet<String> =
+                shard_jobs(&jobs, index, count).iter().map(stem_of).collect();
+            let c: HashSet<String> =
+                shard_jobs(&rotated, index, count).iter().map(stem_of).collect();
+            prop_assert_eq!(&a, &b, "recomputation must agree (shard {})", index);
+            prop_assert_eq!(&a, &c, "input order must not matter (shard {})", index);
+        }
+    }
+
+    #[test]
+    fn shard_cost_imbalance_stays_within_the_greedy_bound(
+        seeds in proptest::collection::vec(any::<u64>(), 1..60),
+        count_seed in 1u64..8,
+    ) {
+        let pool = pool();
+        let jobs = subset(&pool, &seeds);
+        let count = count_seed as usize;
+        let unique = unique_jobs(&jobs);
+        let total: f64 = unique.iter().map(Job::estimated_cost).sum();
+        let bound = total / count as f64 + max_group_cost(&jobs);
+        for index in 0..count {
+            let load: f64 = shard_jobs(&jobs, index, count)
+                .iter()
+                .map(Job::estimated_cost)
+                .sum();
+            prop_assert!(
+                load <= bound * (1.0 + 1e-9),
+                "shard {}/{} load {} exceeds bound {} (total {})",
+                index,
+                count,
+                load,
+                bound,
+                total
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_baselines_travel_with_their_ideal_jobs() {
+    // An Ideal job's oracle pass replays its baseline's stored entry; the
+    // planner must therefore never split the pair across shards.
+    let jobs: Vec<Job> = pool()
+        .into_iter()
+        .filter(|j| j.scheme == Scheme::Ideal || j.scheme == Scheme::Baseline)
+        .collect();
+    assert!(
+        jobs.iter().any(|j| j.scheme == Scheme::Ideal),
+        "suite must contain Ideal jobs"
+    );
+    for count in [2usize, 3, 5] {
+        for index in 0..count {
+            let shard = shard_jobs(&jobs, index, count);
+            let stems: HashSet<String> = shard.iter().map(stem_of).collect();
+            for job in &shard {
+                if job.scheme.needs_oracle_trace() {
+                    let mut base = job.clone();
+                    base.scheme = Scheme::Baseline;
+                    assert!(
+                        stems.contains(&stem_of(&base)),
+                        "shard {index}/{count}: Ideal job {} separated from its baseline",
+                        stem_of(job)
+                    );
+                }
+            }
+        }
+    }
+}
