@@ -2,6 +2,22 @@
 
 use crate::EnergyConfigError;
 use ehs_units::{Capacitance, Energy, Power, Voltage};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of voltage derivations — the `sqrt(2E/C)` evaluations
+/// in [`Capacitor::voltage`]. The hot stepping paths are required to stay in
+/// the stored-energy domain except on monitor-edge cycles;
+/// `crates/energy/tests/sqrt_gate.rs` pins `power_off_and_recharge` to zero
+/// derivations on non-edge recharge steps through this counter.
+static VOLTAGE_DERIVATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `sqrt` voltage derivations performed by every [`Capacitor`] in this
+/// process so far. Monotone; callers compare deltas around a region of
+/// interest (and keep such assertions in their own test binary, since the
+/// counter is shared across threads).
+pub fn voltage_sqrt_count() -> u64 {
+    VOLTAGE_DERIVATIONS.load(Ordering::Relaxed)
+}
 
 /// Static description of the energy buffer.
 ///
@@ -60,16 +76,14 @@ impl CapacitorConfig {
     ///
     /// Returns [`EnergyConfigError::NonPositiveCapacitance`] if the
     /// capacitance is not positive, and
-    /// [`EnergyConfigError::ThresholdOrdering`] if `v_min >= v_max`.
+    /// [`EnergyConfigError::RailOrdering`] if `v_min >= v_max`.
     pub fn validate(&self) -> Result<(), EnergyConfigError> {
         if self.capacitance.as_farads() <= 0.0 {
             return Err(EnergyConfigError::NonPositiveCapacitance);
         }
         if self.v_min >= self.v_max {
-            return Err(EnergyConfigError::ThresholdOrdering {
+            return Err(EnergyConfigError::RailOrdering {
                 v_min: self.v_min,
-                v_ckpt: self.v_min,
-                v_rst: self.v_max,
                 v_max: self.v_max,
             });
         }
@@ -138,6 +152,7 @@ impl Capacitor {
 
     /// Current terminal voltage, `sqrt(2E/C)`.
     pub fn voltage(&self) -> Voltage {
+        VOLTAGE_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
         self.stored.capacitor_voltage(self.config.capacitance)
     }
 
@@ -188,6 +203,16 @@ impl Capacitor {
         let delivered = e.min(self.stored);
         self.stored -= delivered;
         delivered
+    }
+
+    /// Overwrites the stored energy with a value the speculative chunked
+    /// advance computed through this capacitor's own arithmetic
+    /// (`EnergySystem::speculate_burst` / `speculate_recharge`); the commit
+    /// is only reached after the post-check proved the value stayed within
+    /// `[0, capacity]` on every cycle of the chunk.
+    pub(crate) fn set_stored(&mut self, e: Energy) {
+        debug_assert!(e >= Energy::ZERO && e <= self.capacity);
+        self.stored = e;
     }
 
     /// True when the terminal voltage is at or below the brown-out floor.
@@ -276,5 +301,27 @@ mod tests {
         cfg.v_min = Voltage::from_volts(4.0);
         assert!(cfg.validate().is_err());
         assert!(CapacitorConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn inverted_rails_report_an_honest_error() {
+        // Regression: this used to come back as `ThresholdOrdering` with
+        // `v_min` smuggled into the `v_ckpt` field and `v_max` into `v_rst`,
+        // producing a diagnostic about thresholds the config never set.
+        let mut cfg = CapacitorConfig::paper_default();
+        cfg.v_min = Voltage::from_volts(4.0);
+        match cfg.validate() {
+            Err(EnergyConfigError::RailOrdering { v_min, v_max }) => {
+                assert_eq!(v_min, Voltage::from_volts(4.0));
+                assert_eq!(v_max, cfg.v_max);
+            }
+            other => panic!("expected RailOrdering, got {other:?}"),
+        }
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("V_min"), "message names the rails: {msg}");
+        assert!(
+            !msg.contains("ckpt"),
+            "message must not mention thresholds: {msg}"
+        );
     }
 }

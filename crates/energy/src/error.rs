@@ -19,6 +19,16 @@ pub enum EnergyConfigError {
         /// Fully-charged voltage.
         v_max: Voltage,
     },
+    /// The capacitor's own rails are inverted (`v_min >= v_max`): no
+    /// operating window exists between the brown-out floor and full charge.
+    /// Distinct from [`Self::ThresholdOrdering`], which is about the monitor
+    /// thresholds *between* the rails.
+    RailOrdering {
+        /// Minimum operating voltage.
+        v_min: Voltage,
+        /// Fully-charged voltage.
+        v_max: Voltage,
+    },
     /// The capacitance is zero or negative.
     NonPositiveCapacitance,
     /// The reserve between `V_ckpt` and `V_min` cannot fund the declared
@@ -43,6 +53,10 @@ impl fmt::Display for EnergyConfigError {
                 f,
                 "voltage thresholds must satisfy V_min < V_ckpt < V_rst <= V_max \
                  (got V_min={v_min}, V_ckpt={v_ckpt}, V_rst={v_rst}, V_max={v_max})"
+            ),
+            Self::RailOrdering { v_min, v_max } => write!(
+                f,
+                "capacitor rails must satisfy V_min < V_max (got V_min={v_min}, V_max={v_max})"
             ),
             Self::NonPositiveCapacitance => write!(f, "capacitance must be positive"),
             Self::InsufficientCheckpointReserve { reserve, required } => write!(

@@ -49,7 +49,7 @@ mod monitor;
 mod system;
 mod trace;
 
-pub use capacitor::{Capacitor, CapacitorConfig};
+pub use capacitor::{voltage_sqrt_count, Capacitor, CapacitorConfig};
 pub use error::EnergyConfigError;
 pub use monitor::{MonitorState, VoltageMonitor, VoltageThresholds};
 pub use system::{

@@ -15,11 +15,12 @@
 //!
 //! Before timing anything, every case is also executed in every other
 //! stepping regime — `force_cycle_accurate`, forced-scalar-probe burst,
-//! and lockstep-burst in both group drives (transposed stream replay and
-//! interleaved per-lane stepping, the former also under the scalar probe)
-//! — and compared with the burst result; any divergence aborts with a
-//! non-zero exit so CI fails rather than record a number produced by an
-//! unsound fast path.
+//! the guarded energy kernel (`force_no_speculate`, the speculative
+//! chunked advance disabled), and lockstep-burst in both group drives
+//! (transposed stream replay and interleaved per-lane stepping, the
+//! former also under the scalar probe) — and compared with the burst
+//! result; any divergence aborts with a non-zero exit so CI fails rather
+//! than record a number produced by an unsound fast path.
 //!
 //! Alongside the main suite row, a `<label>-lockstep9` row records the
 //! aggregate throughput of replaying all nine schemes over one shared
@@ -72,8 +73,9 @@ fn cases() -> Vec<Case> {
 
 /// Runs every case in all stepping regimes — burst (the measured default),
 /// `force_cycle_accurate`, forced-scalar burst (`ProbeImpl::Scalar`, the
-/// wide tag probe's semantic reference), and lockstep-burst in both group
-/// drives (interleaved per-lane stepping and transposed stream replay,
+/// wide tag probe's semantic reference), the guarded energy kernel
+/// (`force_no_speculate`), and lockstep-burst in both group drives
+/// (interleaved per-lane stepping and transposed stream replay,
 /// the latter also under the forced-scalar probe) — and aborts the
 /// process if any [`ehs_sim::RunResult`] field (other than the wall-clock
 /// `sim_mips`, which is excluded from `PartialEq`) diverges. This is the
@@ -107,6 +109,19 @@ fn check_regime_exactness(cases: &[Case]) {
             );
             eprintln!("  wide probe:   {burst:?}");
             eprintln!("  scalar probe: {scalar:?}");
+        }
+        let mut guarded_config = case.config.clone();
+        guarded_config.force_no_speculate = true;
+        let guarded = run_app(&guarded_config, case.scheme, case.app, Scale::Small);
+        if guarded != burst {
+            divergent += 1;
+            eprintln!(
+                "DIVERGENCE in {}: the speculative energy kernel and the guarded \
+                 per-cycle kernel disagree",
+                case.name
+            );
+            eprintln!("  speculative: {burst:?}");
+            eprintln!("  guarded:     {guarded:?}");
         }
         burst_results.push(burst);
     }
@@ -177,8 +192,8 @@ fn check_regime_exactness(cases: &[Case]) {
         std::process::exit(1);
     }
     eprintln!(
-        "burst vs cycle-accurate vs scalar-probe vs lockstep-burst (transposed, \
-         interleaved, forced-scalar): all {} cases bit-exact",
+        "burst vs cycle-accurate vs scalar-probe vs guarded-energy-kernel vs \
+         lockstep-burst (transposed, interleaved, forced-scalar): all {} cases bit-exact",
         cases.len()
     );
 }

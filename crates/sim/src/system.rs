@@ -320,7 +320,11 @@ impl<P: LeakagePredictor> Simulation<P> {
                 None
             };
         let core = Core::new(&workload.program);
-        let energy = EnergySystem::new(config.energy.clone(), SourceBox(config.source.build()))?;
+        let mut energy =
+            EnergySystem::new(config.energy.clone(), SourceBox(config.source.build()))?;
+        if config.force_no_speculate {
+            energy.set_speculation(false);
+        }
         let reuse =
             (scheme == Scheme::Sdbp).then(|| ReusePredictor::new(ReusePredictorConfig::default()));
         let zombie = config

@@ -4,8 +4,10 @@
 //! every [`RunResult`] field except the host-wall-clock `sim_mips` must be
 //! identical whether the loop coalesces compute bursts or steps one cycle
 //! at a time. These tests run the same (scheme, app, seed) matrix under
-//! both [`SystemConfig::force_cycle_accurate`] settings and compare with
-//! `==` (`sim_mips` is excluded from `RunResult`'s `PartialEq`).
+//! both [`SystemConfig::force_cycle_accurate`] settings — plus the
+//! speculative energy kernel forced off via
+//! [`SystemConfig::force_no_speculate`] — and compare with `==`
+//! (`sim_mips` is excluded from `RunResult`'s `PartialEq`).
 
 use ehs_nvm::MemoryTechnology;
 use ehs_sim::runner::{default_threads, run_matrix};
@@ -61,11 +63,22 @@ fn assert_matrix_bit_exact(base: &SystemConfig, schemes: &[Scheme], apps: &[AppI
             Scale::Tiny,
             threads,
         );
-        for (b_row, e_row) in burst.iter().zip(&exact) {
-            for (b, e) in b_row.iter().zip(e_row) {
+        let no_speculate = {
+            let mut c = variant(base, seed, false);
+            c.force_no_speculate = true;
+            run_matrix(&c, schemes, apps, Scale::Tiny, threads)
+        };
+        for ((b_row, e_row), n_row) in burst.iter().zip(&exact).zip(&no_speculate) {
+            for ((b, e), n) in b_row.iter().zip(e_row).zip(n_row) {
                 assert_eq!(
                     b, e,
                     "burst vs cycle-accurate divergence: scheme {} app {:?} seed {seed}",
+                    b.scheme, b.app
+                );
+                assert_eq!(
+                    b, n,
+                    "speculative vs guarded energy kernel divergence: \
+                     scheme {} app {:?} seed {seed}",
                     b.scheme, b.app
                 );
             }
@@ -101,15 +114,25 @@ fn zombie_instrumented_runs_are_bit_exact() {
     let mut config = SystemConfig::paper_default();
     config.zombie_sample_interval = Some(500);
     for scheme in [Scheme::Baseline, Scheme::DecayEdbp] {
-        let run = |cycle_accurate: bool| {
-            let c = variant(&config, 42, cycle_accurate);
+        let run = |cycle_accurate: bool, no_speculate: bool| {
+            let mut c = variant(&config, 42, cycle_accurate);
+            c.force_no_speculate = no_speculate;
             Simulation::new(&c, scheme, build(AppId::Crc32, Scale::Tiny), None)
                 .run_with_zombie_analysis()
         };
-        let (b_result, b_samples) = run(false);
-        let (e_result, e_samples) = run(true);
+        let (b_result, b_samples) = run(false, false);
+        let (e_result, e_samples) = run(true, false);
+        let (n_result, n_samples) = run(false, true);
         assert_eq!(b_result, e_result, "zombie run diverged for {scheme}");
         assert_eq!(b_samples, e_samples, "zombie samples diverged for {scheme}");
+        assert_eq!(
+            b_result, n_result,
+            "guarded-kernel zombie run diverged for {scheme}"
+        );
+        assert_eq!(
+            b_samples, n_samples,
+            "guarded-kernel zombie samples diverged for {scheme}"
+        );
     }
 }
 
@@ -145,6 +168,15 @@ fn brownout_landing_mid_burst_is_bit_exact() {
         };
         let burst = run(false);
         let exact = run(true);
+        let guarded_kernel = {
+            let mut c = config.clone();
+            c.force_no_speculate = true;
+            run_app(&c, scheme, AppId::Bitcount, Scale::Tiny)
+        };
+        assert_eq!(
+            burst, guarded_kernel,
+            "speculative vs guarded energy kernel divergence for {scheme}"
+        );
         assert!(
             burst.brownouts > 0,
             "configuration must provoke brown-outs ({scheme} saw none)"
